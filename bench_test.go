@@ -1,0 +1,136 @@
+// Benchmark harness: one testing.B benchmark per paper table/figure (see
+// DESIGN.md §4), plus ablation benches for the design choices. Each bench
+// regenerates its artifact through internal/experiment using quick-mode
+// workloads so `go test -bench=.` stays tractable; run
+// `go run ./cmd/experiments -run all -reps 25` for full-fidelity tables.
+package main
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/dtw"
+	"repro/internal/experiment"
+	"repro/internal/geom"
+	"repro/internal/profile"
+	"repro/internal/scenario"
+	"repro/internal/stpp"
+)
+
+// benchExperiment runs one registered experiment per iteration and renders
+// it to io.Discard so rendering cost is included once.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r := experiment.Runner{Seed: 1, Reps: 2, Quick: true}
+	for i := 0; i < b.N; i++ {
+		tab, err := experiment.Run(id, r)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- motivation and design figures ---
+
+func BenchmarkFig2RSSI(b *testing.B)         { benchExperiment(b, "fig2") }
+func BenchmarkFig3Reference(b *testing.B)    { benchExperiment(b, "fig3") }
+func BenchmarkFig4ReferenceY(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5Measured(b *testing.B)     { benchExperiment(b, "fig5") }
+func BenchmarkFig6MeasuredY(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig7DTW(b *testing.B)          { benchExperiment(b, "fig7") }
+func BenchmarkFig8Segmentation(b *testing.B) { benchExperiment(b, "fig8") }
+func BenchmarkFig9QuadraticFit(b *testing.B) { benchExperiment(b, "fig9") }
+func BenchmarkIDOrder(b *testing.B)          { benchExperiment(b, "idorder") }
+
+// --- micro-benchmarks ---
+
+func BenchmarkFig12Window(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkFig13TagMoving(b *testing.B)     { benchExperiment(b, "fig13") }
+func BenchmarkFig14AntennaMoving(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkTable1Population(b *testing.B)   { benchExperiment(b, "tab1") }
+
+// --- macro-benchmarks ---
+
+func BenchmarkFig17Schemes(b *testing.B)    { benchExperiment(b, "fig17") }
+func BenchmarkFig18Distance(b *testing.B)   { benchExperiment(b, "fig18") }
+func BenchmarkFig19Population(b *testing.B) { benchExperiment(b, "fig19") }
+
+// --- case studies ---
+
+func BenchmarkFig21BookLayout(b *testing.B) { benchExperiment(b, "fig21") }
+func BenchmarkTable2Misplaced(b *testing.B) { benchExperiment(b, "tab2") }
+func BenchmarkTable3Airport(b *testing.B)   { benchExperiment(b, "tab3") }
+func BenchmarkFig23Latency(b *testing.B)    { benchExperiment(b, "fig23") }
+
+// --- ablations (DESIGN.md §6) ---
+
+func BenchmarkAblationDTW(b *testing.B)     { benchExperiment(b, "ablation-dtw") }
+func BenchmarkAblationFit(b *testing.B)     { benchExperiment(b, "ablation-fit") }
+func BenchmarkAblationPeriods(b *testing.B) { benchExperiment(b, "ablation-periods") }
+func BenchmarkAblationPivot(b *testing.B)   { benchExperiment(b, "ablation-pivot") }
+
+// --- component micro-benches: the O(MN) vs O(MN/w²) claim in isolation ---
+
+func benchProfilePair(b *testing.B) (*stpp.Detector, *profile.Profile) {
+	b.Helper()
+	s, err := scenario.Whiteboard(scenario.WhiteboardOpts{
+		Positions: []geom.Vec2{{X: 1.0, Y: 0}},
+		Speed:     0.15,
+		Seed:      1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := s.ProfilesOf()
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := stpp.NewDetector(s.STPPConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return det, ps[0]
+}
+
+func BenchmarkDetectSegmented(b *testing.B) {
+	det, p := benchProfilePair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Detect(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectFullDTW(b *testing.B) {
+	det, p := benchProfilePair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.DetectFull(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSegmentedAlign(b *testing.B) {
+	det, p := benchProfilePair(b)
+	ref, _, _ := det.Reference()
+	rs := ref.Segmentize(5)
+	qs := p.Segmentize(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dtw.AlignSegmentsOpenEndOpt(rs, qs, dtw.SegmentAlignOpts{Stiffness: 0.5})
+	}
+}
+
+func BenchmarkFullDTWAlign(b *testing.B) {
+	det, p := benchProfilePair(b)
+	ref, _, _ := det.Reference()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dtw.Align(ref.Phases, p.Phases, nil)
+	}
+}

@@ -1,0 +1,74 @@
+// 3D example: the paper's Section 6 extension — three orthogonal reader
+// passes recover the relative order of tags along all three axes.
+//
+//	go run ./examples/threedee
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/epcgen2"
+	"repro/internal/geom"
+	"repro/internal/motion"
+	"repro/internal/phys"
+	"repro/internal/reader"
+	"repro/internal/stpp"
+)
+
+func main() {
+	// Four parcels stacked in a 3D arrangement (e.g. a pallet).
+	coords := []geom.Vec3{
+		{X: 0.30, Y: 0.90, Z: 0.60},
+		{X: 0.60, Y: 0.30, Z: 0.90},
+		{X: 0.90, Y: 0.60, Z: 0.30},
+		{X: 1.20, Y: 1.20, Z: 1.20},
+	}
+	var tags []reader.Tag
+	for i, c := range coords {
+		tags = append(tags, reader.Tag{
+			EPC:   epcgen2.NewEPC(uint64(i + 1)),
+			Model: reader.AlienALN9662,
+			Traj:  motion.Static{P: c},
+		})
+	}
+
+	// Three passes, one per axis, each offset from the tag field.
+	passes := [3]struct{ from, to geom.Vec3 }{
+		{geom.V3(-0.5, -0.25, 0.25), geom.V3(2.0, -0.25, 0.25)},
+		{geom.V3(-0.25, -0.5, 0.25), geom.V3(-0.25, 2.0, 0.25)},
+		{geom.V3(-0.25, 0.25, -0.5), geom.V3(-0.25, 0.25, 2.0)},
+	}
+	var logs [3][]reader.TagRead
+	for a, p := range passes {
+		traj, err := motion.NewLinear(p.from, p.to, 0.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := reader.New(reader.Config{Channel: 6, Seed: int64(10 + a)}, traj, tags)
+		if err != nil {
+			log.Fatal(err)
+		}
+		logs[a] = sim.Run(traj.Duration())
+		fmt.Printf("pass %d: %d reads\n", a+1, len(logs[a]))
+	}
+
+	cfg := stpp.DefaultConfig(phys.ChinaBand.Wavelength(6))
+	cfg.Reference.PerpDist = 0.35
+	cfg.Reference.Speed = 0.1
+	loc, err := stpp.NewLocalizer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := loc.Localize3D(logs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"X", "Y", "Z"}
+	for a := 0; a < 3; a++ {
+		fmt.Printf("\norder along %s:\n", names[a])
+		for rank, e := range res.AxisOrders[a] {
+			fmt.Printf("  %d. parcel %s\n", rank+1, e.String()[18:])
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/epcgen2"
+	"repro/internal/geom"
+	"repro/internal/reader"
+)
+
+// BackPos implements anchor-free backscatter positioning: several fixed
+// antennas measure each tag's phase; pairwise phase differences give
+// range differences (hyperbolas), and the tag position is the least-
+// squares intersection. The reader-side phase rotations cancel in the
+// differences (same reader, same channel) and the tag's θTAG cancels
+// trivially, leaving only the λ/2 wrap ambiguity, which BackPos avoids by
+// keeping tags inside the feasible region where |Δd| < λ/4.
+type BackPos struct {
+	// Antennas are the fixed antenna positions.
+	Antennas []geom.Vec3
+	// Wavelength of the (single) measurement channel.
+	Wavelength float64
+	// Region is the search bounding box in the tag plane (z = 0).
+	RegionMin, RegionMax geom.Vec2
+	// CoarseStep and FineStep control the grid search resolution (meters).
+	CoarseStep, FineStep float64
+}
+
+// NewBackPos validates and constructs a BackPos locator.
+func NewBackPos(antennas []geom.Vec3, wavelength float64, regionMin, regionMax geom.Vec2) (*BackPos, error) {
+	if len(antennas) < 3 {
+		return nil, fmt.Errorf("baseline: BackPos needs >= 3 antennas, got %d", len(antennas))
+	}
+	if wavelength <= 0 {
+		return nil, fmt.Errorf("baseline: wavelength %v <= 0", wavelength)
+	}
+	if regionMax.X <= regionMin.X || regionMax.Y <= regionMin.Y {
+		return nil, fmt.Errorf("baseline: empty search region")
+	}
+	return &BackPos{
+		Antennas:   antennas,
+		Wavelength: wavelength,
+		RegionMin:  regionMin,
+		RegionMax:  regionMax,
+		CoarseStep: 0.02,
+		FineStep:   0.002,
+	}, nil
+}
+
+// Locate estimates tag positions from one read log per antenna. All logs
+// must be taken on the same channel.
+func (b *BackPos) Locate(logs [][]reader.TagRead) (map[epcgen2.EPC]geom.Vec2, error) {
+	if len(logs) != len(b.Antennas) {
+		return nil, fmt.Errorf("baseline: %d logs for %d antennas", len(logs), len(b.Antennas))
+	}
+	// Mean phase per (antenna, tag), averaged circularly over the log.
+	phases := make([]map[epcgen2.EPC]float64, len(logs))
+	for i, lg := range logs {
+		acc := map[epcgen2.EPC]complex128{}
+		for _, r := range lg {
+			acc[r.EPC] += cmplx.Rect(1, r.Phase)
+		}
+		phases[i] = make(map[epcgen2.EPC]float64, len(acc))
+		for e, v := range acc {
+			phases[i][e] = cmplx.Phase(v) // (-π, π]
+		}
+	}
+	// Tags present at every antenna.
+	var tags []epcgen2.EPC
+	for e := range phases[0] {
+		ok := true
+		for i := 1; i < len(phases); i++ {
+			if _, present := phases[i][e]; !present {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			tags = append(tags, e)
+		}
+	}
+	if len(tags) == 0 {
+		return nil, fmt.Errorf("baseline: no tag visible at all antennas")
+	}
+
+	out := make(map[epcgen2.EPC]geom.Vec2, len(tags))
+	for _, e := range tags {
+		// Range differences vs antenna 0: Δθ = 4π/λ (d_i − d_0) mod 2π.
+		dd := make([]float64, len(b.Antennas))
+		for i := 1; i < len(b.Antennas); i++ {
+			dphi := phases[i][e] - phases[0][e]
+			// Fold into (−π, π], then into the minimal-|Δd| branch.
+			for dphi > math.Pi {
+				dphi -= 2 * math.Pi
+			}
+			for dphi <= -math.Pi {
+				dphi += 2 * math.Pi
+			}
+			dd[i] = dphi * b.Wavelength / (4 * math.Pi)
+		}
+		out[e] = b.solve(dd)
+	}
+	return out, nil
+}
+
+// solve grid-searches the tag plane for the point whose range differences
+// to the antennas best match the measurements (mod λ/2, since each Δd is
+// only known within its wrap branch).
+func (b *BackPos) solve(dd []float64) geom.Vec2 {
+	best := b.RegionMin
+	bestCost := math.Inf(1)
+	scan := func(min, max geom.Vec2, step float64) {
+		for x := min.X; x <= max.X; x += step {
+			for y := min.Y; y <= max.Y; y += step {
+				c := b.cost(geom.V2(x, y), dd)
+				if c < bestCost {
+					bestCost = c
+					best = geom.V2(x, y)
+				}
+			}
+		}
+	}
+	scan(b.RegionMin, b.RegionMax, b.CoarseStep)
+	// Local refinement around the coarse winner.
+	r := b.CoarseStep * 1.5
+	fineMin := geom.V2(math.Max(best.X-r, b.RegionMin.X), math.Max(best.Y-r, b.RegionMin.Y))
+	fineMax := geom.V2(math.Min(best.X+r, b.RegionMax.X), math.Min(best.Y+r, b.RegionMax.Y))
+	scan(fineMin, fineMax, b.FineStep)
+	return best
+}
+
+// cost is the sum of squared circular residuals between predicted and
+// measured range differences, where residuals live on the λ/2 circle.
+func (b *BackPos) cost(p geom.Vec2, dd []float64) float64 {
+	tag := p.In3D(0)
+	d0 := b.Antennas[0].Dist(tag)
+	half := b.Wavelength / 2
+	var c float64
+	for i := 1; i < len(b.Antennas); i++ {
+		pred := b.Antennas[i].Dist(tag) - d0
+		r := math.Mod(pred-dd[i], half)
+		if r > half/2 {
+			r -= half
+		}
+		if r < -half/2 {
+			r += half
+		}
+		c += r * r
+	}
+	return c
+}
+
+// Order locates tags and sorts the estimated coordinates into per-axis
+// orders.
+func (b *BackPos) Order(logs [][]reader.TagRead) (XYOrder, error) {
+	locs, err := b.Locate(logs)
+	if err != nil {
+		return XYOrder{}, err
+	}
+	return orderByCoords(locs), nil
+}

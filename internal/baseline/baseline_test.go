@@ -1,0 +1,330 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/epcgen2"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/motion"
+	"repro/internal/phys"
+	"repro/internal/profile"
+	"repro/internal/reader"
+)
+
+// sweep runs a clean free-space antenna sweep over tags at tag-plane
+// positions and returns the per-tag profiles.
+func sweep(t *testing.T, pos []geom.Vec2, seed int64, env *phys.Environment) []*profile.Profile {
+	t.Helper()
+	var tags []reader.Tag
+	for i, tp := range pos {
+		tags = append(tags, reader.Tag{
+			EPC:   epcgen2.NewEPC(uint64(i + 1)),
+			Model: reader.AlienALN9662,
+			Traj:  motion.Static{P: geom.V3(tp.X, tp.Y, 0)},
+		})
+	}
+	traj, err := motion.NewLinear(geom.V3(-0.6, -0.15, 0.30), geom.V3(3.0, -0.15, 0.30), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := reader.New(reader.Config{Channel: 6, Seed: seed, Env: env}, traj, tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return profile.FromReads(sim.Run(traj.Duration()))
+}
+
+func wantOrder(n int) []epcgen2.EPC {
+	out := make([]epcgen2.EPC, n)
+	for i := range out {
+		out[i] = epcgen2.NewEPC(uint64(i + 1))
+	}
+	return out
+}
+
+func TestGRSSIFreeSpace(t *testing.T) {
+	// Without multipath, peak RSSI timing is clean and G-RSSI works.
+	pos := []geom.Vec2{{X: 0.3, Y: 0}, {X: 0.9, Y: 0}, {X: 1.5, Y: 0}, {X: 2.1, Y: 0}}
+	ps := sweep(t, pos, 1, phys.FreeSpace())
+	got, err := GRSSI(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := metrics.OrderingAccuracy(got.X, wantOrder(len(pos)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.99 {
+		t.Errorf("free-space G-RSSI X accuracy = %v, want 1", acc)
+	}
+}
+
+func TestGRSSIDegradesUnderMultipath(t *testing.T) {
+	// The Section 2.1 observation: with strong multipath, close tags get
+	// misordered by peak RSSI. Run several seeds; multipath must do worse
+	// than free space overall.
+	pos := []geom.Vec2{
+		{X: 0.9, Y: 0}, {X: 0.97, Y: 0}, {X: 1.04, Y: 0}, {X: 1.11, Y: 0}, {X: 1.18, Y: 0},
+	}
+	harsh := &phys.Environment{
+		Reflectors: []phys.Reflector{{
+			Plane: geom.Plane{Point: geom.V3(0, 0.35, 0), Normal: geom.V3(0, -1, 0)},
+			Gamma: -0.85,
+		}},
+		RicianK:          2,
+		DiffuseCoherence: 0.09,
+	}
+	var freeAcc, mpAcc float64
+	const trials = 5
+	for s := int64(0); s < trials; s++ {
+		psFree := sweep(t, pos, 100+s, phys.FreeSpace())
+		psMP := sweep(t, pos, 100+s, harsh)
+		gf, err := GRSSI(psFree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gm, err := GRSSI(psMP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		af, _ := metrics.OrderingAccuracy(gf.X, wantOrder(len(pos)))
+		am, _ := metrics.OrderingAccuracy(gm.X, wantOrder(len(pos)))
+		freeAcc += af
+		mpAcc += am
+	}
+	if mpAcc >= freeAcc {
+		t.Errorf("multipath did not hurt G-RSSI: %v vs %v", mpAcc/trials, freeAcc/trials)
+	}
+}
+
+func TestGRSSIErrors(t *testing.T) {
+	if _, err := GRSSI(nil); err == nil {
+		t.Error("empty profiles accepted")
+	}
+	p := &profile.Profile{Times: []float64{1}, Phases: []float64{1}}
+	if _, err := GRSSI([]*profile.Profile{p}); err == nil {
+		t.Error("profile without RSSI accepted")
+	}
+}
+
+func TestOTrackOrdersCleanScene(t *testing.T) {
+	pos := []geom.Vec2{{X: 0.3, Y: 0}, {X: 1.0, Y: 0}, {X: 1.7, Y: 0}, {X: 2.4, Y: 0}}
+	ps := sweep(t, pos, 3, phys.LibraryEnvironment(0.4, 1.0))
+	got, err := OTrack(ps, DefaultOTrackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := metrics.OrderingAccuracy(got.X, wantOrder(len(pos)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.75 {
+		t.Errorf("OTrack X accuracy = %v on well-spaced tags", acc)
+	}
+}
+
+func TestOTrackConfigValidation(t *testing.T) {
+	ps := sweep(t, []geom.Vec2{{X: 1, Y: 0}}, 4, phys.FreeSpace())
+	if _, err := OTrack(ps, OTrackConfig{WindowSec: 0, RateFrac: 0.5}); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := OTrack(ps, OTrackConfig{WindowSec: 1, RateFrac: 0}); err == nil {
+		t.Error("zero rate fraction accepted")
+	}
+	if _, err := OTrack(ps, OTrackConfig{WindowSec: 1, RateFrac: 2}); err == nil {
+		t.Error("rate fraction > 1 accepted")
+	}
+	if _, err := OTrack(nil, DefaultOTrackConfig()); err == nil {
+		t.Error("empty profiles accepted")
+	}
+}
+
+func TestReadingRate(t *testing.T) {
+	times := []float64{0, 0.1, 0.2, 0.3, 0.4, 2.0, 2.1}
+	centers, rates := readingRate(times, 0.5)
+	if len(centers) != len(times) || len(rates) != len(times) {
+		t.Fatalf("lengths: %d, %d", len(centers), len(rates))
+	}
+	// Dense cluster at the start has a higher rate than the sparse tail.
+	if rates[2] <= rates[5] {
+		t.Errorf("rate[2]=%v should exceed rate[5]=%v", rates[2], rates[5])
+	}
+	if c, r := readingRate(nil, 1); c != nil || r != nil {
+		t.Error("empty rate should be nil")
+	}
+}
+
+func TestLandmarcLocatesAndOrders(t *testing.T) {
+	// Reference grid on the tag plane plus 3 targets between them.
+	var refEPCs []epcgen2.EPC
+	var refPos []geom.Vec2
+	var all []geom.Vec2
+	serial := uint64(100)
+	for x := 0.2; x <= 2.2; x += 0.4 {
+		for _, y := range []float64{0, 0.15} {
+			refEPCs = append(refEPCs, epcgen2.NewEPC(serial))
+			refPos = append(refPos, geom.V2(x, y))
+			serial++
+		}
+	}
+	targets := []geom.Vec2{{X: 0.5, Y: 0.05}, {X: 1.2, Y: 0.05}, {X: 1.9, Y: 0.05}}
+
+	// Build the combined scene manually: targets get serials 1..3.
+	var tags []reader.Tag
+	for i, tp := range targets {
+		tags = append(tags, reader.Tag{
+			EPC: epcgen2.NewEPC(uint64(i + 1)), Model: reader.AlienALN9662,
+			Traj: motion.Static{P: geom.V3(tp.X, tp.Y, 0)},
+		})
+		all = append(all, tp)
+	}
+	for i, rp := range refPos {
+		tags = append(tags, reader.Tag{
+			EPC: refEPCs[i], Model: reader.AlienALN9662,
+			Traj: motion.Static{P: geom.V3(rp.X, rp.Y, 0)},
+		})
+	}
+	traj, _ := motion.NewLinear(geom.V3(-0.6, -0.15, 0.30), geom.V3(3.0, -0.15, 0.30), 0.15)
+	sim, err := reader.New(reader.Config{Channel: 6, Seed: 5, Env: phys.LibraryEnvironment(0.4, 1)}, traj, tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := profile.FromReads(sim.Run(traj.Duration()))
+
+	lm, err := NewLandmarc(refEPCs, refPos, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs, err := lm.Locate(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != len(targets) {
+		t.Fatalf("located %d/%d targets", len(locs), len(targets))
+	}
+	// Location errors should be bounded by the grid pitch (~0.4 m).
+	for i, tp := range targets {
+		est := locs[epcgen2.NewEPC(uint64(i+1))]
+		if d := est.Dist(tp); d > 0.6 {
+			t.Errorf("target %d error %v m", i+1, d)
+		}
+	}
+	// Orders over well-separated targets should be correct on X.
+	ord, err := lm.Order(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := metrics.OrderingAccuracy(ord.X, wantOrder(3))
+	if acc < 0.99 {
+		t.Errorf("Landmarc X accuracy = %v over 0.7 m spacing", acc)
+	}
+	_ = all
+}
+
+func TestNewLandmarcValidation(t *testing.T) {
+	if _, err := NewLandmarc(nil, nil, 1); err == nil {
+		t.Error("empty reference set accepted")
+	}
+	e := []epcgen2.EPC{epcgen2.NewEPC(1)}
+	p := []geom.Vec2{{X: 0, Y: 0}}
+	if _, err := NewLandmarc(e, p, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewLandmarc(e, p, 2); err == nil {
+		t.Error("k > refs accepted")
+	}
+	if _, err := NewLandmarc(e, []geom.Vec2{}, 1); err == nil {
+		t.Error("mismatched positions accepted")
+	}
+}
+
+func TestBackPosLocatesTags(t *testing.T) {
+	wl := phys.ChinaBand.Wavelength(6)
+	antennas := []geom.Vec3{
+		{X: -0.5, Y: -0.3, Z: 0.5},
+		{X: 3.0, Y: -0.3, Z: 0.5},
+		{X: -0.5, Y: 0.6, Z: 0.5},
+		{X: 3.0, Y: 0.6, Z: 0.5},
+	}
+	tagPos := []geom.Vec2{{X: 1.0, Y: 0.0}, {X: 1.08, Y: 0.0}, {X: 1.16, Y: 0.0}}
+	var tags []reader.Tag
+	for i, tp := range tagPos {
+		tags = append(tags, reader.Tag{
+			EPC: epcgen2.NewEPC(uint64(i + 1)), Model: reader.AlienALN9662,
+			Traj: motion.Static{P: geom.V3(tp.X, tp.Y, 0)},
+		})
+	}
+	var logs [][]reader.TagRead
+	for i, ap := range antennas {
+		// Coupling off: this test checks the hyperbolic solver, not
+		// robustness to inter-tag coupling (the macro benchmarks cover that).
+		sim, err := reader.New(reader.Config{Channel: 6, Seed: int64(50 + i),
+			Coupling: reader.NoCoupling()}, motion.Static{P: ap}, tags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs = append(logs, sim.Run(2))
+	}
+	bp, err := NewBackPos(antennas, wl, geom.V2(0.5, -0.2), geom.V2(1.7, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, err := bp.Order(logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := metrics.OrderingAccuracy(ord.X, wantOrder(len(tagPos)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.6 {
+		t.Errorf("BackPos X accuracy = %v over 8 cm spacing", acc)
+	}
+}
+
+func TestNewBackPosValidation(t *testing.T) {
+	wl := 0.325
+	a3 := []geom.Vec3{{}, {X: 1}, {Y: 1}}
+	if _, err := NewBackPos(a3[:2], wl, geom.V2(0, 0), geom.V2(1, 1)); err == nil {
+		t.Error("2 antennas accepted")
+	}
+	if _, err := NewBackPos(a3, 0, geom.V2(0, 0), geom.V2(1, 1)); err == nil {
+		t.Error("zero wavelength accepted")
+	}
+	if _, err := NewBackPos(a3, wl, geom.V2(1, 1), geom.V2(0, 0)); err == nil {
+		t.Error("inverted region accepted")
+	}
+}
+
+func TestBackPosLogCountMismatch(t *testing.T) {
+	bp, _ := NewBackPos([]geom.Vec3{{}, {X: 1}, {Y: 1}}, 0.325, geom.V2(0, 0), geom.V2(1, 1))
+	if _, err := bp.Locate([][]reader.TagRead{nil}); err == nil {
+		t.Error("log/antenna mismatch accepted")
+	}
+}
+
+func TestOrderByCoordsDeterministic(t *testing.T) {
+	locs := map[epcgen2.EPC]geom.Vec2{
+		epcgen2.NewEPC(1): {X: 2, Y: 0.1},
+		epcgen2.NewEPC(2): {X: 1, Y: 0.3},
+		epcgen2.NewEPC(3): {X: 3, Y: 0.2},
+	}
+	o1 := orderByCoords(locs)
+	o2 := orderByCoords(locs)
+	for i := range o1.X {
+		if o1.X[i] != o2.X[i] || o1.Y[i] != o2.Y[i] {
+			t.Fatal("orderByCoords not deterministic")
+		}
+	}
+	if o1.X[0] != epcgen2.NewEPC(2) || o1.Y[0] != epcgen2.NewEPC(1) {
+		t.Errorf("orders wrong: %+v", o1)
+	}
+}
+
+func TestEuclid(t *testing.T) {
+	if d := euclid([]float64{0, 0}, []float64{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("euclid = %v", d)
+	}
+}

@@ -1,0 +1,64 @@
+// Package baseline implements the four comparison schemes of the paper's
+// macro-benchmarks (Section 4.4), all running on the same simulated read
+// logs as STPP:
+//
+//   - G-RSSI: order tags by the time of their (smoothed) peak RSSI.
+//   - OTrack: order tags by combining RSSI dynamics with reading-rate
+//     windows (Shangguan et al., INFOCOM 2013).
+//   - Landmarc: absolute localization by kNN over reference tags in RSSI
+//     space (Ni et al., 2004), then sort coordinates.
+//   - BackPos: absolute localization by phase-difference hyperbolic
+//     positioning from multiple fixed antennas (Liu et al., INFOCOM 2014),
+//     then sort coordinates.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dsp"
+	"repro/internal/epcgen2"
+	"repro/internal/profile"
+)
+
+// XYOrder holds a scheme's recovered orders along both axes.
+type XYOrder struct {
+	// X is the order along the movement axis; Y along the perpendicular
+	// axis, nearest to the reader trajectory first.
+	X, Y []epcgen2.EPC
+}
+
+// GRSSI orders tags by peak smoothed RSSI time (X) and by peak RSSI value
+// (Y; stronger = nearer). This is the strawman of Section 2.1: multipath
+// makes peak-RSSI timing unreliable.
+func GRSSI(profiles []*profile.Profile) (XYOrder, error) {
+	if len(profiles) == 0 {
+		return XYOrder{}, fmt.Errorf("baseline: no profiles")
+	}
+	type key struct {
+		epc      epcgen2.EPC
+		peakTime float64
+		peakVal  float64
+	}
+	keys := make([]key, 0, len(profiles))
+	for i, p := range profiles {
+		if p.Len() == 0 || p.RSSI == nil {
+			return XYOrder{}, fmt.Errorf("baseline: profile %d has no RSSI", i)
+		}
+		sm := dsp.MovingAverage(p.RSSI, 11)
+		pk := dsp.ArgMax(sm)
+		keys = append(keys, key{epc: p.EPC, peakTime: p.Times[pk], peakVal: sm[pk]})
+	}
+	x := append([]key(nil), keys...)
+	sort.SliceStable(x, func(a, b int) bool { return x[a].peakTime < x[b].peakTime })
+	y := append([]key(nil), keys...)
+	sort.SliceStable(y, func(a, b int) bool { return y[a].peakVal > y[b].peakVal })
+	out := XYOrder{}
+	for _, k := range x {
+		out.X = append(out.X, k.epc)
+	}
+	for _, k := range y {
+		out.Y = append(out.Y, k.epc)
+	}
+	return out, nil
+}

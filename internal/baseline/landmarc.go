@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dsp"
+	"repro/internal/epcgen2"
+	"repro/internal/geom"
+	"repro/internal/profile"
+)
+
+// Landmarc is the classic reference-tag kNN locator. A set of reference
+// tags with known positions is read alongside the target tags; each target
+// is located at the weighted centroid of its K nearest reference tags,
+// where "near" means similar RSSI signature.
+//
+// With a single moving reader, the RSSI signature of a tag is its RSSI
+// time series resampled to a fixed length — tags at similar positions see
+// similar signatures as the reader sweeps by.
+type Landmarc struct {
+	// RefEPCs and RefPositions define the reference grid (parallel
+	// slices; positions are tag-plane coordinates).
+	RefEPCs      []epcgen2.EPC
+	RefPositions []geom.Vec2
+	// K is the number of nearest references used (classic choice: 4).
+	K int
+	// SignatureLen is the resampled RSSI signature length.
+	SignatureLen int
+}
+
+// NewLandmarc validates and constructs a Landmarc locator.
+func NewLandmarc(refEPCs []epcgen2.EPC, refPos []geom.Vec2, k int) (*Landmarc, error) {
+	if len(refEPCs) == 0 || len(refEPCs) != len(refPos) {
+		return nil, fmt.Errorf("baseline: %d reference EPCs vs %d positions",
+			len(refEPCs), len(refPos))
+	}
+	if k < 1 || k > len(refEPCs) {
+		return nil, fmt.Errorf("baseline: k=%d with %d references", k, len(refEPCs))
+	}
+	return &Landmarc{RefEPCs: refEPCs, RefPositions: refPos, K: k, SignatureLen: 40}, nil
+}
+
+// Locate estimates the positions of all non-reference tags in the profile
+// set, returning EPCs with their estimated coordinates.
+func (l *Landmarc) Locate(profiles []*profile.Profile) (map[epcgen2.EPC]geom.Vec2, error) {
+	refSet := make(map[epcgen2.EPC]int, len(l.RefEPCs))
+	for i, e := range l.RefEPCs {
+		refSet[e] = i
+	}
+	// Build signatures.
+	type sig struct {
+		epc epcgen2.EPC
+		v   []float64
+	}
+	var refs []sig
+	var targets []sig
+	refIdx := map[epcgen2.EPC]int{}
+	for _, p := range profiles {
+		if p.Len() == 0 || p.RSSI == nil {
+			return nil, fmt.Errorf("baseline: profile %v has no RSSI", p.EPC)
+		}
+		_, v := dsp.Resample(p.Times, p.RSSI, l.SignatureLen)
+		s := sig{epc: p.EPC, v: v}
+		if i, ok := refSet[p.EPC]; ok {
+			refIdx[p.EPC] = i
+			refs = append(refs, s)
+		} else {
+			targets = append(targets, s)
+		}
+	}
+	if len(refs) < l.K {
+		return nil, fmt.Errorf("baseline: only %d/%d reference tags read", len(refs), len(l.RefEPCs))
+	}
+	out := make(map[epcgen2.EPC]geom.Vec2, len(targets))
+	for _, tg := range targets {
+		type nd struct {
+			d   float64
+			pos geom.Vec2
+		}
+		nds := make([]nd, 0, len(refs))
+		for _, rf := range refs {
+			nds = append(nds, nd{
+				d:   euclid(tg.v, rf.v),
+				pos: l.RefPositions[refIdx[rf.epc]],
+			})
+		}
+		sort.Slice(nds, func(a, b int) bool { return nds[a].d < nds[b].d })
+		// Weighted centroid with weights 1/d².
+		var wx, wy, wsum float64
+		for i := 0; i < l.K; i++ {
+			w := 1 / (nds[i].d*nds[i].d + 1e-9)
+			wx += w * nds[i].pos.X
+			wy += w * nds[i].pos.Y
+			wsum += w
+		}
+		out[tg.epc] = geom.V2(wx/wsum, wy/wsum)
+	}
+	return out, nil
+}
+
+// Order locates the targets and sorts their estimated coordinates into X
+// and Y orders.
+func (l *Landmarc) Order(profiles []*profile.Profile) (XYOrder, error) {
+	locs, err := l.Locate(profiles)
+	if err != nil {
+		return XYOrder{}, err
+	}
+	return orderByCoords(locs), nil
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// orderByCoords sorts estimated positions into per-axis EPC orders.
+func orderByCoords(locs map[epcgen2.EPC]geom.Vec2) XYOrder {
+	type kv struct {
+		epc epcgen2.EPC
+		pos geom.Vec2
+	}
+	all := make([]kv, 0, len(locs))
+	for e, p := range locs {
+		all = append(all, kv{e, p})
+	}
+	// Deterministic base order before the stable sorts.
+	sort.Slice(all, func(a, b int) bool { return all[a].epc.String() < all[b].epc.String() })
+	x := append([]kv(nil), all...)
+	sort.SliceStable(x, func(a, b int) bool { return x[a].pos.X < x[b].pos.X })
+	y := append([]kv(nil), all...)
+	sort.SliceStable(y, func(a, b int) bool { return y[a].pos.Y < y[b].pos.Y })
+	var out XYOrder
+	for _, k := range x {
+		out.X = append(out.X, k.epc)
+	}
+	for _, k := range y {
+		out.Y = append(out.Y, k.epc)
+	}
+	return out
+}

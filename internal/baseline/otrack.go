@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dsp"
+	"repro/internal/epcgen2"
+	"repro/internal/profile"
+)
+
+// OTrackConfig tunes the OTrack re-implementation.
+type OTrackConfig struct {
+	// WindowSec is the sliding window for reading-rate estimation.
+	WindowSec float64
+	// RateFrac is the fraction of the peak reading rate that bounds the
+	// "in-zone" interval.
+	RateFrac float64
+}
+
+// DefaultOTrackConfig matches the published evaluation reasonably.
+func DefaultOTrackConfig() OTrackConfig {
+	return OTrackConfig{WindowSec: 1.0, RateFrac: 0.6}
+}
+
+// OTrack orders tags by fusing two signals per tag, as the OTrack system
+// does for conveyor luggage: (1) the interval during which the tag's
+// reading rate exceeds RateFrac of its peak (the tag is squarely inside
+// the reading zone there), and (2) the smoothed RSSI peak within that
+// interval. The X key is the average of the interval midpoint and the
+// in-interval RSSI peak time; the Y key is the in-interval mean RSSI.
+func OTrack(profiles []*profile.Profile, cfg OTrackConfig) (XYOrder, error) {
+	if len(profiles) == 0 {
+		return XYOrder{}, fmt.Errorf("baseline: no profiles")
+	}
+	if cfg.WindowSec <= 0 || cfg.RateFrac <= 0 || cfg.RateFrac > 1 {
+		return XYOrder{}, fmt.Errorf("baseline: bad OTrack config %+v", cfg)
+	}
+	type key struct {
+		epc  epcgen2.EPC
+		x, y float64
+	}
+	keys := make([]key, 0, len(profiles))
+	for i, p := range profiles {
+		if p.Len() == 0 || p.RSSI == nil {
+			return XYOrder{}, fmt.Errorf("baseline: profile %d has no RSSI", i)
+		}
+		rateTimes, rates := readingRate(p.Times, cfg.WindowSec)
+		if len(rates) == 0 {
+			return XYOrder{}, fmt.Errorf("baseline: profile %d too short for rate windows", i)
+		}
+		_, peak := dsp.MinMax(rates)
+		lo, hi := rateInterval(rateTimes, rates, peak*cfg.RateFrac)
+		mid := (lo + hi) / 2
+
+		// RSSI peak restricted to the in-zone interval.
+		sm := dsp.MovingAverage(p.RSSI, 11)
+		bestIdx, bestVal := -1, 0.0
+		var sum float64
+		var cnt int
+		for j, tt := range p.Times {
+			if tt < lo || tt > hi {
+				continue
+			}
+			if bestIdx < 0 || sm[j] > bestVal {
+				bestIdx, bestVal = j, sm[j]
+			}
+			sum += sm[j]
+			cnt++
+		}
+		xKey := mid
+		if bestIdx >= 0 {
+			xKey = (mid + p.Times[bestIdx]) / 2
+		}
+		yKey := bestVal
+		if cnt > 0 {
+			yKey = sum / float64(cnt)
+		}
+		keys = append(keys, key{epc: p.EPC, x: xKey, y: yKey})
+	}
+	x := append([]key(nil), keys...)
+	sort.SliceStable(x, func(a, b int) bool { return x[a].x < x[b].x })
+	y := append([]key(nil), keys...)
+	sort.SliceStable(y, func(a, b int) bool { return y[a].y > y[b].y })
+	out := XYOrder{}
+	for _, k := range x {
+		out.X = append(out.X, k.epc)
+	}
+	for _, k := range y {
+		out.Y = append(out.Y, k.epc)
+	}
+	return out, nil
+}
+
+// readingRate estimates reads/second over centered windows at each read.
+func readingRate(times []float64, window float64) (centers, rates []float64) {
+	n := len(times)
+	if n == 0 {
+		return nil, nil
+	}
+	half := window / 2
+	lo := 0
+	hi := 0
+	for i := 0; i < n; i++ {
+		c := times[i]
+		for lo < n && times[lo] < c-half {
+			lo++
+		}
+		if hi < i {
+			hi = i
+		}
+		for hi < n && times[hi] <= c+half {
+			hi++
+		}
+		centers = append(centers, c)
+		rates = append(rates, float64(hi-lo)/window)
+	}
+	return centers, rates
+}
+
+// rateInterval finds the widest contiguous time interval whose rate stays
+// at or above the threshold, containing the global rate peak.
+func rateInterval(centers, rates []float64, threshold float64) (lo, hi float64) {
+	peak := dsp.ArgMax(rates)
+	l, r := peak, peak
+	for l > 0 && rates[l-1] >= threshold {
+		l--
+	}
+	for r < len(rates)-1 && rates[r+1] >= threshold {
+		r++
+	}
+	return centers[l], centers[r]
+}

@@ -1,0 +1,124 @@
+package dsp
+
+import "sort"
+
+// MovingAverage smooths xs with a centered window of the given odd width.
+// Windows are truncated at the edges. width <= 1 returns a copy.
+func MovingAverage(xs []float64, width int) []float64 {
+	out := make([]float64, len(xs))
+	if width <= 1 {
+		copy(out, xs)
+		return out
+	}
+	half := width / 2
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += xs[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// MedianFilter applies a centered median filter of the given odd width,
+// truncated at the edges. Useful for knocking out impulsive phase outliers
+// from multipath self-interference before fitting.
+func MedianFilter(xs []float64, width int) []float64 {
+	out := make([]float64, len(xs))
+	if width <= 1 {
+		copy(out, xs)
+		return out
+	}
+	half := width / 2
+	buf := make([]float64, 0, width)
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		buf = buf[:0]
+		buf = append(buf, xs[lo:hi+1]...)
+		sort.Float64s(buf)
+		m := len(buf)
+		if m%2 == 1 {
+			out[i] = buf[m/2]
+		} else {
+			out[i] = (buf[m/2-1] + buf[m/2]) / 2
+		}
+	}
+	return out
+}
+
+// Interp1 linearly interpolates the function defined by (xs, ys) at x.
+// xs must be strictly increasing. Values outside the domain are clamped to
+// the boundary values.
+func Interp1(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	i := sort.SearchFloat64s(xs, x)
+	// xs[i-1] < x <= xs[i]
+	x0, x1 := xs[i-1], xs[i]
+	y0, y1 := ys[i-1], ys[i]
+	if x1 == x0 {
+		return y0
+	}
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// Resample evaluates the piecewise-linear function (xs, ys) at n evenly
+// spaced points across [xs[0], xs[len-1]], returning the new sample times
+// and values. Used to put variable-rate ALOHA reads on a regular grid.
+func Resample(xs, ys []float64, n int) (times, values []float64) {
+	times = make([]float64, n)
+	values = make([]float64, n)
+	if len(xs) == 0 || n == 0 {
+		return times, values
+	}
+	lo, hi := xs[0], xs[len(xs)-1]
+	if n == 1 {
+		times[0] = lo
+		values[0] = ys[0]
+		return times, values
+	}
+	step := (hi - lo) / float64(n-1)
+	for i := 0; i < n; i++ {
+		t := lo + float64(i)*step
+		times[i] = t
+		values[i] = Interp1(xs, ys, t)
+	}
+	return times, values
+}
+
+// Downsample keeps every k-th element of xs (k >= 1), starting from index 0.
+func Downsample(xs []float64, k int) []float64 {
+	if k <= 1 {
+		return append([]float64(nil), xs...)
+	}
+	out := make([]float64, 0, (len(xs)+k-1)/k)
+	for i := 0; i < len(xs); i += k {
+		out = append(out, xs[i])
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMovingAverage(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got := MovingAverage(xs, 3)
+	want := []float64{1.5, 2, 3, 4, 4.5}
+	for i := range want {
+		if !approx(got[i], want[i], 1e-12) {
+			t.Errorf("MA[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMovingAverageWidthOne(t *testing.T) {
+	xs := []float64{3, 1, 4}
+	got := MovingAverage(xs, 1)
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Errorf("width-1 MA changed data at %d", i)
+		}
+	}
+}
+
+func TestMedianFilterImpulse(t *testing.T) {
+	xs := []float64{1, 1, 100, 1, 1}
+	got := MedianFilter(xs, 3)
+	if got[2] != 1 {
+		t.Errorf("median filter did not remove impulse: %v", got)
+	}
+}
+
+func TestMedianFilterEvenWindowAtEdge(t *testing.T) {
+	xs := []float64{1, 3}
+	got := MedianFilter(xs, 3)
+	// Edge windows have 2 elements; median of {1,3} is 2.
+	if !approx(got[0], 2, 1e-12) || !approx(got[1], 2, 1e-12) {
+		t.Errorf("edge medians = %v", got)
+	}
+}
+
+func TestMedianFilterWidthOne(t *testing.T) {
+	xs := []float64{5, 6}
+	got := MedianFilter(xs, 1)
+	if got[0] != 5 || got[1] != 6 {
+		t.Errorf("width-1 median = %v", got)
+	}
+}
+
+func TestInterp1(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 10, 0}
+	cases := []struct{ x, want float64 }{
+		{-1, 0},  // clamp left
+		{3, 0},   // clamp right
+		{0.5, 5}, // interior
+		{1, 10},  // exact knot
+		{1.25, 7.5},
+	}
+	for _, c := range cases {
+		if got := Interp1(xs, ys, c.x); !approx(got, c.want, 1e-12) {
+			t.Errorf("Interp1(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestInterp1Empty(t *testing.T) {
+	if got := Interp1(nil, nil, 1); got != 0 {
+		t.Errorf("Interp1 empty = %v", got)
+	}
+}
+
+func TestResample(t *testing.T) {
+	xs := []float64{0, 2}
+	ys := []float64{0, 4}
+	times, values := Resample(xs, ys, 5)
+	wantT := []float64{0, 0.5, 1, 1.5, 2}
+	wantV := []float64{0, 1, 2, 3, 4}
+	for i := range wantT {
+		if !approx(times[i], wantT[i], 1e-12) || !approx(values[i], wantV[i], 1e-12) {
+			t.Errorf("Resample[%d] = (%v,%v), want (%v,%v)", i, times[i], values[i], wantT[i], wantV[i])
+		}
+	}
+}
+
+func TestResampleDegenerate(t *testing.T) {
+	times, values := Resample(nil, nil, 3)
+	if len(times) != 3 || len(values) != 3 {
+		t.Errorf("lens = %d,%d", len(times), len(values))
+	}
+	times, values = Resample([]float64{1}, []float64{9}, 1)
+	if times[0] != 1 || values[0] != 9 {
+		t.Errorf("single = (%v,%v)", times[0], values[0])
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6}
+	got := Downsample(xs, 3)
+	want := []float64{0, 3, 6}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Downsample[%d] = %v", i, got[i])
+		}
+	}
+	if got := Downsample(xs, 1); len(got) != len(xs) {
+		t.Errorf("k=1 len = %d", len(got))
+	}
+}
+
+// Property: moving average output is bounded by input min/max.
+func TestQuickMovingAverageBounds(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		min, max := MinMax(xs)
+		for _, v := range MovingAverage(xs, 5) {
+			if v < min-1e-9 || v > max+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: median filter output values are drawn from percentiles of the
+// window, hence bounded by input range.
+func TestQuickMedianFilterBounds(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		min, max := MinMax(xs)
+		for _, v := range MedianFilter(xs, 5) {
+			if v < min || v > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Interp1 at knots returns the knot values.
+func TestQuickInterpAtKnots(t *testing.T) {
+	xs := []float64{0, 1, 2, 5, 9}
+	ys := []float64{3, -1, 4, 4, 0}
+	for i := range xs {
+		if got := Interp1(xs, ys, xs[i]); math.Abs(got-ys[i]) > 1e-12 {
+			t.Errorf("knot %d: %v != %v", i, got, ys[i])
+		}
+	}
+}

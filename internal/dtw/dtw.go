@@ -1,0 +1,231 @@
+// Package dtw implements Dynamic Time Warping: the classic O(MN)
+// dynamic-programming alignment, a Sakoe-Chiba banded variant, open-end
+// subsequence alignment (for locating a short reference pattern inside a
+// long measured profile), and the paper's segment-level coarse DTW that
+// reduces the complexity to O(MN/w^2) (Section 3.1.2 of the STPP paper).
+package dtw
+
+import (
+	"math"
+)
+
+// Path is a warping path: a sequence of (i, j) index pairs into the two
+// aligned sequences, monotone in both coordinates.
+type Path []Step
+
+// Step is one cell of a warping path.
+type Step struct {
+	I, J int
+}
+
+// Result is the outcome of a DTW alignment.
+type Result struct {
+	// Distance is the accumulated cost of the optimal warping path.
+	Distance float64
+	// Path is the optimal warping path from (0,0) to (len(a)-1, len(b)-1)
+	// (or to the best open end for subsequence variants).
+	Path Path
+}
+
+// Dist is a pointwise distance function between elements of the two
+// sequences.
+type Dist func(a, b float64) float64
+
+// AbsDist is the default pointwise distance |a-b| used by the paper
+// (Euclidean distance in one dimension).
+func AbsDist(a, b float64) float64 { return math.Abs(a - b) }
+
+// Align computes the classic DTW alignment between sequences a and b with
+// pointwise distance d. Returns a zero-value Result when either input is
+// empty.
+func Align(a, b []float64, d Dist) Result {
+	return AlignBanded(a, b, d, -1)
+}
+
+// AlignBanded computes DTW restricted to a Sakoe-Chiba band of the given
+// half-width around the diagonal. band < 0 disables the constraint.
+func AlignBanded(a, b []float64, d Dist, band int) Result {
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		return Result{}
+	}
+	if d == nil {
+		d = AbsDist
+	}
+
+	const inf = math.MaxFloat64
+	cost := make([][]float64, m)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = inf
+		}
+	}
+
+	inBand := func(i, j int) bool {
+		if band < 0 {
+			return true
+		}
+		// Scale the diagonal for unequal lengths.
+		diag := float64(i) * float64(n-1) / float64(max(m-1, 1))
+		return math.Abs(float64(j)-diag) <= float64(band)
+	}
+
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if !inBand(i, j) {
+				continue
+			}
+			c := d(a[i], b[j])
+			switch {
+			case i == 0 && j == 0:
+				cost[i][j] = c
+			case i == 0:
+				cost[i][j] = c + cost[i][j-1]
+			case j == 0:
+				cost[i][j] = c + cost[i-1][j]
+			default:
+				cost[i][j] = c + min3(cost[i-1][j], cost[i][j-1], cost[i-1][j-1])
+			}
+		}
+	}
+	if cost[m-1][n-1] == inf {
+		// Band too narrow to connect the corners; fall back to unconstrained.
+		return AlignBanded(a, b, d, -1)
+	}
+	return Result{
+		Distance: cost[m-1][n-1],
+		Path:     traceback(cost, m-1, n-1),
+	}
+}
+
+// AlignOpenEnd aligns all of the pattern p against a prefix-to-anywhere
+// window of q starting anywhere: the path may start at any q index and end
+// at any q index, but must consume the whole pattern. This is subsequence
+// DTW, used to locate the reference V-zone inside a measured phase profile.
+// The returned Path indices are (pattern index, q index); MatchStart and
+// MatchEnd report the matched interval in q.
+func AlignOpenEnd(p, q []float64, d Dist) (Result, int, int) {
+	m, n := len(p), len(q)
+	if m == 0 || n == 0 {
+		return Result{}, 0, 0
+	}
+	if d == nil {
+		d = AbsDist
+	}
+	cost := make([][]float64, m)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		// Free start: the first pattern sample may match any q sample at
+		// just its pointwise cost.
+		cost[0][j] = d(p[0], q[j])
+	}
+	for i := 1; i < m; i++ {
+		for j := 0; j < n; j++ {
+			c := d(p[i], q[j])
+			if j == 0 {
+				cost[i][j] = c + cost[i-1][j]
+				continue
+			}
+			cost[i][j] = c + min3(cost[i-1][j], cost[i][j-1], cost[i-1][j-1])
+		}
+	}
+	// Free end: pick the cheapest cell in the last pattern row. Ties prefer
+	// the latest end so zero-cost plateaus match the whole pattern region
+	// rather than a truncated prefix.
+	endJ := 0
+	best := cost[m-1][0]
+	for j := 1; j < n; j++ {
+		if cost[m-1][j] <= best {
+			best = cost[m-1][j]
+			endJ = j
+		}
+	}
+	path := tracebackOpen(cost, m-1, endJ)
+	startJ := path[0].J
+	return Result{Distance: best, Path: path}, startJ, endJ
+}
+
+// traceback reconstructs the optimal path for a standard DTW cost matrix.
+func traceback(cost [][]float64, i, j int) Path {
+	var rev Path
+	for {
+		rev = append(rev, Step{I: i, J: j})
+		if i == 0 && j == 0 {
+			break
+		}
+		switch {
+		case i == 0:
+			j--
+		case j == 0:
+			i--
+		default:
+			// Choose the predecessor with minimal cost.
+			diag, up, left := cost[i-1][j-1], cost[i-1][j], cost[i][j-1]
+			if diag <= up && diag <= left {
+				i--
+				j--
+			} else if up <= left {
+				i--
+			} else {
+				j--
+			}
+		}
+	}
+	reverse(rev)
+	return rev
+}
+
+// tracebackOpen reconstructs the path for the open-start/open-end matrix:
+// it stops as soon as the pattern row reaches 0 (any q column is a valid
+// start).
+func tracebackOpen(cost [][]float64, i, j int) Path {
+	var rev Path
+	for {
+		rev = append(rev, Step{I: i, J: j})
+		if i == 0 {
+			break
+		}
+		if j == 0 {
+			i--
+			continue
+		}
+		diag, up, left := cost[i-1][j-1], cost[i-1][j], cost[i][j-1]
+		if diag <= up && diag <= left {
+			i--
+			j--
+		} else if up <= left {
+			i--
+		} else {
+			j--
+		}
+	}
+	reverse(rev)
+	return rev
+}
+
+func reverse(p Path) {
+	for l, r := 0, len(p)-1; l < r; l, r = l+1, r-1 {
+		p[l], p[r] = p[r], p[l]
+	}
+}
+
+func min3(a, b, c float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,246 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAlignIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	r := Align(a, a, nil)
+	if r.Distance != 0 {
+		t.Errorf("self-distance = %v, want 0", r.Distance)
+	}
+	// Path should be the diagonal.
+	if len(r.Path) != len(a) {
+		t.Fatalf("path len = %d, want %d", len(r.Path), len(a))
+	}
+	for k, s := range r.Path {
+		if s.I != k || s.J != k {
+			t.Errorf("path[%d] = %+v, want diagonal", k, s)
+		}
+	}
+}
+
+func TestAlignEmpty(t *testing.T) {
+	r := Align(nil, []float64{1}, nil)
+	if r.Distance != 0 || r.Path != nil {
+		t.Errorf("empty align = %+v", r)
+	}
+}
+
+func TestAlignKnownSmall(t *testing.T) {
+	// Classic example: warping absorbs a time shift.
+	a := []float64{0, 0, 1, 2, 1, 0}
+	b := []float64{0, 1, 2, 1, 0, 0}
+	r := Align(a, b, nil)
+	if r.Distance != 0 {
+		t.Errorf("shifted distance = %v, want 0", r.Distance)
+	}
+}
+
+func TestAlignStretched(t *testing.T) {
+	// A stretched copy should have zero DTW distance.
+	a := []float64{1, 2, 3}
+	b := []float64{1, 1, 2, 2, 2, 3, 3}
+	r := Align(a, b, nil)
+	if r.Distance != 0 {
+		t.Errorf("stretched distance = %v, want 0", r.Distance)
+	}
+}
+
+func TestPathMonotonicityAndContinuity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := make([]float64, 30)
+	b := make([]float64, 45)
+	for i := range a {
+		a[i] = rng.Float64()
+	}
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	r := Align(a, b, nil)
+	checkPath(t, r.Path, len(a), len(b))
+}
+
+func checkPath(t *testing.T, p Path, m, n int) {
+	t.Helper()
+	if len(p) == 0 {
+		t.Fatal("empty path")
+	}
+	if p[0].I != 0 {
+		t.Errorf("path start I = %d", p[0].I)
+	}
+	last := p[len(p)-1]
+	if last.I != m-1 || last.J != n-1 {
+		t.Errorf("path end = %+v, want (%d,%d)", last, m-1, n-1)
+	}
+	for k := 1; k < len(p); k++ {
+		di := p[k].I - p[k-1].I
+		dj := p[k].J - p[k-1].J
+		if di < 0 || dj < 0 || di > 1 || dj > 1 || (di == 0 && dj == 0) {
+			t.Fatalf("illegal step %+v -> %+v", p[k-1], p[k])
+		}
+	}
+}
+
+func TestAlignBandedMatchesFullWhenWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, 40)
+	b := make([]float64, 40)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+	}
+	full := Align(a, b, nil)
+	banded := AlignBanded(a, b, nil, 40)
+	if !approx(full.Distance, banded.Distance, 1e-12) {
+		t.Errorf("wide band %v != full %v", banded.Distance, full.Distance)
+	}
+}
+
+func TestAlignBandedNarrowIsUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = rng.Float64() * 10
+		b[i] = rng.Float64() * 10
+	}
+	full := Align(a, b, nil)
+	banded := AlignBanded(a, b, nil, 3)
+	if banded.Distance < full.Distance-1e-9 {
+		t.Errorf("banded %v < full %v: band cannot beat optimum", banded.Distance, full.Distance)
+	}
+}
+
+func TestAlignBandedFallbackWhenDisconnected(t *testing.T) {
+	// Band 0 with very unequal lengths can disconnect; must still return a
+	// valid alignment (falls back to full DTW).
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float64{1, 8}
+	r := AlignBanded(a, b, nil, 0)
+	checkPath(t, r.Path, len(a), len(b))
+}
+
+func TestAlignOpenEndFindsPattern(t *testing.T) {
+	// Pattern embedded in the middle of a longer sequence.
+	q := []float64{5, 5, 5, 1, 2, 3, 2, 1, 5, 5, 5, 5}
+	p := []float64{1, 2, 3, 2, 1}
+	r, start, end := AlignOpenEnd(p, q, nil)
+	if r.Distance != 0 {
+		t.Errorf("embedded distance = %v, want 0", r.Distance)
+	}
+	if start != 3 || end != 7 {
+		t.Errorf("match = [%d,%d], want [3,7]", start, end)
+	}
+}
+
+func TestAlignOpenEndStretchedPattern(t *testing.T) {
+	q := []float64{9, 9, 1, 1, 2, 2, 3, 3, 2, 2, 1, 1, 9, 9}
+	p := []float64{1, 2, 3, 2, 1}
+	r, start, end := AlignOpenEnd(p, q, nil)
+	if r.Distance != 0 {
+		t.Errorf("distance = %v, want 0", r.Distance)
+	}
+	if start > 3 || end < 10 {
+		t.Errorf("match [%d,%d] does not cover the stretched pattern", start, end)
+	}
+	if start < 2 || end > 11 {
+		t.Errorf("match [%d,%d] spills outside the pattern", start, end)
+	}
+}
+
+func TestAlignOpenEndEmpty(t *testing.T) {
+	r, s, e := AlignOpenEnd(nil, []float64{1}, nil)
+	if r.Distance != 0 || s != 0 || e != 0 {
+		t.Errorf("empty open-end = %+v %d %d", r, s, e)
+	}
+}
+
+func TestCustomDist(t *testing.T) {
+	sq := func(a, b float64) float64 { d := a - b; return d * d }
+	a := []float64{0, 10}
+	b := []float64{0, 10}
+	r := Align(a, b, sq)
+	if r.Distance != 0 {
+		t.Errorf("distance = %v", r.Distance)
+	}
+	r = Align([]float64{0}, []float64{3}, sq)
+	if r.Distance != 9 {
+		t.Errorf("squared distance = %v, want 9", r.Distance)
+	}
+}
+
+// Property: DTW distance is symmetric.
+func TestQuickSymmetry(t *testing.T) {
+	f := func(ra, rb []uint8) bool {
+		if len(ra) == 0 || len(rb) == 0 || len(ra) > 40 || len(rb) > 40 {
+			return true
+		}
+		a := make([]float64, len(ra))
+		b := make([]float64, len(rb))
+		for i, v := range ra {
+			a[i] = float64(v)
+		}
+		for i, v := range rb {
+			b[i] = float64(v)
+		}
+		return approx(Align(a, b, nil).Distance, Align(b, a, nil).Distance, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: self-distance is zero and distance is non-negative.
+func TestQuickSelfZeroNonNegative(t *testing.T) {
+	f := func(ra, rb []uint8) bool {
+		if len(ra) == 0 || len(ra) > 40 || len(rb) == 0 || len(rb) > 40 {
+			return true
+		}
+		a := make([]float64, len(ra))
+		for i, v := range ra {
+			a[i] = float64(v)
+		}
+		b := make([]float64, len(rb))
+		for i, v := range rb {
+			b[i] = float64(v)
+		}
+		if Align(a, a, nil).Distance != 0 {
+			return false
+		}
+		return Align(a, b, nil).Distance >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the open-end match distance never exceeds the full alignment
+// distance (it optimizes over a superset of paths for the same pattern).
+func TestQuickOpenEndUpperBoundedByFull(t *testing.T) {
+	f := func(ra, rb []uint8) bool {
+		if len(ra) == 0 || len(ra) > 30 || len(rb) < len(ra) || len(rb) > 40 {
+			return true
+		}
+		p := make([]float64, len(ra))
+		for i, v := range ra {
+			p[i] = float64(v)
+		}
+		q := make([]float64, len(rb))
+		for i, v := range rb {
+			q[i] = float64(v)
+		}
+		full := Align(p, q, nil).Distance
+		open, _, _ := AlignOpenEnd(p, q, nil)
+		return open.Distance <= full+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

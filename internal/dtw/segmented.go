@@ -1,0 +1,174 @@
+package dtw
+
+import "math"
+
+// Segment is the coarse representation of one chunk of a phase profile, as
+// defined in Section 3.1.2 of the paper: the [min, max] phase range within
+// the chunk and the chunk's time interval. Segments never span a 0<->2π
+// phase jump (the segmenter splits at jumps).
+type Segment struct {
+	// Lo and Hi are the minimum and maximum phase values in the segment
+	// (s^L and s^U in the paper).
+	Lo, Hi float64
+	// Start and End are the sample indices [Start, End) covered by the
+	// segment in the original profile.
+	Start, End int
+	// Interval is the time span of the segment in seconds (s^T).
+	Interval float64
+}
+
+// SegDist is the paper's distance between two segment ranges: the gap
+// between the closest points of the two [Lo,Hi] intervals, zero when they
+// overlap.
+func SegDist(a, b Segment) float64 {
+	switch {
+	case a.Lo > b.Hi:
+		return a.Lo - b.Hi
+	case b.Lo > a.Hi:
+		return b.Lo - a.Hi
+	default:
+		return 0
+	}
+}
+
+// SegmentAlignOpts tunes segment-level DTW.
+type SegmentAlignOpts struct {
+	// Stiffness penalizes non-diagonal warping steps, in radians: a
+	// vertical step (compressing the reference) adds Stiffness × the
+	// repeated reference segment's interval; a horizontal step adds
+	// Stiffness × the repeated query segment's interval. Zero disables the
+	// penalty (the paper's plain recurrence).
+	//
+	// The penalty matters because the paper's segment-range distance is
+	// zero whenever two ranges overlap; on long measured profiles whose
+	// steep flanks produce wide-range segments, an unpenalized subsequence
+	// match can collapse the whole reference onto a single segment.
+	Stiffness float64
+}
+
+// AlignSegments runs the paper's coarse DTW over two segmented profiles.
+// The cost of matching segments i and j is
+//
+//	min(sT_i, sT_j) * SegDist(i, j)
+//
+// accumulated with the standard DTW recurrence. It returns the optimal
+// distance and warping path over segment indices.
+func AlignSegments(p, q []Segment) Result {
+	return AlignSegmentsOpt(p, q, SegmentAlignOpts{})
+}
+
+// AlignSegmentsOpt is AlignSegments with options.
+func AlignSegmentsOpt(p, q []Segment, opts SegmentAlignOpts) Result {
+	m, n := len(p), len(q)
+	if m == 0 || n == 0 {
+		return Result{}
+	}
+	cost := make([][]float64, m)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			c := math.Min(p[i].Interval, q[j].Interval) * SegDist(p[i], q[j])
+			vert := opts.Stiffness * p[i].Interval
+			horiz := opts.Stiffness * q[j].Interval
+			switch {
+			case i == 0 && j == 0:
+				cost[i][j] = c
+			case i == 0:
+				cost[i][j] = c + cost[i][j-1] + horiz
+			case j == 0:
+				cost[i][j] = c + cost[i-1][j] + vert
+			default:
+				cost[i][j] = c + min3(cost[i-1][j]+vert, cost[i][j-1]+horiz, cost[i-1][j-1])
+			}
+		}
+	}
+	return Result{
+		Distance: cost[m-1][n-1],
+		Path:     tracebackStiff(cost, p, q, opts, m-1, n-1, false),
+	}
+}
+
+// AlignSegmentsOpenEnd is the subsequence variant of AlignSegments: the
+// whole reference p must be consumed but it may match any contiguous run of
+// q's segments. Returns the result plus the first and last matched segment
+// indices of q.
+func AlignSegmentsOpenEnd(p, q []Segment) (Result, int, int) {
+	return AlignSegmentsOpenEndOpt(p, q, SegmentAlignOpts{})
+}
+
+// AlignSegmentsOpenEndOpt is AlignSegmentsOpenEnd with options.
+func AlignSegmentsOpenEndOpt(p, q []Segment, opts SegmentAlignOpts) (Result, int, int) {
+	m, n := len(p), len(q)
+	if m == 0 || n == 0 {
+		return Result{}, 0, 0
+	}
+	cost := make([][]float64, m)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+	}
+	segCost := func(i, j int) float64 {
+		return math.Min(p[i].Interval, q[j].Interval) * SegDist(p[i], q[j])
+	}
+	for j := 0; j < n; j++ {
+		cost[0][j] = segCost(0, j)
+	}
+	for i := 1; i < m; i++ {
+		vert := opts.Stiffness * p[i].Interval
+		for j := 0; j < n; j++ {
+			c := segCost(i, j)
+			if j == 0 {
+				cost[i][j] = c + cost[i-1][j] + vert
+				continue
+			}
+			horiz := opts.Stiffness * q[j].Interval
+			cost[i][j] = c + min3(cost[i-1][j]+vert, cost[i][j-1]+horiz, cost[i-1][j-1])
+		}
+	}
+	// Ties prefer the latest end (see AlignOpenEnd).
+	endJ := 0
+	best := cost[m-1][0]
+	for j := 1; j < n; j++ {
+		if cost[m-1][j] <= best {
+			best = cost[m-1][j]
+			endJ = j
+		}
+	}
+	path := tracebackStiff(cost, p, q, opts, m-1, endJ, true)
+	return Result{Distance: best, Path: path}, path[0].J, endJ
+}
+
+// tracebackStiff reconstructs the optimal path of a stiffness-weighted
+// segment alignment. With open true, the path may start at any column of
+// the first row (subsequence matching).
+func tracebackStiff(cost [][]float64, p, q []Segment, opts SegmentAlignOpts, i, j int, open bool) Path {
+	var rev Path
+	for {
+		rev = append(rev, Step{I: i, J: j})
+		if i == 0 && (open || j == 0) {
+			break
+		}
+		if i == 0 {
+			j--
+			continue
+		}
+		if j == 0 {
+			i--
+			continue
+		}
+		vert := cost[i-1][j] + opts.Stiffness*p[i].Interval
+		horiz := cost[i][j-1] + opts.Stiffness*q[j].Interval
+		diag := cost[i-1][j-1]
+		if diag <= vert && diag <= horiz {
+			i--
+			j--
+		} else if vert <= horiz {
+			i--
+		} else {
+			j--
+		}
+	}
+	reverse(rev)
+	return rev
+}

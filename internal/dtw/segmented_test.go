@@ -1,0 +1,141 @@
+package dtw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func seg(lo, hi, interval float64) Segment {
+	return Segment{Lo: lo, Hi: hi, Interval: interval}
+}
+
+func TestSegDist(t *testing.T) {
+	cases := []struct {
+		a, b Segment
+		want float64
+	}{
+		{seg(0, 1, 1), seg(2, 3, 1), 1}, // b above a
+		{seg(2, 3, 1), seg(0, 1, 1), 1}, // a above b
+		{seg(0, 2, 1), seg(1, 3, 1), 0}, // overlap
+		{seg(0, 1, 1), seg(1, 2, 1), 0}, // touching
+		{seg(0, 1, 1), seg(5, 9, 1), 4}, // far apart
+		{seg(3, 3, 1), seg(3, 3, 1), 0}, // degenerate equal
+		{seg(1, 1, 1), seg(4, 4, 1), 3}, // degenerate apart
+	}
+	for i, c := range cases {
+		if got := SegDist(c.a, c.b); got != c.want {
+			t.Errorf("case %d: SegDist = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestQuickSegDistSymmetric(t *testing.T) {
+	f := func(alo, ahi, blo, bhi int8) bool {
+		a := seg(math.Min(float64(alo), float64(ahi)), math.Max(float64(alo), float64(ahi)), 1)
+		b := seg(math.Min(float64(blo), float64(bhi)), math.Max(float64(blo), float64(bhi)), 1)
+		return SegDist(a, b) == SegDist(b, a) && SegDist(a, b) >= 0 && SegDist(a, a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignSegmentsIdentical(t *testing.T) {
+	p := []Segment{seg(0, 1, 0.1), seg(1, 2, 0.1), seg(2, 3, 0.1)}
+	r := AlignSegments(p, p)
+	if r.Distance != 0 {
+		t.Errorf("self distance = %v", r.Distance)
+	}
+	if len(r.Path) != 3 {
+		t.Errorf("path len = %d", len(r.Path))
+	}
+}
+
+func TestAlignSegmentsEmpty(t *testing.T) {
+	if r := AlignSegments(nil, []Segment{seg(0, 1, 1)}); r.Distance != 0 || r.Path != nil {
+		t.Errorf("empty = %+v", r)
+	}
+}
+
+func TestAlignSegmentsIntervalWeighting(t *testing.T) {
+	// Identical ranges but a long-interval mismatch should cost more than a
+	// short-interval mismatch.
+	p := []Segment{seg(0, 1, 1.0)}
+	qNear := []Segment{seg(2, 3, 0.1)}
+	qFar := []Segment{seg(2, 3, 1.0)}
+	near := AlignSegments(p, qNear).Distance
+	far := AlignSegments(p, qFar).Distance
+	if !(near < far) {
+		t.Errorf("interval weighting: near=%v far=%v", near, far)
+	}
+	// min(1.0, 0.1)*1 = 0.1 and min(1,1)*1 = 1.
+	if !approx(near, 0.1, 1e-12) || !approx(far, 1.0, 1e-12) {
+		t.Errorf("costs = %v, %v", near, far)
+	}
+}
+
+func TestAlignSegmentsWarped(t *testing.T) {
+	// q is p with each segment split in two; distance should stay zero
+	// because ranges overlap along the warped path.
+	p := []Segment{seg(0, 2, 0.2), seg(2, 4, 0.2), seg(4, 6, 0.2)}
+	q := []Segment{
+		seg(0, 1, 0.1), seg(1, 2, 0.1),
+		seg(2, 3, 0.1), seg(3, 4, 0.1),
+		seg(4, 5, 0.1), seg(5, 6, 0.1),
+	}
+	r := AlignSegments(p, q)
+	if r.Distance != 0 {
+		t.Errorf("warped distance = %v, want 0", r.Distance)
+	}
+	checkPath(t, r.Path, len(p), len(q))
+}
+
+func TestAlignSegmentsOpenEndLocatesVZone(t *testing.T) {
+	// A "V" of ranges embedded among flat high segments.
+	flat := seg(5.5, 6, 0.1)
+	v := []Segment{seg(3, 4, 0.1), seg(1, 3, 0.1), seg(0, 1, 0.1), seg(1, 3, 0.1), seg(3, 4, 0.1)}
+	q := []Segment{flat, flat, flat}
+	q = append(q, v...)
+	q = append(q, flat, flat, flat)
+
+	r, start, end := AlignSegmentsOpenEnd(v, q)
+	if r.Distance != 0 {
+		t.Errorf("distance = %v, want 0", r.Distance)
+	}
+	if start != 3 || end != 7 {
+		t.Errorf("match [%d,%d], want [3,7]", start, end)
+	}
+}
+
+func TestAlignSegmentsOpenEndEmpty(t *testing.T) {
+	r, s, e := AlignSegmentsOpenEnd(nil, nil)
+	if r.Distance != 0 || s != 0 || e != 0 {
+		t.Errorf("empty = %+v %d %d", r, s, e)
+	}
+}
+
+// Property: segment DTW distance is symmetric and non-negative.
+func TestQuickAlignSegmentsSymmetry(t *testing.T) {
+	mk := func(raw []uint8) []Segment {
+		var out []Segment
+		for i := 0; i+1 < len(raw); i += 2 {
+			lo := float64(raw[i]) / 40
+			hi := lo + float64(raw[i+1])/40
+			out = append(out, seg(lo, hi, 0.1))
+		}
+		return out
+	}
+	f := func(ra, rb []uint8) bool {
+		p, q := mk(ra), mk(rb)
+		if len(p) == 0 || len(q) == 0 || len(p) > 20 || len(q) > 20 {
+			return true
+		}
+		ab := AlignSegments(p, q).Distance
+		ba := AlignSegments(q, p).Distance
+		return approx(ab, ba, 1e-9) && ab >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

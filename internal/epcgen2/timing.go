@@ -1,0 +1,68 @@
+package epcgen2
+
+import "fmt"
+
+// LinkTiming captures the C1G2 air-interface durations that determine how
+// long inventory slots take. Values are seconds. The defaults follow a
+// dense-reader-mode profile (Tari 25 µs, BLF 250 kHz, Miller-4) which is
+// what the ImpinJ R420 uses in the paper's setting, yielding ~300-400
+// successful reads per second for a lone tag.
+type LinkTiming struct {
+	// QueryCmd is the duration of a full Query command starting a round.
+	QueryCmd float64
+	// QueryRep is the duration of a QueryRep command advancing one slot.
+	QueryRep float64
+	// EmptySlotWait is the reader's T1+T3 timeout on a silent slot.
+	EmptySlotWait float64
+	// RN16Reply is the tag's RN16 backscatter duration.
+	RN16Reply float64
+	// AckCmd is the reader's ACK duration.
+	AckCmd float64
+	// EPCReply is the tag's PC+EPC+CRC backscatter duration.
+	EPCReply float64
+}
+
+// DefaultTiming returns dense-reader-mode-like timing.
+func DefaultTiming() LinkTiming {
+	return LinkTiming{
+		QueryCmd:      425e-6,
+		QueryRep:      88e-6,
+		EmptySlotWait: 70e-6,
+		RN16Reply:     180e-6,
+		AckCmd:        120e-6,
+		EPCReply:      1500e-6,
+	}
+}
+
+// Validate reports nonsensical timing configurations.
+func (lt LinkTiming) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"QueryCmd", lt.QueryCmd},
+		{"QueryRep", lt.QueryRep},
+		{"EmptySlotWait", lt.EmptySlotWait},
+		{"RN16Reply", lt.RN16Reply},
+		{"AckCmd", lt.AckCmd},
+		{"EPCReply", lt.EPCReply},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("epcgen2: timing field %s = %v, must be > 0", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// EmptySlot is the total duration of a slot nobody answers.
+func (lt LinkTiming) EmptySlot() float64 { return lt.QueryRep + lt.EmptySlotWait }
+
+// CollisionSlot is the total duration of a slot with a garbled RN16: the
+// reader waits out the reply and moves on.
+func (lt LinkTiming) CollisionSlot() float64 { return lt.QueryRep + lt.RN16Reply }
+
+// SuccessSlot is the total duration of a successful singulation: RN16,
+// ACK, and the EPC reply.
+func (lt LinkTiming) SuccessSlot() float64 {
+	return lt.QueryRep + lt.RN16Reply + lt.AckCmd + lt.EPCReply
+}

@@ -1,0 +1,53 @@
+package epcgen2
+
+// TreeWalk simulates the binary tree-walking identification protocol
+// (Law, Lee, Siu; DIALM 2000): the reader descends a binary prefix tree of
+// EPC bits, querying ever-longer prefixes until each tag is isolated.
+//
+// The paper's Section 2.1 observes that the identification order under
+// tree walking depends only on the tags' stored IDs, not on their spatial
+// arrangement; this function exists to reproduce that negative result.
+//
+// It returns the indices of epcs in identification order, plus the number
+// of prefix queries issued (a cost measure).
+func TreeWalk(epcs []EPC) (order []int, queries int) {
+	if len(epcs) == 0 {
+		return nil, 0
+	}
+	idx := make([]int, len(epcs))
+	for i := range idx {
+		idx[i] = i
+	}
+	order = make([]int, 0, len(epcs))
+	queries = walk(epcs, idx, 0, &order)
+	return order, queries
+}
+
+// walk recursively resolves the tag set matching the current prefix, which
+// is implicit: members is the set of tags whose first depth bits match.
+func walk(epcs []EPC, members []int, depth int, order *[]int) int {
+	queries := 1 // querying this prefix
+	if len(members) == 0 {
+		return queries
+	}
+	if len(members) == 1 {
+		*order = append(*order, members[0])
+		return queries
+	}
+	if depth >= 96 {
+		// Duplicate EPCs: emit in index order; real readers would loop.
+		*order = append(*order, members...)
+		return queries
+	}
+	var zeros, ones []int
+	for _, m := range members {
+		if epcs[m].Bit(depth) == 0 {
+			zeros = append(zeros, m)
+		} else {
+			ones = append(ones, m)
+		}
+	}
+	queries += walk(epcs, zeros, depth+1, order)
+	queries += walk(epcs, ones, depth+1, order)
+	return queries
+}

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry maps paper artifact IDs to experiment functions.
+var registry = map[string]Func{
+	"fig2":             Fig2,
+	"fig3":             Fig3,
+	"fig4":             Fig4,
+	"fig5":             Fig5,
+	"fig6":             Fig6,
+	"fig7":             Fig7,
+	"fig8":             Fig8,
+	"fig9":             Fig9,
+	"fig12":            Fig12,
+	"fig13":            Fig13,
+	"fig14":            Fig14,
+	"tab1":             Table1,
+	"fig17":            Fig17,
+	"fig18":            Fig18,
+	"fig19":            Fig19,
+	"fig21":            Fig21,
+	"tab2":             Table2,
+	"tab3":             Table3,
+	"fig23":            Fig23,
+	"idorder":          IDOrder,
+	"ablation-dtw":     AblationDTW,
+	"ablation-fit":     AblationFit,
+	"ablation-periods": AblationPeriods,
+	"ablation-pivot":   AblationPivot,
+}
+
+// IDs returns all registered experiment IDs, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the experiment for an ID.
+func Lookup(id string) (Func, error) {
+	f, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (known: %v)", id, IDs())
+	}
+	return f, nil
+}
+
+// Run executes one experiment by ID.
+func Run(id string, r Runner) (*Table, error) {
+	f, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return f(r)
+}

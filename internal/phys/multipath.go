@@ -1,0 +1,155 @@
+package phys
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Reflector is a planar reflecting surface with a (signed) amplitude
+// reflection coefficient. Metal shelving reflects strongly (Γ ≈ -0.9);
+// concrete floors more weakly (Γ ≈ -0.3).
+type Reflector struct {
+	Plane geom.Plane
+	// Gamma is the amplitude reflection coefficient in [-1, 1].
+	Gamma float64
+}
+
+// Environment describes the propagation environment: a set of reflectors
+// producing deterministic specular multipath via the image method, plus a
+// stochastic Rician fading term capturing diffuse scatter.
+type Environment struct {
+	Reflectors []Reflector
+	// RicianK is the Rician K-factor (linear, not dB) of the diffuse
+	// component: the ratio of specular to scattered power. Large K means
+	// nearly deterministic propagation; K <= 0 disables diffuse fading.
+	RicianK float64
+	// DiffuseCoherence controls how quickly the diffuse component
+	// decorrelates with antenna movement, expressed as a spatial coherence
+	// distance in meters. Smaller values produce faster RSSI flutter.
+	DiffuseCoherence float64
+}
+
+// FreeSpace returns an environment with no multipath at all.
+func FreeSpace() *Environment { return &Environment{} }
+
+// LibraryEnvironment models the bookshelf deployment: a strong back panel
+// behind the tags, a floor, and moderate diffuse scatter. The tags sit in
+// the z=0 plane; the shelf back panel is behind them at y = backY and the
+// floor is at z = -floorDrop.
+func LibraryEnvironment(backY, floorDrop float64) *Environment {
+	return &Environment{
+		Reflectors: []Reflector{
+			{Plane: geom.Plane{Point: geom.V3(0, backY, 0), Normal: geom.V3(0, -1, 0)}, Gamma: -0.6},
+			{Plane: geom.Plane{Point: geom.V3(0, 0, -floorDrop), Normal: geom.V3(0, 0, 1)}, Gamma: -0.3},
+		},
+		RicianK:          8,
+		DiffuseCoherence: 0.12,
+	}
+}
+
+// AirportEnvironment models the baggage tunnel: metal walls on both sides
+// of the conveyor, the metal belt structure right under the tags, and
+// strong diffuse scatter from moving machinery.
+func AirportEnvironment(wallOffset float64) *Environment {
+	return &Environment{
+		Reflectors: []Reflector{
+			{Plane: geom.Plane{Point: geom.V3(0, wallOffset, 0), Normal: geom.V3(0, -1, 0)}, Gamma: -0.8},
+			{Plane: geom.Plane{Point: geom.V3(0, -wallOffset, 0), Normal: geom.V3(0, 1, 0)}, Gamma: -0.8},
+			{Plane: geom.Plane{Point: geom.V3(0, 0, -0.12), Normal: geom.V3(0, 0, 1)}, Gamma: -0.35},
+		},
+		RicianK:          5,
+		DiffuseCoherence: 0.09,
+	}
+}
+
+// OneWayChannel computes the complex one-way channel gain between the
+// reader antenna at a and the tag at t, normalized so that pure line of
+// sight yields gain 1+0i. Specular images add with amplitude scaled by the
+// direct/reflected path-length ratio (spherical spreading) and the
+// reflector's Γ; phase is the path-length difference.
+func (e *Environment) OneWayChannel(a, t geom.Vec3, wavelength float64) complex128 {
+	direct := a.Dist(t)
+	if direct <= 0 {
+		direct = 1e-6
+	}
+	h := complex(1, 0)
+	for _, r := range e.Reflectors {
+		// Image of the antenna across the reflector; the reflected ray
+		// travels image→tag.
+		img := r.Plane.Mirror(a)
+		// Skip degenerate reflectors whose plane contains both endpoints.
+		refl := img.Dist(t)
+		if refl <= direct {
+			// Reflected path can't be shorter than LOS; guard numerical
+			// corner cases (antenna on the plane).
+			refl = direct + 1e-9
+		}
+		dphi := 2 * math.Pi * (refl - direct) / wavelength
+		amp := r.Gamma * direct / refl
+		h += cmplx.Rect(amp, -dphi)
+	}
+	return h
+}
+
+// DiffuseFader produces a spatially correlated Rician diffuse component.
+// It is deterministic given its seed so traces are reproducible.
+type DiffuseFader struct {
+	env *Environment
+	rng *rand.Rand
+	// Random phases/amplitudes of a sum-of-sinusoids (Jakes-like) model.
+	amps   []float64
+	phases []float64
+	freqs  []geom.Vec3 // spatial frequency vectors (rad/m)
+}
+
+// NewDiffuseFader constructs a fader for the environment. n sinusoids are
+// summed; 16 is plenty for smooth fading.
+func NewDiffuseFader(env *Environment, seed int64) *DiffuseFader {
+	const n = 16
+	f := &DiffuseFader{env: env, rng: rand.New(rand.NewSource(seed))}
+	if env.RicianK <= 0 || env.DiffuseCoherence <= 0 {
+		return f
+	}
+	k := 2 * math.Pi / env.DiffuseCoherence
+	for i := 0; i < n; i++ {
+		az := f.rng.Float64() * 2 * math.Pi
+		el := (f.rng.Float64() - 0.5) * math.Pi
+		dir := geom.V3(math.Cos(el)*math.Cos(az), math.Cos(el)*math.Sin(az), math.Sin(el))
+		f.freqs = append(f.freqs, dir.Scale(k))
+		f.phases = append(f.phases, f.rng.Float64()*2*math.Pi)
+		f.amps = append(f.amps, 1/math.Sqrt(n))
+	}
+	return f
+}
+
+// At returns the diffuse complex gain at antenna position p, scaled so that
+// the total channel (specular + diffuse) has the configured Rician K.
+func (f *DiffuseFader) At(p geom.Vec3) complex128 {
+	if len(f.freqs) == 0 {
+		return 0
+	}
+	var re, im float64
+	for i, fv := range f.freqs {
+		ph := fv.Dot(p) + f.phases[i]
+		re += f.amps[i] * math.Cos(ph)
+		im += f.amps[i] * math.Sin(ph)
+	}
+	// Scale: diffuse power = 1/K of specular (unit) power.
+	s := 1 / math.Sqrt(f.env.RicianK)
+	return complex(re*s, im*s)
+}
+
+// Channel returns the total one-way channel (specular + diffuse) between
+// antenna a and tag t. The diffuse term is evaluated at the antenna
+// position offset by the tag position so different tags see decorrelated
+// fading.
+func (e *Environment) Channel(a, t geom.Vec3, wavelength float64, fader *DiffuseFader) complex128 {
+	h := e.OneWayChannel(a, t, wavelength)
+	if fader != nil {
+		h += fader.At(a.Add(t.Scale(7.3))) // decorrelate per tag
+	}
+	return h
+}

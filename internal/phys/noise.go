@@ -1,0 +1,63 @@
+package phys
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NoiseModel describes the measurement-layer imperfections of a commercial
+// reader's phase and RSSI reports.
+type NoiseModel struct {
+	// PhaseStdDev is the Gaussian phase noise in radians added to each
+	// report (thermal + PLL jitter). The R420 is good to ~0.1 rad.
+	PhaseStdDev float64
+	// PhaseQuantBits is the phase report resolution; ImpinJ readers report
+	// phase as a 12-bit integer over [0, 2π). 0 disables quantization.
+	PhaseQuantBits int
+	// RSSIStdDev is the Gaussian RSSI report noise in dB.
+	RSSIStdDev float64
+	// RSSIQuantDB is the RSSI report granularity in dB (R420 reports in
+	// 0.5 dB steps). 0 disables quantization.
+	RSSIQuantDB float64
+	// PiAmbiguity, when true, adds a random 0-or-π offset flip per tag
+	// session, modelling the half-wavelength ambiguity of homodyne phase
+	// measurement. STPP tolerates it because ordering uses profile shape.
+	PiAmbiguity bool
+}
+
+// DefaultNoiseModel matches the ImpinJ R420 measurement layer.
+func DefaultNoiseModel() NoiseModel {
+	return NoiseModel{
+		PhaseStdDev:    0.1,
+		PhaseQuantBits: 12,
+		RSSIStdDev:     0.8,
+		RSSIQuantDB:    0.5,
+	}
+}
+
+// ApplyPhase adds noise and quantization to an ideal phase value, returning
+// the reported phase in [0, 2π).
+func (n NoiseModel) ApplyPhase(phase float64, rng *rand.Rand) float64 {
+	p := phase
+	if n.PhaseStdDev > 0 {
+		p += rng.NormFloat64() * n.PhaseStdDev
+	}
+	p = WrapPhase(p)
+	if n.PhaseQuantBits > 0 {
+		levels := float64(uint64(1) << uint(n.PhaseQuantBits))
+		p = math.Floor(p/(2*math.Pi)*levels) / levels * 2 * math.Pi
+	}
+	return p
+}
+
+// ApplyRSSI adds noise and quantization to an ideal RSSI value (dBm).
+func (n NoiseModel) ApplyRSSI(rssi float64, rng *rand.Rand) float64 {
+	r := rssi
+	if n.RSSIStdDev > 0 {
+		r += rng.NormFloat64() * n.RSSIStdDev
+	}
+	if n.RSSIQuantDB > 0 {
+		r = math.Round(r/n.RSSIQuantDB) * n.RSSIQuantDB
+	}
+	return r
+}

@@ -1,0 +1,194 @@
+// Package profile defines phase profiles — the per-tag time series of RF
+// phase readings at the heart of STPP — plus reference-profile synthesis
+// and the coarse segmentation of Section 3.1.2.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dtw"
+	"repro/internal/epcgen2"
+	"repro/internal/reader"
+)
+
+// Profile is one tag's phase profile: reading timestamps and wrapped phase
+// values, optionally with RSSI.
+type Profile struct {
+	// EPC identifies the tag (zero for synthetic references).
+	EPC epcgen2.EPC
+	// Times are the read timestamps in seconds, strictly increasing.
+	Times []float64
+	// Phases are the wrapped phase readings in [0, 2π), parallel to Times.
+	Phases []float64
+	// RSSI holds the per-read RSSI in dBm; may be nil for synthetic
+	// profiles.
+	RSSI []float64
+}
+
+// Len returns the number of samples.
+func (p *Profile) Len() int { return len(p.Times) }
+
+// Duration returns the time span covered by the profile, 0 if fewer than
+// two samples.
+func (p *Profile) Duration() float64 {
+	if p.Len() < 2 {
+		return 0
+	}
+	return p.Times[p.Len()-1] - p.Times[0]
+}
+
+// Slice returns the sub-profile of samples [i, j). The underlying arrays
+// are shared.
+func (p *Profile) Slice(i, j int) *Profile {
+	out := &Profile{EPC: p.EPC, Times: p.Times[i:j], Phases: p.Phases[i:j]}
+	if p.RSSI != nil {
+		out.RSSI = p.RSSI[i:j]
+	}
+	return out
+}
+
+// Validate reports structural problems.
+func (p *Profile) Validate() error {
+	if len(p.Times) != len(p.Phases) {
+		return fmt.Errorf("profile: %d times vs %d phases", len(p.Times), len(p.Phases))
+	}
+	if p.RSSI != nil && len(p.RSSI) != len(p.Times) {
+		return fmt.Errorf("profile: %d times vs %d rssi", len(p.Times), len(p.RSSI))
+	}
+	for i := 1; i < len(p.Times); i++ {
+		if p.Times[i] < p.Times[i-1] {
+			return fmt.Errorf("profile: times not sorted at %d", i)
+		}
+	}
+	for i, ph := range p.Phases {
+		if ph < 0 || ph >= 2*math.Pi || math.IsNaN(ph) {
+			return fmt.Errorf("profile: phase[%d] = %v out of [0,2π)", i, ph)
+		}
+	}
+	return nil
+}
+
+// FromReads groups a read log by EPC into per-tag profiles, ordered by each
+// tag's first appearance. Reads are assumed time-ordered (as produced by
+// the reader simulator); if not, each profile is sorted.
+func FromReads(reads []reader.TagRead) []*Profile {
+	byEPC := make(map[epcgen2.EPC]*Profile)
+	var order []epcgen2.EPC
+	for _, r := range reads {
+		p, ok := byEPC[r.EPC]
+		if !ok {
+			p = &Profile{EPC: r.EPC}
+			byEPC[r.EPC] = p
+			order = append(order, r.EPC)
+		}
+		p.Times = append(p.Times, r.Time)
+		p.Phases = append(p.Phases, r.Phase)
+		p.RSSI = append(p.RSSI, r.RSSI)
+	}
+	out := make([]*Profile, 0, len(order))
+	for _, e := range order {
+		p := byEPC[e]
+		if !sort.Float64sAreSorted(p.Times) {
+			sortProfile(p)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func sortProfile(p *Profile) {
+	idx := make([]int, p.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return p.Times[idx[a]] < p.Times[idx[b]] })
+	times := make([]float64, len(idx))
+	phases := make([]float64, len(idx))
+	var rssi []float64
+	if p.RSSI != nil {
+		rssi = make([]float64, len(idx))
+	}
+	for i, j := range idx {
+		times[i] = p.Times[j]
+		phases[i] = p.Phases[j]
+		if rssi != nil {
+			rssi[i] = p.RSSI[j]
+		}
+	}
+	p.Times, p.Phases, p.RSSI = times, phases, rssi
+}
+
+// Segmentize produces the paper's coarse representation: the profile is cut
+// into chunks of w samples; any chunk containing a 0↔2π wrap is split at
+// the wrap so that no segment spans a phase jump. Each segment records its
+// [min,max] phase range, its sample index range, and its time interval.
+func (p *Profile) Segmentize(w int) []dtw.Segment {
+	if w < 1 {
+		w = 1
+	}
+	var segs []dtw.Segment
+	n := p.Len()
+	start := 0
+	for start < n {
+		end := start + w
+		if end > n {
+			end = n
+		}
+		// Split at wraps: scan for |Δphase| > π between consecutive samples.
+		cut := end
+		for i := start + 1; i < end; i++ {
+			if math.Abs(p.Phases[i]-p.Phases[i-1]) > math.Pi {
+				cut = i
+				break
+			}
+		}
+		segs = append(segs, p.segment(start, cut))
+		start = cut
+	}
+	return segs
+}
+
+// segment builds one dtw.Segment over samples [i, j).
+func (p *Profile) segment(i, j int) dtw.Segment {
+	lo, hi := p.Phases[i], p.Phases[i]
+	for k := i + 1; k < j; k++ {
+		if p.Phases[k] < lo {
+			lo = p.Phases[k]
+		}
+		if p.Phases[k] > hi {
+			hi = p.Phases[k]
+		}
+	}
+	interval := 0.0
+	if j-1 > i {
+		interval = p.Times[j-1] - p.Times[i]
+	}
+	return dtw.Segment{Lo: lo, Hi: hi, Start: i, End: j, Interval: interval}
+}
+
+// MeanSegments splits the profile into k equal-count chunks and returns the
+// mean phase of each — the coarse representation used for Y-axis ordering
+// (Section 3.2.1). Returns an error when the profile has fewer than k
+// samples.
+func (p *Profile) MeanSegments(k int) ([]float64, error) {
+	n := p.Len()
+	if k < 1 {
+		return nil, fmt.Errorf("profile: k = %d < 1", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("profile: %d samples < %d segments", n, k)
+	}
+	out := make([]float64, k)
+	for s := 0; s < k; s++ {
+		lo := s * n / k
+		hi := (s + 1) * n / k
+		var sum float64
+		for i := lo; i < hi; i++ {
+			sum += p.Phases[i]
+		}
+		out[s] = sum / float64(hi-lo)
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package reader
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/antenna"
+	"repro/internal/epcgen2"
+	"repro/internal/geom"
+	"repro/internal/motion"
+	"repro/internal/phys"
+)
+
+func TestCouplingModelGamma(t *testing.T) {
+	cm := DefaultCoupling()
+	if g := cm.gammaAt(0); math.Abs(g-cm.Gamma0) > 1e-12 {
+		t.Errorf("gamma at 0 = %v, want %v", g, cm.Gamma0)
+	}
+	// Monotone decay.
+	prev := cm.gammaAt(0.01)
+	for d := 0.02; d < 0.15; d += 0.01 {
+		g := cm.gammaAt(d)
+		if g >= prev {
+			t.Fatalf("gamma not decaying at %v", d)
+		}
+		prev = g
+	}
+	// Negligible at 10 cm.
+	if g := cm.gammaAt(0.10); g > 0.02 {
+		t.Errorf("gamma at 10 cm = %v, should be negligible", g)
+	}
+	if g := NoCoupling().gammaAt(0.001); g != 0 {
+		t.Errorf("NoCoupling gamma = %v", g)
+	}
+}
+
+func TestNoCouplingSurvivesDefaulting(t *testing.T) {
+	c := Config{Coupling: NoCoupling()}.WithDefaults()
+	if c.Coupling.gammaAt(0.001) != 0 {
+		t.Error("NoCoupling was replaced by the default")
+	}
+	c2 := Config{}.WithDefaults()
+	if c2.Coupling.gammaAt(0.001) == 0 {
+		t.Error("zero-value coupling was not defaulted")
+	}
+}
+
+// phaseSpreadAt measures how far a victim tag's mean phase moves when a
+// neighbour is planted at the given spacing.
+func phaseSpreadAt(t *testing.T, spacing float64, coupling CouplingModel) float64 {
+	t.Helper()
+	mk := func(tags []Tag) float64 {
+		sim, err := New(Config{
+			Channel:  6,
+			Seed:     11,
+			Coupling: coupling,
+			Noise:    phys.NoiseModel{PhaseQuantBits: 12},
+		}, motion.Static{P: geom.V3(0, 0, 0.4)}, tags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		var n int
+		for _, r := range sim.Run(1) {
+			if r.EPC == epcgen2.NewEPC(1) {
+				sum += r.Phase
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("victim never read")
+		}
+		return sum / float64(n)
+	}
+	victim := Tag{EPC: epcgen2.NewEPC(1), Model: AlienALN9662, Traj: motion.Static{P: geom.V3(0, 0, 0)}}
+	neighbour := Tag{EPC: epcgen2.NewEPC(2), Model: AlienALN9662, Traj: motion.Static{P: geom.V3(spacing, 0, 0)}}
+	alone := mk([]Tag{victim})
+	paired := mk([]Tag{victim, neighbour})
+	d := math.Abs(alone - paired)
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
+}
+
+func TestCouplingDistortsClosePairs(t *testing.T) {
+	near := phaseSpreadAt(t, 0.02, DefaultCoupling())
+	far := phaseSpreadAt(t, 0.12, DefaultCoupling())
+	if near <= far {
+		t.Errorf("2 cm coupling (%v rad) not stronger than 12 cm (%v rad)", near, far)
+	}
+	if near < 0.05 {
+		t.Errorf("2 cm coupling only %v rad; should visibly distort phase", near)
+	}
+	off := phaseSpreadAt(t, 0.02, NoCoupling())
+	if off > 0.02 {
+		t.Errorf("NoCoupling still distorts phase by %v rad", off)
+	}
+}
+
+func TestForwardLinkBoundsReadingZone(t *testing.T) {
+	// A tag far off the boresight of a panel must fail the forward link
+	// even though the reverse link margin would allow it.
+	lb := phys.DefaultLinkBudget()
+	wl := phys.ChinaBand.Wavelength(6)
+	// On boresight at 0.35 m: plenty of forward power.
+	if !lb.Activates(lb.ForwardPower(0.35, wl)) {
+		t.Fatal("boresight tag does not activate")
+	}
+	// 30 dB of pattern rolloff kills it.
+	if lb.Activates(lb.ForwardPower(0.35, wl) - 30) {
+		t.Fatal("tag activates despite 30 dB rolloff")
+	}
+}
+
+func TestReadingZoneExtentRealistic(t *testing.T) {
+	// With the panel mount at 0.335 m standoff, the along-row reading zone
+	// should be roughly ±0.4-1.2 m: enough for a ~4-period profile, not
+	// the whole aisle. Probe by checking which static tags get read.
+	var tags []Tag
+	for i := -30; i <= 30; i++ {
+		x := float64(i) * 0.1
+		tags = append(tags, Tag{
+			EPC:   epcgen2.NewEPC(uint64(i + 100)),
+			Model: AlienALN9662,
+			Traj:  motion.Static{P: geom.V3(x, 0, 0)},
+		})
+	}
+	sim, err := New(Config{
+		Channel:  6,
+		Seed:     13,
+		Coupling: NoCoupling(),
+		Mount: antenna.Mount{
+			Pattern:   antenna.DefaultPanel(),
+			Boresight: geom.V3(0, 0.15, -0.30).Unit(),
+		},
+	}, motion.Static{P: geom.V3(0, -0.15, 0.30)}, tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, r := range sim.Run(3) {
+		x := (float64(int(r.EPC[11])) - 100) * 0.1 // serial encodes position
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+	}
+	if math.IsInf(minX, 1) {
+		t.Fatal("nothing read")
+	}
+	width := maxX - minX
+	if width < 0.5 || width > 3.0 {
+		t.Errorf("reading zone width = %v m, want a bounded strip (0.5-3 m)", width)
+	}
+}

@@ -1,0 +1,39 @@
+package reader
+
+import (
+	"repro/internal/epcgen2"
+	"repro/internal/motion"
+)
+
+// TagModel captures the electrical personality of a passive tag product:
+// its reflection phase characteristic θTAG and antenna gain. The paper
+// tests four Alien inlay models of different size and shape; their θTAG
+// values differ, which is irrelevant to STPP (the offset cancels within a
+// profile) but matters for realism.
+type TagModel struct {
+	// Name is the product name.
+	Name string
+	// ThetaTag is the reflection phase characteristic θTAG in radians.
+	ThetaTag float64
+	// GainDBi is the tag antenna gain.
+	GainDBi float64
+}
+
+// The four tag models used in the paper's hardware diversity tests.
+var (
+	AlienALR9610 = TagModel{Name: "Alien ALR-9610", ThetaTag: 0.40, GainDBi: 1.8}
+	AlienALN9662 = TagModel{Name: "Alien ALN-9662", ThetaTag: 1.10, GainDBi: 2.0}
+	AlienALN9634 = TagModel{Name: "Alien ALN-9634", ThetaTag: 1.85, GainDBi: 1.5}
+	AlienALN9720 = TagModel{Name: "Alien ALN-9720", ThetaTag: 2.60, GainDBi: 2.2}
+)
+
+// TagModels lists the available models for round-robin assignment.
+var TagModels = []TagModel{AlienALR9610, AlienALN9662, AlienALN9634, AlienALN9720}
+
+// Tag is one physical tag in a scene: identity, electrical model, and a
+// trajectory (Static for shelf tags, Conveyor for baggage).
+type Tag struct {
+	EPC   epcgen2.EPC
+	Model TagModel
+	Traj  motion.Trajectory
+}

@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/antenna"
+	"repro/internal/epcgen2"
+	"repro/internal/geom"
+	"repro/internal/motion"
+	"repro/internal/phys"
+	"repro/internal/reader"
+)
+
+// Conveyor micro-benchmark geometry: belt along X at y=0, z=0; the fixed
+// antenna watches from (0, beltStandY, beltStandZ). Perpendicular deltas
+// from lateral tag offsets stay well under λ/2.
+const (
+	beltStandY = 0.35
+	beltStandZ = 0.25
+)
+
+// beltPerpOf returns the perpendicular distance from a tag riding the belt
+// at lateral offset lat to the fixed antenna.
+func beltPerpOf(lat float64) float64 {
+	return geom.V2(beltStandY-lat, beltStandZ).Norm()
+}
+
+// conveyorScene assembles a tag-moving scene from per-tag (startX, lateral)
+// placements. Tags ride in +X; truth orders derive from the placements.
+func conveyorScene(starts []geom.Vec2, speed float64, seed int64) (*Scene, error) {
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("scenario: no tags on belt")
+	}
+	if speed <= 0 {
+		return nil, fmt.Errorf("scenario: belt speed %v <= 0", speed)
+	}
+	minX := starts[0].X
+	for _, s := range starts {
+		if s.X < minX {
+			minX = s.X
+		}
+	}
+	travel := -minX + 1.5 // everyone rides well past the antenna at x=0
+	var tags []reader.Tag
+	for i, s := range starts {
+		tags = append(tags, reader.Tag{
+			EPC:   epcgen2.NewEPC(uint64(i + 1)),
+			Model: reader.AlienALN9662,
+			Traj: motion.Conveyor{
+				Start:      geom.V3(s.X, s.Y, 0),
+				Dir:        geom.V3(1, 0, 0),
+				Speed:      speed,
+				TravelDist: travel,
+			},
+		})
+	}
+	sc := &Scene{
+		Cfg: reader.Config{
+			Channel: 6,
+			Seed:    seed,
+			Env:     phys.AirportEnvironment(1.8),
+			Mount: antenna.Mount{
+				Pattern:   antenna.DefaultPanel(),
+				Boresight: geom.V3(0, -beltStandY, -beltStandZ).Unit(),
+			},
+		},
+		AntennaTraj: motion.Static{P: geom.V3(0, beltStandY, beltStandZ)},
+		Tags:        tags,
+		Duration:    travel / speed,
+		PerpDist:    beltPerpOf(0),
+		Speed:       speed,
+	}
+	// Truth X: descending start X (front of belt passes first).
+	// Truth Y: ascending perpendicular distance.
+	xi := make([]int, len(starts))
+	for i := range xi {
+		xi[i] = i
+	}
+	yi := append([]int(nil), xi...)
+	sort.SliceStable(xi, func(a, b int) bool { return starts[xi[a]].X > starts[xi[b]].X })
+	sort.SliceStable(yi, func(a, b int) bool {
+		return beltPerpOf(starts[yi[a]].Y) < beltPerpOf(starts[yi[b]].Y)
+	})
+	for _, i := range xi {
+		sc.TruthX = append(sc.TruthX, tags[i].EPC)
+	}
+	for _, i := range yi {
+		sc.TruthY = append(sc.TruthY, tags[i].EPC)
+	}
+	return sc, nil
+}
+
+// ConveyorPair is the tag-moving two-tag micro-benchmark (Figure 13): two
+// tags spaced dist apart along the belt ("x") or laterally ("y").
+func ConveyorPair(dist float64, axis string, speed float64, seed int64) (*Scene, error) {
+	if dist <= 0 {
+		return nil, fmt.Errorf("scenario: distance %v <= 0", dist)
+	}
+	var starts []geom.Vec2
+	switch axis {
+	case "x":
+		starts = []geom.Vec2{{X: -1.0, Y: 0}, {X: -1.0 - dist, Y: 0}}
+	case "y":
+		starts = []geom.Vec2{{X: -1.0, Y: 0}, {X: -1.0, Y: dist}}
+	default:
+		return nil, fmt.Errorf("scenario: axis %q (want x or y)", axis)
+	}
+	return conveyorScene(starts, speed, seed)
+}
+
+// ConveyorPopulation is the tag-moving Table-1 scene: n tags spaced
+// U[2cm,10cm] along the belt with small lateral scatter.
+func ConveyorPopulation(n int, speed float64, seed int64) (*Scene, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("scenario: population %d < 1", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var starts []geom.Vec2
+	x := -1.0
+	for i := 0; i < n; i++ {
+		starts = append(starts, geom.V2(x, rng.Float64()*0.06))
+		x -= 0.02 + rng.Float64()*0.08
+	}
+	return conveyorScene(starts, speed, seed)
+}

@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/epcgen2"
+	"repro/internal/metrics"
+	"repro/internal/stpp"
+)
+
+func TestConveyorPairX(t *testing.T) {
+	s, err := ConveyorPair(0.10, "x", 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tags) != 2 {
+		t.Fatal("tags")
+	}
+	// Tag 1 starts ahead (x = -1.0 > -1.1): passes the antenna first.
+	if s.TruthX[0] != epcgen2.NewEPC(1) {
+		t.Errorf("TruthX = %v", s.TruthX)
+	}
+	reads, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) < 100 {
+		t.Errorf("reads = %d", len(reads))
+	}
+}
+
+func TestConveyorPairYTruth(t *testing.T) {
+	s, err := ConveyorPair(0.08, "y", 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tag 2 at lateral +0.08 is nearer the antenna at y=0.35.
+	if s.TruthY[0] != epcgen2.NewEPC(2) {
+		t.Errorf("TruthY = %v", s.TruthY)
+	}
+}
+
+func TestConveyorValidation(t *testing.T) {
+	if _, err := ConveyorPair(0, "x", 0.3, 1); err == nil {
+		t.Error("zero distance accepted")
+	}
+	if _, err := ConveyorPair(0.1, "q", 0.3, 1); err == nil {
+		t.Error("bad axis accepted")
+	}
+	if _, err := ConveyorPair(0.1, "x", 0, 1); err == nil {
+		t.Error("zero speed accepted")
+	}
+	if _, err := ConveyorPopulation(0, 0.3, 1); err == nil {
+		t.Error("zero population accepted")
+	}
+}
+
+func TestConveyorPopulationEndToEnd(t *testing.T) {
+	s, err := ConveyorPopulation(8, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := s.ProfilesOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 8 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	loc, err := stpp.NewLocalizer(s.STPPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loc.Localize(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := metrics.OrderingAccuracy(res.XOrderEPCs(), s.TruthX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.6 {
+		t.Errorf("conveyor population X accuracy = %v", acc)
+	}
+}

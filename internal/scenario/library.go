@@ -1,0 +1,216 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/epcgen2"
+	"repro/internal/geom"
+	"repro/internal/motion"
+	"repro/internal/phys"
+	"repro/internal/reader"
+)
+
+// Book is one tagged library book.
+type Book struct {
+	// EPC identifies the book's tag.
+	EPC epcgen2.EPC
+	// Level is the shelf level (0-based, bottom to top).
+	Level int
+	// CatalogIndex is the book's correct position within its level.
+	CatalogIndex int
+	// Thickness in meters (the paper's books span 3–8 cm).
+	Thickness float64
+	// SpineX is the tag's X coordinate on the shelf (spine center).
+	SpineX float64
+}
+
+// Library is the misplaced-book case study scene (Section 5.1): books on
+// shelf levels, tags on spines, an antenna cart pushed across the shelf.
+type Library struct {
+	// Books in catalog order, all levels.
+	Books []Book
+	// LevelHeight is the Y offset between adjacent shelf levels.
+	LevelHeight float64
+	// Scene is the runnable scene; TruthX holds the per-sweep ground
+	// truth for the level being scanned (see ScanLevel).
+	seed  int64
+	speed float64
+}
+
+// LibraryOpts parameterizes the library scene.
+type LibraryOpts struct {
+	// BooksPerLevel and Levels set the population (the paper: 90 books on
+	// 3 levels).
+	BooksPerLevel, Levels int
+	// Speed is the cart speed (m/s).
+	Speed float64
+	// Seed drives book thickness and all simulation randomness.
+	Seed int64
+}
+
+// DefaultLibraryOpts matches the paper's deployment.
+func DefaultLibraryOpts(seed int64) LibraryOpts {
+	return LibraryOpts{BooksPerLevel: 30, Levels: 3, Speed: 0.15, Seed: seed}
+}
+
+// NewLibrary lays books on the shelf: thickness drawn from U[3cm, 8cm],
+// spines packed side by side per level.
+func NewLibrary(o LibraryOpts) (*Library, error) {
+	if o.BooksPerLevel < 2 || o.Levels < 1 {
+		return nil, fmt.Errorf("scenario: library needs >= 2 books on >= 1 level")
+	}
+	if o.Speed <= 0 {
+		return nil, fmt.Errorf("scenario: speed %v <= 0", o.Speed)
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	lib := &Library{LevelHeight: 0.35, seed: o.Seed, speed: o.Speed}
+	serial := uint64(1)
+	for lvl := 0; lvl < o.Levels; lvl++ {
+		x := 0.3
+		for i := 0; i < o.BooksPerLevel; i++ {
+			th := 0.03 + rng.Float64()*0.05
+			lib.Books = append(lib.Books, Book{
+				EPC:          epcgen2.NewEPC(serial),
+				Level:        lvl,
+				CatalogIndex: i,
+				Thickness:    th,
+				SpineX:       x + th/2,
+			})
+			x += th
+			serial++
+		}
+	}
+	return lib, nil
+}
+
+// MoveBook relocates the book at (level, from) to position 'to' within the
+// same level, re-packing spine coordinates. It returns the EPC of the
+// moved book. CatalogIndex values are NOT renumbered — the catalog is the
+// library's official order, so a moved book is out of catalog order.
+func (l *Library) MoveBook(level, from, to int) (epcgen2.EPC, error) {
+	var lvl []int // indices into l.Books for this level, in shelf order
+	for i, b := range l.Books {
+		if b.Level == level {
+			lvl = append(lvl, i)
+		}
+	}
+	// Positions refer to the *current shelf order* (left to right), which
+	// diverges from creation order once a book has been moved.
+	sort.Slice(lvl, func(a, b int) bool {
+		return l.Books[lvl[a]].SpineX < l.Books[lvl[b]].SpineX
+	})
+	if from < 0 || from >= len(lvl) || to < 0 || to >= len(lvl) {
+		return epcgen2.EPC{}, fmt.Errorf("scenario: move %d→%d outside level of %d books",
+			from, to, len(lvl))
+	}
+	moved := l.Books[lvl[from]].EPC
+	// Reorder the level's book indices.
+	order := append([]int(nil), lvl...)
+	m := order[from]
+	order = append(order[:from], order[from+1:]...)
+	rest := append([]int(nil), order[:to]...)
+	rest = append(rest, m)
+	order = append(rest, order[to:]...)
+	// Re-pack spines left to right.
+	x := 0.3
+	for _, bi := range order {
+		l.Books[bi].SpineX = x + l.Books[bi].Thickness/2
+		x += l.Books[bi].Thickness
+	}
+	return moved, nil
+}
+
+// ShelfOrder returns the current physical EPC order (left to right) of a
+// level.
+func (l *Library) ShelfOrder(level int) []epcgen2.EPC {
+	type bx struct {
+		epc epcgen2.EPC
+		x   float64
+	}
+	var items []bx
+	for _, b := range l.Books {
+		if b.Level == level {
+			items = append(items, bx{b.EPC, b.SpineX})
+		}
+	}
+	for i := range items {
+		for j := i + 1; j < len(items); j++ {
+			if items[j].x < items[i].x {
+				items[i], items[j] = items[j], items[i]
+			}
+		}
+	}
+	out := make([]epcgen2.EPC, len(items))
+	for i, it := range items {
+		out[i] = it.epc
+	}
+	return out
+}
+
+// CatalogOrder returns the official catalog EPC order of a level.
+func (l *Library) CatalogOrder(level int) []epcgen2.EPC {
+	var out []epcgen2.EPC
+	for idx := 0; ; idx++ {
+		found := false
+		for _, b := range l.Books {
+			if b.Level == level && b.CatalogIndex == idx {
+				out = append(out, b.EPC)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return out
+		}
+	}
+}
+
+// ScanLevel builds the runnable scene for sweeping one shelf level: the
+// cart passes the level with the antenna at the level's height, 30 cm
+// standoff, slightly below the spines. Books on other levels are present
+// (they add MAC contention and multipath clutter) but only this level's
+// order is ground truth.
+func (l *Library) ScanLevel(level int, sweepSeed int64) (*Scene, error) {
+	var maxX float64
+	var tags []reader.Tag
+	found := false
+	for _, b := range l.Books {
+		y := float64(b.Level-level) * l.LevelHeight
+		tags = append(tags, reader.Tag{
+			EPC:   b.EPC,
+			Model: reader.AlienALN9662,
+			Traj:  motion.Static{P: geom.V3(b.SpineX, y, 0)},
+		})
+		if b.Level == level {
+			found = true
+			if b.SpineX > maxX {
+				maxX = b.SpineX
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("scenario: level %d has no books", level)
+	}
+	from := geom.V3(-0.3, -belowY, standZ)
+	to := geom.V3(maxX+0.6, -belowY, standZ)
+	traj, err := motion.NewManualPush(from, to, l.speed, motion.DefaultManualPushParams(l.seed^sweepSeed))
+	if err != nil {
+		return nil, err
+	}
+	return &Scene{
+		Cfg: reader.Config{
+			Channel: 6,
+			Seed:    l.seed ^ (sweepSeed * 1103515245),
+			Env:     phys.LibraryEnvironment(0.45, 0.9),
+			Mount:   whiteboardMount(),
+		},
+		AntennaTraj: traj,
+		Tags:        tags,
+		Duration:    traj.Duration(),
+		TruthX:      l.ShelfOrder(level),
+		PerpDist:    perpOf(0),
+		Speed:       l.speed,
+	}, nil
+}

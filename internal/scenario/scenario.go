@@ -1,0 +1,304 @@
+// Package scenario builds the paper's experimental scenes: whiteboard
+// micro-benchmarks (tag pairs, populations, the five Figure-16 layouts),
+// the library bookshelf, and the airport baggage conveyor. Each scene
+// bundles tags, trajectories, environment and ground truth, ready to run
+// through the reader simulator.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/antenna"
+	"repro/internal/epcgen2"
+	"repro/internal/geom"
+	"repro/internal/motion"
+	"repro/internal/phys"
+	"repro/internal/profile"
+	"repro/internal/reader"
+	"repro/internal/stpp"
+)
+
+// Scene is a runnable experimental setup with ground truth.
+type Scene struct {
+	// Cfg is the reader configuration (channel, environment, noise, seed).
+	Cfg reader.Config
+	// AntennaTraj is the antenna's trajectory.
+	AntennaTraj motion.Trajectory
+	// Tags are the tag population.
+	Tags []reader.Tag
+	// Duration is how long to interrogate, seconds.
+	Duration float64
+	// TruthX is the ground-truth EPC order along the movement axis.
+	TruthX []epcgen2.EPC
+	// TruthY is the ground-truth order by distance from the antenna
+	// trajectory (nearest first); nil when the scene has no Y dimension.
+	TruthY []epcgen2.EPC
+	// PerpDist is the nominal perpendicular antenna-to-tag distance, for
+	// configuring the STPP reference profile.
+	PerpDist float64
+	// Speed is the nominal sweep speed (m/s).
+	Speed float64
+}
+
+// Run executes the scene and returns the read log.
+func (s *Scene) Run() ([]reader.TagRead, error) {
+	sim, err := reader.New(s.Cfg, s.AntennaTraj, s.Tags)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(s.Duration), nil
+}
+
+// STPPConfig returns the STPP configuration matched to this scene's
+// geometry and the reader's channel wavelength.
+func (s *Scene) STPPConfig() stpp.Config {
+	cfg := s.Cfg.WithDefaults()
+	wl := cfg.Band.Wavelength(cfg.Channel)
+	c := stpp.DefaultConfig(wl)
+	c.Reference.PerpDist = s.PerpDist
+	c.Reference.Speed = s.Speed
+	return c
+}
+
+// Whiteboard geometry shared by the micro-benchmarks: tags in the z=0
+// plane, antenna sweeping parallel to X at standoff standZ and offset
+// belowY under the tags.
+const (
+	standZ = 0.30
+	belowY = 0.15
+)
+
+// perpOf returns the perpendicular distance from a tag at plane offset y
+// to the whiteboard antenna line.
+func perpOf(y float64) float64 {
+	dy := y + belowY
+	return geom.V2(dy, standZ).Norm()
+}
+
+// whiteboardMount is the directional panel antenna of the paper's cart,
+// pointing from the antenna line toward the tag field. The pattern bounds
+// the reading zone so only a handful of tags contend for inventory slots
+// at any instant — without it every tag on the shelf is in the zone at
+// once and the per-tag sampling rate collapses.
+func whiteboardMount() antenna.Mount {
+	return antenna.Mount{
+		Pattern:   antenna.DefaultPanel(),
+		Boresight: geom.V3(0, belowY, -standZ).Unit(),
+	}
+}
+
+// WhiteboardOpts parameterizes a whiteboard scene.
+type WhiteboardOpts struct {
+	// Positions are tag-plane coordinates.
+	Positions []geom.Vec2
+	// Speed is the nominal sweep speed (m/s).
+	Speed float64
+	// ManualPush adds hand-push speed jitter (the antenna-moving case).
+	ManualPush bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Whiteboard builds a micro-benchmark scene from explicit tag positions.
+func Whiteboard(o WhiteboardOpts) (*Scene, error) {
+	if len(o.Positions) == 0 {
+		return nil, fmt.Errorf("scenario: no tag positions")
+	}
+	if o.Speed <= 0 {
+		return nil, fmt.Errorf("scenario: speed %v <= 0", o.Speed)
+	}
+	minX, maxX := o.Positions[0].X, o.Positions[0].X
+	for _, p := range o.Positions {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+	}
+	from := geom.V3(minX-0.6, -belowY, standZ)
+	to := geom.V3(maxX+0.6, -belowY, standZ)
+
+	var traj motion.Trajectory
+	if o.ManualPush {
+		mp, err := motion.NewManualPush(from, to, o.Speed, motion.DefaultManualPushParams(o.Seed))
+		if err != nil {
+			return nil, err
+		}
+		traj = mp
+	} else {
+		lin, err := motion.NewLinear(from, to, o.Speed)
+		if err != nil {
+			return nil, err
+		}
+		traj = lin
+	}
+
+	s := &Scene{
+		Cfg: reader.Config{
+			Channel: 6,
+			Seed:    o.Seed,
+			Env:     phys.LibraryEnvironment(0.45, 1.0),
+			Mount:   whiteboardMount(),
+		},
+		AntennaTraj: traj,
+		Duration:    traj.Duration(),
+		PerpDist:    perpOf(0),
+		Speed:       o.Speed,
+	}
+	for i, p := range o.Positions {
+		s.Tags = append(s.Tags, reader.Tag{
+			EPC:   epcgen2.NewEPC(uint64(i + 1)),
+			Model: reader.AlienALN9662,
+			Traj:  motion.Static{P: geom.V3(p.X, p.Y, 0)},
+		})
+	}
+	s.TruthX, s.TruthY = truthFromPositions(s.Tags, o.Positions)
+	return s, nil
+}
+
+// truthFromPositions derives the ground-truth orders from tag-plane
+// positions: X by plane x; Y by perpendicular distance to the antenna
+// line (nearest first).
+func truthFromPositions(tags []reader.Tag, pos []geom.Vec2) (x, y []epcgen2.EPC) {
+	idx := make([]int, len(tags))
+	for i := range idx {
+		idx[i] = i
+	}
+	xi := append([]int(nil), idx...)
+	sort.SliceStable(xi, func(a, b int) bool { return pos[xi[a]].X < pos[xi[b]].X })
+	yi := append([]int(nil), idx...)
+	sort.SliceStable(yi, func(a, b int) bool { return perpOf(pos[yi[a]].Y) < perpOf(pos[yi[b]].Y) })
+	for _, i := range xi {
+		x = append(x, tags[i].EPC)
+	}
+	for _, i := range yi {
+		y = append(y, tags[i].EPC)
+	}
+	return x, y
+}
+
+// Pair builds the two-tag micro-benchmark of Figures 13/14: two tags
+// spaced dist apart along the given axis ("x" or "y").
+func Pair(dist float64, axis string, manualPush bool, speed float64, seed int64) (*Scene, error) {
+	if dist <= 0 {
+		return nil, fmt.Errorf("scenario: distance %v <= 0", dist)
+	}
+	var positions []geom.Vec2
+	switch axis {
+	case "x":
+		positions = []geom.Vec2{{X: 1.0, Y: 0}, {X: 1.0 + dist, Y: 0}}
+	case "y":
+		positions = []geom.Vec2{{X: 1.0, Y: 0}, {X: 1.0, Y: dist}}
+	default:
+		return nil, fmt.Errorf("scenario: axis %q (want x or y)", axis)
+	}
+	return Whiteboard(WhiteboardOpts{
+		Positions:  positions,
+		Speed:      speed,
+		ManualPush: manualPush,
+		Seed:       seed,
+	})
+}
+
+// Population builds the Table-1 scene: n tags in a row with adjacent
+// spacing drawn uniformly from [2cm, 10cm], random small Y offsets.
+func Population(n int, manualPush bool, speed float64, seed int64) (*Scene, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("scenario: population %d < 1", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var positions []geom.Vec2
+	x := 0.5
+	// Y offsets form a shuffled ladder spanning 12 cm (< λ/2 in
+	// perpendicular delta, as the paper's Y ordering requires) so the
+	// ground-truth Y order is well defined at every population size.
+	ys := make([]float64, n)
+	for i := range ys {
+		ys[i] = float64(i) * 0.12 / float64(n)
+	}
+	rng.Shuffle(n, func(a, b int) { ys[a], ys[b] = ys[b], ys[a] })
+	for i := 0; i < n; i++ {
+		positions = append(positions, geom.V2(x, ys[i]))
+		x += 0.02 + rng.Float64()*0.08
+	}
+	return Whiteboard(WhiteboardOpts{
+		Positions:  positions,
+		Speed:      speed,
+		ManualPush: manualPush,
+		Seed:       seed,
+	})
+}
+
+// Layout builds one of the five Figure-16 tag layout settings with the
+// given adjacent spacing. The layouts exercise different spatial patterns:
+//
+//	1: single horizontal row
+//	2: two staggered rows
+//	3: diagonal line
+//	4: zigzag
+//	5: seeded random scatter with minimum spacing
+func Layout(id int, spacing float64, n int, seed int64) (*Scene, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("scenario: layout needs >= 2 tags")
+	}
+	if spacing <= 0 {
+		return nil, fmt.Errorf("scenario: spacing %v <= 0", spacing)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Every layout gets a small per-tag Y ladder on top of its base
+	// pattern so the Y ground truth is total (no ties) — ties would make
+	// Y-accuracy ill-defined.
+	ladder := func(i int) float64 { return 0.006 * float64(i) }
+	var pos []geom.Vec2
+	switch id {
+	case 1:
+		for i := 0; i < n; i++ {
+			pos = append(pos, geom.V2(0.5+float64(i)*spacing, ladder(i)))
+		}
+	case 2:
+		for i := 0; i < n; i++ {
+			y := ladder(i)
+			if i%2 == 1 {
+				y += 0.04
+			}
+			pos = append(pos, geom.V2(0.5+float64(i)*spacing, y))
+		}
+	case 3:
+		for i := 0; i < n; i++ {
+			pos = append(pos, geom.V2(0.5+float64(i)*spacing, 0.005*float64(i)))
+		}
+	case 4:
+		for i := 0; i < n; i++ {
+			y := ladder(i)
+			switch i % 4 {
+			case 1, 3:
+				y += 0.03
+			case 2:
+				y += 0.06
+			}
+			pos = append(pos, geom.V2(0.5+float64(i)*spacing, y))
+		}
+	case 5:
+		x := 0.5
+		for i := 0; i < n; i++ {
+			pos = append(pos, geom.V2(x, rng.Float64()*0.06))
+			x += spacing * (0.75 + rng.Float64()*0.5)
+		}
+	default:
+		return nil, fmt.Errorf("scenario: layout id %d (want 1..5)", id)
+	}
+	return Whiteboard(WhiteboardOpts{Positions: pos, Speed: 0.15, ManualPush: true, Seed: seed})
+}
+
+// ProfilesOf is a convenience that runs the scene and groups reads into
+// per-tag profiles.
+func (s *Scene) ProfilesOf() ([]*profile.Profile, error) {
+	reads, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	return profile.FromReads(reads), nil
+}

@@ -1,0 +1,329 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/epcgen2"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+	"repro/internal/stpp"
+)
+
+func TestWhiteboardBasics(t *testing.T) {
+	s, err := Whiteboard(WhiteboardOpts{
+		Positions: []geom.Vec2{{X: 0.5, Y: 0}, {X: 1.0, Y: 0.05}},
+		Speed:     0.15,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tags) != 2 || len(s.TruthX) != 2 || len(s.TruthY) != 2 {
+		t.Fatalf("scene shape: %d tags", len(s.Tags))
+	}
+	if s.TruthX[0] != epcgen2.NewEPC(1) {
+		t.Errorf("TruthX = %v", s.TruthX)
+	}
+	// Tag 1 at y=0 is nearer to the antenna line than tag 2 at y=0.05.
+	if s.TruthY[0] != epcgen2.NewEPC(1) {
+		t.Errorf("TruthY = %v", s.TruthY)
+	}
+	reads, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) < 100 {
+		t.Errorf("only %d reads", len(reads))
+	}
+}
+
+func TestWhiteboardValidation(t *testing.T) {
+	if _, err := Whiteboard(WhiteboardOpts{Speed: 0.1}); err == nil {
+		t.Error("no positions accepted")
+	}
+	if _, err := Whiteboard(WhiteboardOpts{
+		Positions: []geom.Vec2{{X: 1, Y: 0}}, Speed: 0,
+	}); err == nil {
+		t.Error("zero speed accepted")
+	}
+}
+
+func TestSTPPConfigMatchesGeometry(t *testing.T) {
+	s, err := Whiteboard(WhiteboardOpts{
+		Positions: []geom.Vec2{{X: 0.5, Y: 0}}, Speed: 0.12, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.STPPConfig()
+	if math.Abs(cfg.Reference.PerpDist-perpOf(0)) > 1e-9 {
+		t.Errorf("perp = %v", cfg.Reference.PerpDist)
+	}
+	if cfg.Reference.Speed != 0.12 {
+		t.Errorf("speed = %v", cfg.Reference.Speed)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("generated config invalid: %v", err)
+	}
+}
+
+func TestPair(t *testing.T) {
+	sx, err := Pair(0.08, "x", false, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sx.Tags) != 2 {
+		t.Fatal("pair scene tags")
+	}
+	sy, err := Pair(0.08, "y", true, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sy.Tags[0].Traj.PositionAt(0).Y == sy.Tags[1].Traj.PositionAt(0).Y {
+		t.Error("y-pair tags share y")
+	}
+	if _, err := Pair(0, "x", false, 0.1, 1); err == nil {
+		t.Error("zero distance accepted")
+	}
+	if _, err := Pair(0.1, "z", false, 0.1, 1); err == nil {
+		t.Error("bad axis accepted")
+	}
+}
+
+func TestPopulation(t *testing.T) {
+	s, err := Population(12, false, 0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tags) != 12 {
+		t.Fatalf("tags = %d", len(s.Tags))
+	}
+	// Spacing within [2,10] cm.
+	for i := 1; i < 12; i++ {
+		dx := s.Tags[i].Traj.PositionAt(0).X - s.Tags[i-1].Traj.PositionAt(0).X
+		if dx < 0.02-1e-9 || dx > 0.10+1e-9 {
+			t.Errorf("spacing %d = %v", i, dx)
+		}
+	}
+	if _, err := Population(0, false, 0.2, 1); err == nil {
+		t.Error("zero population accepted")
+	}
+}
+
+func TestLayouts(t *testing.T) {
+	for id := 1; id <= 5; id++ {
+		s, err := Layout(id, 0.06, 10, int64(id))
+		if err != nil {
+			t.Fatalf("layout %d: %v", id, err)
+		}
+		if len(s.Tags) != 10 {
+			t.Errorf("layout %d tags = %d", id, len(s.Tags))
+		}
+		if len(s.TruthX) != 10 || len(s.TruthY) != 10 {
+			t.Errorf("layout %d truth missing", id)
+		}
+	}
+	if _, err := Layout(0, 0.06, 10, 1); err == nil {
+		t.Error("layout 0 accepted")
+	}
+	if _, err := Layout(6, 0.06, 10, 1); err == nil {
+		t.Error("layout 6 accepted")
+	}
+	if _, err := Layout(1, 0, 10, 1); err == nil {
+		t.Error("zero spacing accepted")
+	}
+	if _, err := Layout(1, 0.05, 1, 1); err == nil {
+		t.Error("single-tag layout accepted")
+	}
+}
+
+func TestLibraryConstruction(t *testing.T) {
+	lib, err := NewLibrary(DefaultLibraryOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Books) != 90 {
+		t.Fatalf("books = %d", len(lib.Books))
+	}
+	// Thickness within [3,8] cm; spines strictly increasing per level.
+	for lvl := 0; lvl < 3; lvl++ {
+		prev := -1.0
+		for _, b := range lib.Books {
+			if b.Level != lvl {
+				continue
+			}
+			if b.Thickness < 0.03-1e-9 || b.Thickness > 0.08+1e-9 {
+				t.Errorf("thickness %v", b.Thickness)
+			}
+			if b.SpineX <= prev {
+				t.Errorf("spines not increasing on level %d", lvl)
+			}
+			prev = b.SpineX
+		}
+	}
+	// Initially shelf order == catalog order.
+	for lvl := 0; lvl < 3; lvl++ {
+		shelf := lib.ShelfOrder(lvl)
+		cat := lib.CatalogOrder(lvl)
+		if len(shelf) != 30 || len(cat) != 30 {
+			t.Fatalf("level %d orders: %d/%d", lvl, len(shelf), len(cat))
+		}
+		for i := range shelf {
+			if shelf[i] != cat[i] {
+				t.Fatalf("fresh shelf differs from catalog at %d", i)
+			}
+		}
+	}
+}
+
+func TestLibraryValidation(t *testing.T) {
+	if _, err := NewLibrary(LibraryOpts{BooksPerLevel: 1, Levels: 1, Speed: 0.1}); err == nil {
+		t.Error("1 book accepted")
+	}
+	if _, err := NewLibrary(LibraryOpts{BooksPerLevel: 5, Levels: 1, Speed: 0}); err == nil {
+		t.Error("zero speed accepted")
+	}
+}
+
+func TestLibraryMoveBook(t *testing.T) {
+	lib, err := NewLibrary(LibraryOpts{BooksPerLevel: 10, Levels: 1, Speed: 0.15, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := lib.CatalogOrder(0)
+	moved, err := lib.MoveBook(0, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != cat[2] {
+		t.Errorf("moved EPC = %v, want %v", moved, cat[2])
+	}
+	shelf := lib.ShelfOrder(0)
+	// The moved book now sits at position 7.
+	if shelf[7] != moved {
+		t.Errorf("shelf after move: %v", shelf)
+	}
+	// Catalog order unchanged.
+	cat2 := lib.CatalogOrder(0)
+	for i := range cat {
+		if cat[i] != cat2[i] {
+			t.Fatal("catalog changed by move")
+		}
+	}
+	// The flagged misplaced set should include the moved book.
+	flagged, err := metrics.Misplaced(shelf, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !metrics.DetectionSuccess(flagged, []epcgen2.EPC{moved}) {
+		t.Errorf("moved book not flagged: %v", flagged)
+	}
+	if _, err := lib.MoveBook(0, -1, 2); err == nil {
+		t.Error("bad from accepted")
+	}
+	if _, err := lib.MoveBook(0, 0, 99); err == nil {
+		t.Error("bad to accepted")
+	}
+}
+
+func TestLibraryScanLevelEndToEnd(t *testing.T) {
+	lib, err := NewLibrary(LibraryOpts{BooksPerLevel: 8, Levels: 2, Speed: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene, err := lib.ScanLevel(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := scene.ProfilesOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) < 8 {
+		t.Fatalf("profiles = %d, want >= 8 (level 0 books)", len(ps))
+	}
+	loc, err := stpp.NewLocalizer(scene.STPPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loc.Localize(filterLevel(ps, scene.TruthX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := metrics.OrderingAccuracy(res.XOrderEPCs(), scene.TruthX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.5 {
+		t.Errorf("level scan accuracy = %v", acc)
+	}
+	if _, err := lib.ScanLevel(9, 1); err == nil {
+		t.Error("empty level accepted")
+	}
+}
+
+func TestAirportScene(t *testing.T) {
+	s, err := Airport(PeakHourOpts(10, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tags) != 10 || len(s.TruthX) != 10 {
+		t.Fatalf("scene shape")
+	}
+	// First launched bag (serial 1) is frontmost and passes first.
+	if s.TruthX[0] != epcgen2.NewEPC(1) {
+		t.Errorf("TruthX[0] = %v", s.TruthX[0])
+	}
+	reads, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTag := map[string]int{}
+	for _, r := range reads {
+		byTag[r.EPC.String()]++
+	}
+	if len(byTag) != 10 {
+		t.Errorf("read %d/10 bags", len(byTag))
+	}
+}
+
+func TestAirportValidation(t *testing.T) {
+	if _, err := Airport(AirportOpts{Bags: 1, MinSpacing: 0.1, MaxSpacing: 0.2, BeltSpeed: 0.3}); err == nil {
+		t.Error("1 bag accepted")
+	}
+	if _, err := Airport(AirportOpts{Bags: 5, MinSpacing: 0, MaxSpacing: 0.2, BeltSpeed: 0.3}); err == nil {
+		t.Error("zero spacing accepted")
+	}
+	if _, err := Airport(AirportOpts{Bags: 5, MinSpacing: 0.3, MaxSpacing: 0.2, BeltSpeed: 0.3}); err == nil {
+		t.Error("inverted spacing accepted")
+	}
+	if _, err := Airport(AirportOpts{Bags: 5, MinSpacing: 0.1, MaxSpacing: 0.2, BeltSpeed: 0}); err == nil {
+		t.Error("zero belt speed accepted")
+	}
+}
+
+func TestOffPeakSparserThanPeak(t *testing.T) {
+	peak := PeakHourOpts(10, 1)
+	off := OffPeakOpts(10, 1)
+	if off.MinSpacing <= peak.MaxSpacing {
+		t.Error("off-peak spacing should exceed peak spacing")
+	}
+}
+
+// filterLevel keeps only the profiles whose EPC appears in the truth set,
+// in profile order.
+func filterLevel(ps []*profile.Profile, truth []epcgen2.EPC) []*profile.Profile {
+	want := map[epcgen2.EPC]bool{}
+	for _, e := range truth {
+		want[e] = true
+	}
+	var out []*profile.Profile
+	for _, p := range ps {
+		if want[p.EPC] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+// Package stpp implements the paper's primary contribution: Spatial-
+// Temporal Phase Profiling for relative localization of RFID tags.
+//
+// Given per-tag phase profiles collected while a reader moves past the
+// tags (or the tags move past a reader), STPP:
+//
+//  1. locates each profile's V-zone by matching a synthesized reference
+//     profile with segmented (coarse-grained) Dynamic Time Warping
+//     (Section 3.1 of the paper),
+//  2. orders tags along the movement axis (X) by the time of each V-zone
+//     bottom, recovered with quadratic fitting (Section 3.1.2), and
+//  3. orders tags along the perpendicular axis (Y) by comparing phase
+//     changing rates through the segment-mean metrics O(P,Q) and G(P,Q)
+//     with a pivot tag (Section 3.2).
+//
+// Sign convention: this implementation models reported phase as
+// θ = (4π·d/λ + μ) mod 2π, increasing with distance within a wrap, so a
+// larger V-zone bottom phase means a *farther* tag. (The paper's reader
+// hardware reports the opposite sign; only the comparator direction
+// differs, not the method.)
+package stpp
+
+import (
+	"fmt"
+
+	"repro/internal/profile"
+)
+
+// Config tunes the STPP pipeline.
+type Config struct {
+	// Reference is the geometry for reference-profile synthesis. The
+	// wavelength must match the channel the reads were taken on.
+	Reference profile.ReferenceConfig
+	// Window is w, the segment width in samples for coarse DTW (the paper
+	// settles on w = 5; Figure 12).
+	Window int
+	// YSegments is k, the number of equal segments for the Y-axis
+	// comparison metrics (Section 3.2.1).
+	YSegments int
+	// MinVZoneSamples is the minimum number of samples a detected V-zone
+	// must contain to be usable; sparser profiles are rejected.
+	MinVZoneSamples int
+	// MedianWidth is the width of the median prefilter applied inside the
+	// V-zone before quadratic fitting (knocks out multipath outliers).
+	MedianWidth int
+	// DTWStiffness penalizes non-diagonal warping steps in the coarse DTW
+	// (radians); see dtw.SegmentAlignOpts. Prevents the subsequence match
+	// from collapsing on long measured profiles.
+	DTWStiffness float64
+	// YRiseWindow is the phase depth (radians) of the valley window used
+	// for the Y-axis segment means: every tag is measured from its bottom
+	// up to this rise on each flank, so windows are comparable across tags
+	// regardless of each tag's own bottom phase.
+	YRiseWindow float64
+}
+
+// DefaultConfig mirrors the paper's deployed parameters for a given carrier
+// wavelength.
+func DefaultConfig(wavelength float64) Config {
+	return Config{
+		Reference:       profile.DefaultReferenceConfig(wavelength),
+		Window:          5,
+		YSegments:       10,
+		MinVZoneSamples: 8,
+		MedianWidth:     5,
+		DTWStiffness:    0.5,
+		YRiseWindow:     4.0,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Reference.Validate(); err != nil {
+		return err
+	}
+	if c.Window < 1 {
+		return fmt.Errorf("stpp: window %d < 1", c.Window)
+	}
+	if c.YSegments < 2 {
+		return fmt.Errorf("stpp: y segments %d < 2", c.YSegments)
+	}
+	if c.MinVZoneSamples < 3 {
+		return fmt.Errorf("stpp: min V-zone samples %d < 3", c.MinVZoneSamples)
+	}
+	if c.MedianWidth < 1 {
+		return fmt.Errorf("stpp: median width %d < 1", c.MedianWidth)
+	}
+	if c.DTWStiffness < 0 {
+		return fmt.Errorf("stpp: negative DTW stiffness %v", c.DTWStiffness)
+	}
+	if c.YRiseWindow <= 0 {
+		return fmt.Errorf("stpp: Y rise window %v <= 0", c.YRiseWindow)
+	}
+	return nil
+}

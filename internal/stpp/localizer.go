@@ -1,0 +1,139 @@
+package stpp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/epcgen2"
+	"repro/internal/profile"
+	"repro/internal/reader"
+)
+
+// TagResult is the per-tag outcome of a localization pass.
+type TagResult struct {
+	// EPC identifies the tag.
+	EPC epcgen2.EPC
+	// Profile is the tag's phase profile.
+	Profile *profile.Profile
+	// VZone is the detected V-zone (valid when Err == nil).
+	VZone VZone
+	// X and Y are the ordering keys.
+	X XKey
+	Y YKey
+	// Err records why the tag could not be processed, if it couldn't.
+	Err error
+}
+
+// Result is the outcome of a full 2D relative localization pass.
+type Result struct {
+	// Tags holds per-tag details in first-appearance order.
+	Tags []TagResult
+	// XOrder and YOrder are indices into Tags sorted along each axis
+	// (X: movement direction; Y: distance from the reader trajectory,
+	// nearest first).
+	XOrder []int
+	// YOrder uses the package's sign convention (see package comment).
+	YOrder []int
+}
+
+// XOrderEPCs returns the EPCs in X order.
+func (r *Result) XOrderEPCs() []epcgen2.EPC {
+	out := make([]epcgen2.EPC, len(r.XOrder))
+	for i, j := range r.XOrder {
+		out[i] = r.Tags[j].EPC
+	}
+	return out
+}
+
+// YOrderEPCs returns the EPCs in Y order.
+func (r *Result) YOrderEPCs() []epcgen2.EPC {
+	out := make([]epcgen2.EPC, len(r.YOrder))
+	for i, j := range r.YOrder {
+		out[i] = r.Tags[j].EPC
+	}
+	return out
+}
+
+// Localizer runs the full STPP pipeline.
+type Localizer struct {
+	cfg Config
+	det *Detector
+}
+
+// NewLocalizer builds a localizer for the given configuration.
+func NewLocalizer(cfg Config) (*Localizer, error) {
+	det, err := NewDetector(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Localizer{cfg: cfg, det: det}, nil
+}
+
+// Config returns the localizer's configuration.
+func (l *Localizer) Config() Config { return l.cfg }
+
+// Detector exposes the V-zone detector (for diagnostics/experiments).
+func (l *Localizer) Detector() *Detector { return l.det }
+
+// LocalizeReads groups a raw read log into profiles and localizes them.
+func (l *Localizer) LocalizeReads(reads []reader.TagRead) (*Result, error) {
+	ps := profile.FromReads(reads)
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("stpp: no tag profiles in read log")
+	}
+	return l.Localize(ps)
+}
+
+// Localize runs V-zone detection, X ordering and Y ordering over the given
+// profiles. Tags whose profiles cannot be processed are retained with Err
+// set; they are ordered by whatever partial keys they have (NaN bottom
+// times sort last on X, zero keys sort at the pivot on Y).
+func (l *Localizer) Localize(profiles []*profile.Profile) (*Result, error) {
+	n := len(profiles)
+	if n == 0 {
+		return nil, fmt.Errorf("stpp: no profiles")
+	}
+	res := &Result{Tags: make([]TagResult, n)}
+	vzones := make([]VZone, n)
+	for i, p := range profiles {
+		tr := TagResult{EPC: p.EPC, Profile: p}
+		vz, err := l.det.Detect(p)
+		if err != nil {
+			tr.Err = err
+			res.Tags[i] = tr
+			continue
+		}
+		tr.VZone = vz
+		vzones[i] = vz
+		xk, err := l.cfg.XKeyOf(p, vz)
+		if err != nil {
+			tr.Err = err
+			res.Tags[i] = tr
+			continue
+		}
+		tr.X = xk
+		res.Tags[i] = tr
+	}
+
+	// X order over all tags (failed tags sort last via NaN handling).
+	xkeys := make([]XKey, n)
+	for i := range res.Tags {
+		if res.Tags[i].Err != nil {
+			xkeys[i] = XKey{BottomTime: math.NaN()}
+		} else {
+			xkeys[i] = res.Tags[i].X
+		}
+	}
+	res.XOrder = OrderByX(xkeys)
+
+	// Y order via pivot metrics over the tags with usable V-zones.
+	ykeys, errs := l.cfg.YKeysOf(profiles, vzones, 0)
+	for i := range res.Tags {
+		if res.Tags[i].Err == nil && errs[i] != nil {
+			res.Tags[i].Err = errs[i]
+		}
+		res.Tags[i].Y = ykeys[i]
+	}
+	res.YOrder = OrderByY(ykeys)
+	return res, nil
+}

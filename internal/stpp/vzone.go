@@ -1,0 +1,323 @@
+package stpp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/dtw"
+	"repro/internal/profile"
+)
+
+// VZone is a detected V-zone within a measured profile.
+type VZone struct {
+	// Start and End are the sample index range [Start, End) within the
+	// measured profile.
+	Start, End int
+	// Cost is the DTW matching cost (lower is a better match).
+	Cost float64
+}
+
+// Detector locates V-zones by matching a reference profile against
+// measured profiles with segment-level DTW.
+type Detector struct {
+	cfg Config
+	// reference profile and its a-priori V-zone bounds
+	ref          *profile.Profile
+	refVS, refVE int
+	refSegs      []dtw.Segment
+	// segment indices of the reference V-zone within refSegs
+	refSegVS, refSegVE int
+}
+
+// NewDetector synthesizes the reference profile and prepares its coarse
+// representation.
+func NewDetector(cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ref, vs, ve, err := profile.Reference(cfg.Reference)
+	if err != nil {
+		return nil, err
+	}
+	d := &Detector{cfg: cfg, ref: ref, refVS: vs, refVE: ve}
+	d.refSegs = ref.Segmentize(cfg.Window)
+	// Locate the segments covered by the reference V-zone.
+	d.refSegVS, d.refSegVE = -1, -1
+	for i, s := range d.refSegs {
+		if s.End > vs && d.refSegVS < 0 {
+			d.refSegVS = i
+		}
+		if s.Start < ve {
+			d.refSegVE = i + 1
+		}
+	}
+	if d.refSegVS < 0 || d.refSegVE <= d.refSegVS {
+		return nil, fmt.Errorf("stpp: reference segmentation lost the V-zone")
+	}
+	return d, nil
+}
+
+// Reference exposes the synthesized reference profile and its V-zone
+// bounds, mainly for diagnostics and the figure-7 experiment.
+func (d *Detector) Reference() (*profile.Profile, int, int) {
+	return d.ref, d.refVS, d.refVE
+}
+
+// Detect finds the V-zone in a measured profile. It aligns the segmented
+// reference against the segmented measurement with open-ended coarse DTW
+// (Section 3.1.2) — the measured profile may extend well beyond the
+// reference's period count, so the reference is located as a subsequence —
+// and maps the reference's a-priori V-zone bounds through the warping
+// path.
+func (d *Detector) Detect(p *profile.Profile) (VZone, error) {
+	if p.Len() < d.cfg.MinVZoneSamples {
+		return VZone{}, fmt.Errorf("stpp: profile has %d samples, need >= %d",
+			p.Len(), d.cfg.MinVZoneSamples)
+	}
+	segs := p.Segmentize(d.cfg.Window)
+	if len(segs) == 0 {
+		return VZone{}, fmt.Errorf("stpp: empty segmentation")
+	}
+	res, _, _ := dtw.AlignSegmentsOpenEndOpt(d.refSegs, segs,
+		dtw.SegmentAlignOpts{Stiffness: d.cfg.DTWStiffness})
+	if len(res.Path) == 0 {
+		return VZone{}, fmt.Errorf("stpp: alignment produced no path")
+	}
+
+	// Map reference V-zone segments [refSegVS, refSegVE) to measured
+	// segments via the path.
+	first, last := -1, -1
+	for _, st := range res.Path {
+		if st.I >= d.refSegVS && st.I < d.refSegVE {
+			if first < 0 || st.J < first {
+				first = st.J
+			}
+			if st.J > last {
+				last = st.J
+			}
+		}
+	}
+	if first < 0 {
+		return VZone{}, fmt.Errorf("stpp: warping path missed the V-zone")
+	}
+	start := segs[first].Start
+	end := segs[last].End
+
+	// Refine: the coarse match localizes the V-zone but its boundaries
+	// inherit the reference's geometry (perpendicular distance), which
+	// differs per tag. Snap to this tag's own V-zone: circular-unwrap the
+	// profile, take the unwrapped minimum near the candidate, and expand
+	// until the phase has risen one full period on each side — the wrap
+	// positions that define the V-zone (Section 2.2).
+	start, end = refineVZone(p, start, end)
+	if end-start < d.cfg.MinVZoneSamples {
+		return VZone{}, fmt.Errorf("stpp: detected V-zone too sparse (%d samples)", end-start)
+	}
+	return VZone{Start: start, End: end, Cost: res.Distance}, nil
+}
+
+// refineVZone snaps a candidate V-zone region to the enclosing
+// single-period valley of the profile's circular-unwrapped phase.
+func refineVZone(p *profile.Profile, candStart, candEnd int) (int, int) {
+	n := p.Len()
+	if n == 0 {
+		return candStart, candEnd
+	}
+	// Circular unwrap over the whole profile: cumulative sum of wrapped
+	// differences folded into (-π, π]. Immune to representation wraps; only
+	// genuinely fast phase motion between consecutive reads (>π) aliases,
+	// and that happens far from the V-zone where it cannot move the local
+	// minimum.
+	u := make([]float64, n)
+	u[0] = p.Phases[0]
+	for i := 1; i < n; i++ {
+		d := p.Phases[i] - p.Phases[i-1]
+		if d > math.Pi {
+			d -= 2 * math.Pi
+		} else if d <= -math.Pi {
+			d += 2 * math.Pi
+		}
+		u[i] = u[i-1] + d
+	}
+
+	// Median-filter the unwrapped curve so noise outliers do not fake a
+	// bottom or trip the rise thresholds.
+	um := dsp.MedianFilter(u, 5)
+
+	// Search the candidate region (with half-width margin) for the minimum.
+	margin := (candEnd - candStart) / 2
+	lo := candStart - margin
+	if lo < 0 {
+		lo = 0
+	}
+	hi := candEnd + margin
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return candStart, candEnd
+	}
+	bottom := lo
+	for i := lo + 1; i < hi; i++ {
+		if um[i] < um[bottom] {
+			bottom = i
+		}
+	}
+
+	// Expand to the wrap positions: the wrapped representation jumps where
+	// the phase climbs back to 2π, i.e. after a rise of 2π − φ_bottom on
+	// each side. When the nadir sits within noise of the 0/2π boundary the
+	// strict V-zone degenerates to a sliver (the paper's "nadir may wrap
+	// around" hazard); in that case take one more period so the quadratic
+	// fit has a usable valley — downstream consumers work on the anchored
+	// unwrapped values, so the extra period stays continuous.
+	// u[i] ≡ Phases[i] (mod 2π) by construction, so the filtered unwrapped
+	// bottom folds back to a denoised wrapped bottom phase.
+	w0 := math.Mod(um[bottom], 2*math.Pi)
+	if w0 < 0 {
+		w0 += 2 * math.Pi
+	}
+	rise := 2*math.Pi - w0 - 0.15
+	if rise < 0.8 {
+		rise += 2 * math.Pi
+	}
+	start := bottom
+	for start > 0 && um[start-1]-um[bottom] < rise {
+		start--
+	}
+	end := bottom + 1
+	for end < n && um[end]-um[bottom] < rise {
+		end++
+	}
+	return start, end
+}
+
+// AnchoredPhases returns the V-zone's times and its circular-unwrapped
+// phases re-anchored so the minimum equals the wrapped bottom reading.
+// For a clean single-period V-zone this reproduces the wrapped values
+// exactly; when the nadir wraps through 0 it yields the continuous valley
+// the quadratic fit and the Y-axis segment means need.
+func AnchoredPhases(p *profile.Profile, vz VZone) (times, phases []float64) {
+	n := vz.End - vz.Start
+	if n <= 0 {
+		return nil, nil
+	}
+	times = p.Times[vz.Start:vz.End]
+	raw := p.Phases[vz.Start:vz.End]
+	u := make([]float64, n)
+	u[0] = raw[0]
+	minIdx := 0
+	for i := 1; i < n; i++ {
+		d := raw[i] - raw[i-1]
+		if d > math.Pi {
+			d -= 2 * math.Pi
+		} else if d <= -math.Pi {
+			d += 2 * math.Pi
+		}
+		u[i] = u[i-1] + d
+		if u[i] < u[minIdx] {
+			minIdx = i
+		}
+	}
+	anchor := raw[minIdx] - u[minIdx]
+	for i := range u {
+		u[i] += anchor
+	}
+	return times, u
+}
+
+// ValleyWindow returns the V-zone valley re-windowed to a fixed phase
+// rise: starting from the valley bottom, it expands left and right until
+// the circular-unwrapped phase has climbed `rise` radians (or the profile
+// ends). Y-axis comparison needs windows of equal phase depth — the raw
+// detected V-zones span 2π−φ0, which differs per tag — so all tags are
+// measured over the same depth here. The returned phases are anchored like
+// AnchoredPhases.
+func ValleyWindow(p *profile.Profile, vz VZone, rise float64) (times, phases []float64) {
+	n := p.Len()
+	if n == 0 || vz.End <= vz.Start {
+		return nil, nil
+	}
+	// Circular unwrap of the whole profile.
+	u := make([]float64, n)
+	u[0] = p.Phases[0]
+	for i := 1; i < n; i++ {
+		d := p.Phases[i] - p.Phases[i-1]
+		if d > math.Pi {
+			d -= 2 * math.Pi
+		} else if d <= -math.Pi {
+			d += 2 * math.Pi
+		}
+		u[i] = u[i-1] + d
+	}
+	um := dsp.MedianFilter(u, 5)
+	bottom := vz.Start
+	for i := vz.Start; i < vz.End && i < n; i++ {
+		if um[i] < um[bottom] {
+			bottom = i
+		}
+	}
+	start := bottom
+	for start > 0 && um[start-1]-um[bottom] < rise {
+		start--
+	}
+	end := bottom + 1
+	for end < n && um[end]-um[bottom] < rise {
+		end++
+	}
+	anchor := p.Phases[bottom] - u[bottom]
+	phases = make([]float64, end-start)
+	for i := start; i < end; i++ {
+		phases[i-start] = u[i] + anchor
+	}
+	return p.Times[start:end], phases
+}
+
+// DetectFull runs plain per-sample DTW instead of the segmented variant —
+// the paper's unoptimized baseline, kept for the ablation benchmarks.
+// It resamples the reference to the measured profile's sample count to
+// bound the cost matrix, then maps the reference V-zone through the
+// warping path.
+func (d *Detector) DetectFull(p *profile.Profile) (VZone, error) {
+	if p.Len() < d.cfg.MinVZoneSamples {
+		return VZone{}, fmt.Errorf("stpp: profile has %d samples, need >= %d",
+			p.Len(), d.cfg.MinVZoneSamples)
+	}
+	res := dtw.Align(d.ref.Phases, p.Phases, circularDist)
+	if len(res.Path) == 0 {
+		return VZone{}, fmt.Errorf("stpp: alignment produced no path")
+	}
+	first, last := -1, -1
+	for _, st := range res.Path {
+		if st.I >= d.refVS && st.I < d.refVE {
+			if first < 0 || st.J < first {
+				first = st.J
+			}
+			if st.J > last {
+				last = st.J
+			}
+		}
+	}
+	if first < 0 {
+		return VZone{}, fmt.Errorf("stpp: warping path missed the V-zone")
+	}
+	if last+1-first < d.cfg.MinVZoneSamples {
+		return VZone{}, fmt.Errorf("stpp: detected V-zone too sparse (%d samples)", last+1-first)
+	}
+	return VZone{Start: first, End: last + 1, Cost: res.Distance}, nil
+}
+
+// circularDist is |a−b| on the phase circle, so wraps do not masquerade as
+// huge pointwise distances in full-resolution DTW.
+func circularDist(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	const twoPi = 2 * 3.14159265358979323846
+	if d > twoPi/2 {
+		d = twoPi - d
+	}
+	return d
+}

@@ -1,0 +1,92 @@
+package stpp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dsp"
+	"repro/internal/profile"
+)
+
+// XKey is the X-axis ordering key of one tag: the time its V-zone bottom
+// occurs, recovered by quadratic fitting (Section 3.1.2, Figure 9).
+type XKey struct {
+	// BottomTime is the fitted time of the V-zone minimum, in seconds.
+	BottomTime float64
+	// BottomPhase is the fitted phase at the minimum, radians.
+	BottomPhase float64
+	// Fit is the quadratic fitted to the (unwrapped) V-zone samples.
+	Fit dsp.Quadratic
+	// R2 is the goodness of the fit.
+	R2 float64
+}
+
+// XKeyOf fits a quadratic to the V-zone of a profile and extracts the
+// bottom time. The V-zone samples are median-filtered and gap-aware
+// unwrapped first: the nadir of a noisy profile may wrap through 0, which
+// would otherwise destroy the parabola.
+func (c Config) XKeyOf(p *profile.Profile, vz VZone) (XKey, error) {
+	n := vz.End - vz.Start
+	if n < 3 {
+		return XKey{}, fmt.Errorf("stpp: V-zone has %d samples, need >= 3", n)
+	}
+	// Work on the continuous valley: circular-unwrapped phases anchored at
+	// the wrapped bottom (handles the nadir wrapping through 0), with a
+	// median prefilter against multipath outliers.
+	times, un := AnchoredPhases(p, vz)
+	clean := dsp.MedianFilter(un, c.MedianWidth)
+
+	q, err := dsp.FitQuadratic(times, clean)
+	if err != nil {
+		return XKey{}, fmt.Errorf("stpp: quadratic fit: %w", err)
+	}
+	pred := make([]float64, len(times))
+	for i, t := range times {
+		pred[i] = q.Eval(t)
+	}
+	r2 := dsp.RSquared(clean, pred)
+
+	k := XKey{Fit: q, R2: r2}
+	if q.OpensUpward() {
+		k.BottomTime = q.VertexX()
+		k.BottomPhase = q.VertexY()
+		// A vertex far outside the observed window means the fit latched
+		// onto a monotone flank; fall back to the raw minimum.
+		lo, hi := times[0], times[len(times)-1]
+		span := hi - lo
+		if k.BottomTime < lo-span || k.BottomTime > hi+span {
+			k.BottomTime, k.BottomPhase = rawMin(times, clean)
+		}
+	} else {
+		// Degenerate or downward fit: fall back to the raw minimum.
+		k.BottomTime, k.BottomPhase = rawMin(times, clean)
+	}
+	return k, nil
+}
+
+func rawMin(times, phases []float64) (float64, float64) {
+	i := dsp.ArgMin(phases)
+	return times[i], phases[i]
+}
+
+// OrderByX sorts tag indices by ascending V-zone bottom time — the order
+// the reader passed the tags along the movement axis. NaN bottom times
+// sort last.
+func OrderByX(keys []XKey) []int {
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ta, tb := keys[idx[a]].BottomTime, keys[idx[b]].BottomTime
+		if math.IsNaN(ta) {
+			return false
+		}
+		if math.IsNaN(tb) {
+			return true
+		}
+		return ta < tb
+	})
+	return idx
+}

@@ -1,0 +1,170 @@
+package stpp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/profile"
+)
+
+// OMetric is the paper's O(P,Q) comparator (Section 3.2.1) over the
+// k-segment mean representations of two V-zone profiles:
+//
+//	O(P,Q) = Σ_i (sP,i − sQ,i) / sP,i
+//
+// Under this package's sign convention (phase grows with distance within a
+// wrap), a value near k means P's means dominate — P is farther from the
+// reader trajectory than Q; a value near 0 (or below) means the opposite.
+func OMetric(sp, sq []float64) (float64, error) {
+	if len(sp) != len(sq) {
+		return 0, fmt.Errorf("stpp: O metric over %d vs %d segments", len(sp), len(sq))
+	}
+	var o float64
+	for i := range sp {
+		if sp[i] == 0 {
+			continue // a zero mean phase cannot be normalized against
+		}
+		o += (sp[i] - sq[i]) / sp[i]
+	}
+	return o, nil
+}
+
+// GMetric is the paper's G(P,Q) gap measure:
+//
+//	G(P,Q) = Σ_i ‖sP,i − sQ,i‖
+//
+// It grows with the physical Y spacing of the two tags and is used with a
+// pivot to order M tags in M−1 comparisons (Section 3.2.2).
+func GMetric(sp, sq []float64) (float64, error) {
+	if len(sp) != len(sq) {
+		return 0, fmt.Errorf("stpp: G metric over %d vs %d segments", len(sp), len(sq))
+	}
+	var g float64
+	for i := range sp {
+		d := sp[i] - sq[i]
+		if d < 0 {
+			d = -d
+		}
+		g += d
+	}
+	return g, nil
+}
+
+// YKey is a tag's Y-axis ordering key: its signed gap from the pivot tag.
+// Positive means farther than the pivot (per the package sign convention).
+type YKey struct {
+	// O and G are the raw metric values against the pivot.
+	O, G float64
+	// Signed is −G when the tag is nearer than the pivot, +G when farther;
+	// the pivot itself has Signed = 0.
+	Signed float64
+}
+
+// YKeysOf computes each tag's V-zone segment means and its YKey against
+// the pivot tag (index into profiles). Profiles whose V-zone is unusable
+// yield an error at that index in errs; their key is the zero value and
+// they sort adjacent to the pivot.
+func (c Config) YKeysOf(profiles []*profile.Profile, vzones []VZone, pivot int) ([]YKey, []error) {
+	n := len(profiles)
+	keys := make([]YKey, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return keys, errs
+	}
+	if pivot < 0 || pivot >= n {
+		pivot = 0
+	}
+	means := make([][]float64, n)
+	for i, p := range profiles {
+		vz := vzones[i]
+		if vz.End-vz.Start < c.YSegments {
+			errs[i] = fmt.Errorf("stpp: V-zone of tag %d has %d samples < %d segments",
+				i, vz.End-vz.Start, c.YSegments)
+			continue
+		}
+		// Segment means over a fixed-depth valley window so windows are
+		// comparable across tags and a nadir that wraps through 0 does not
+		// corrupt the averages.
+		_, phases := ValleyWindow(p, vz, c.YRiseWindow)
+		m, err := segmentMeans(phases, c.YSegments)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		means[i] = m
+	}
+	if means[pivot] == nil {
+		// Pick any usable pivot instead.
+		for i := range means {
+			if means[i] != nil {
+				pivot = i
+				break
+			}
+		}
+	}
+	if means[pivot] == nil {
+		for i := range errs {
+			if errs[i] == nil {
+				errs[i] = fmt.Errorf("stpp: no usable pivot")
+			}
+		}
+		return keys, errs
+	}
+	sp := means[pivot]
+	for i := range profiles {
+		if means[i] == nil || i == pivot {
+			continue
+		}
+		// Note the argument order: O(pivot, Q) > 0 means pivot farther.
+		o, err := OMetric(sp, means[i])
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		g, err := GMetric(sp, means[i])
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		k := YKey{O: o, G: g}
+		if o > 0 {
+			k.Signed = -g // pivot farther → this tag nearer
+		} else {
+			k.Signed = g
+		}
+		keys[i] = k
+	}
+	return keys, errs
+}
+
+// segmentMeans splits values into k equal-count chunks and returns each
+// chunk's mean (the V-zone coarse representation of Section 3.2.1).
+func segmentMeans(values []float64, k int) ([]float64, error) {
+	n := len(values)
+	if n < k {
+		return nil, fmt.Errorf("stpp: %d values < %d segments", n, k)
+	}
+	out := make([]float64, k)
+	for s := 0; s < k; s++ {
+		lo, hi := s*n/k, (s+1)*n/k
+		var sum float64
+		for i := lo; i < hi; i++ {
+			sum += values[i]
+		}
+		out[s] = sum / float64(hi-lo)
+	}
+	return out, nil
+}
+
+// OrderByY sorts tag indices by ascending signed gap — nearest to the
+// reader trajectory first.
+func OrderByY(keys []YKey) []int {
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return keys[idx[a]].Signed < keys[idx[b]].Signed
+	})
+	return idx
+}

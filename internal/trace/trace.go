@@ -1,0 +1,170 @@
+// Package trace records and replays reader logs. Two formats are
+// supported: JSON Lines (one read per line, human-greppable, the format a
+// field deployment would archive) and gob (compact binary for large
+// benchmark corpora). A header carries scenario metadata and the ground
+// truth so a trace is self-contained for accuracy evaluation.
+package trace
+
+import (
+	"bufio"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/epcgen2"
+	"repro/internal/reader"
+)
+
+// Header describes the recorded scenario.
+type Header struct {
+	// Scenario names the generator (e.g. "library", "airport-peak").
+	Scenario string `json:"scenario"`
+	// Seed reproduces the trace from the generator.
+	Seed int64 `json:"seed"`
+	// TruthX and TruthY are the ground-truth EPC orders (hex strings).
+	TruthX []string `json:"truth_x,omitempty"`
+	TruthY []string `json:"truth_y,omitempty"`
+	// PerpDist and Speed configure the STPP reference for this trace.
+	PerpDist float64 `json:"perp_dist"`
+	Speed    float64 `json:"speed"`
+}
+
+// Trace is a read log plus its metadata.
+type Trace struct {
+	Header Header
+	Reads  []reader.TagRead
+}
+
+// TruthXEPCs decodes the header's X ground truth.
+func (t *Trace) TruthXEPCs() ([]epcgen2.EPC, error) {
+	return decodeEPCs(t.Header.TruthX)
+}
+
+// TruthYEPCs decodes the header's Y ground truth.
+func (t *Trace) TruthYEPCs() ([]epcgen2.EPC, error) {
+	return decodeEPCs(t.Header.TruthY)
+}
+
+func decodeEPCs(hex []string) ([]epcgen2.EPC, error) {
+	out := make([]epcgen2.EPC, 0, len(hex))
+	for _, s := range hex {
+		e, err := epcgen2.ParseEPC(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// EncodeEPCs renders EPCs as hex strings for a header.
+func EncodeEPCs(epcs []epcgen2.EPC) []string {
+	out := make([]string, len(epcs))
+	for i, e := range epcs {
+		out[i] = e.String()
+	}
+	return out
+}
+
+// WriteJSONL writes the trace as a JSON header line followed by one JSON
+// object per read.
+func WriteJSONL(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(t.Header); err != nil {
+		return fmt.Errorf("trace: encode header: %w", err)
+	}
+	for i := range t.Reads {
+		r := &t.Reads[i]
+		j := jsonRead{
+			EPC:     r.EPC.String(),
+			Time:    r.Time,
+			Phase:   r.Phase,
+			RSSI:    r.RSSI,
+			Channel: r.Channel,
+		}
+		if err := enc.Encode(&j); err != nil {
+			return fmt.Errorf("trace: encode read %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	t := &Trace{}
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("trace: read header: %w", err)
+		}
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &t.Header); err != nil {
+		return nil, fmt.Errorf("trace: parse header: %w", err)
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var rd jsonRead
+		if err := json.Unmarshal([]byte(raw), &rd); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		tr, err := rd.toTagRead()
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		t.Reads = append(t.Reads, tr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return t, nil
+}
+
+// jsonRead mirrors reader.TagRead with a hex EPC for the JSON form.
+type jsonRead struct {
+	EPC     string  `json:"epc"`
+	Time    float64 `json:"t"`
+	Phase   float64 `json:"phase"`
+	RSSI    float64 `json:"rssi"`
+	Channel int     `json:"ch"`
+}
+
+func (j jsonRead) toTagRead() (reader.TagRead, error) {
+	e, err := epcgen2.ParseEPC(j.EPC)
+	if err != nil {
+		return reader.TagRead{}, err
+	}
+	return reader.TagRead{EPC: e, Time: j.Time, Phase: j.Phase, RSSI: j.RSSI, Channel: j.Channel}, nil
+}
+
+// gobTrace is the on-wire form for the binary codec.
+type gobTrace struct {
+	Header Header
+	Reads  []reader.TagRead
+}
+
+// WriteGob writes the trace in the compact binary format.
+func WriteGob(w io.Writer, t *Trace) error {
+	if err := gob.NewEncoder(w).Encode(gobTrace{Header: t.Header, Reads: t.Reads}); err != nil {
+		return fmt.Errorf("trace: gob encode: %w", err)
+	}
+	return nil
+}
+
+// ReadGob parses a binary trace.
+func ReadGob(r io.Reader) (*Trace, error) {
+	var g gobTrace
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("trace: gob decode: %w", err)
+	}
+	return &Trace{Header: g.Header, Reads: g.Reads}, nil
+}

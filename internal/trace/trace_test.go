@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/epcgen2"
+	"repro/internal/reader"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Header: Header{
+			Scenario: "test",
+			Seed:     42,
+			TruthX:   EncodeEPCs([]epcgen2.EPC{epcgen2.NewEPC(1), epcgen2.NewEPC(2)}),
+			PerpDist: 0.35,
+			Speed:    0.1,
+		},
+		Reads: []reader.TagRead{
+			{EPC: epcgen2.NewEPC(1), Time: 0.1, Phase: 1.25, RSSI: -55.5, Channel: 6},
+			{EPC: epcgen2.NewEPC(2), Time: 0.2, Phase: 2.5, RSSI: -60, Channel: 6},
+			{EPC: epcgen2.NewEPC(1), Time: 0.3, Phase: 1.3, RSSI: -55, Channel: 6},
+		},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header contains slices, so compare fields piecewise.
+	if back.Header.Scenario != "test" || back.Header.Seed != 42 {
+		t.Errorf("header = %+v", back.Header)
+	}
+	if len(back.Reads) != len(orig.Reads) {
+		t.Fatalf("reads = %d", len(back.Reads))
+	}
+	for i := range orig.Reads {
+		if back.Reads[i] != orig.Reads[i] {
+			t.Errorf("read %d: %+v != %+v", i, back.Reads[i], orig.Reads[i])
+		}
+	}
+	truth, err := back.TruthXEPCs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != 2 || truth[0] != epcgen2.NewEPC(1) {
+		t.Errorf("truth = %v", truth)
+	}
+}
+
+func TestJSONLIsLineOriented(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 reads
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The EPC travels as hex, not a byte array.
+	if !strings.Contains(lines[1], `"epc":"3064`) {
+		t.Errorf("read line = %s", lines[1])
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	withBlanks := strings.Replace(buf.String(), "\n", "\n\n", 1)
+	back, err := ReadJSONL(strings.NewReader(withBlanks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Reads) != 3 {
+		t.Errorf("reads = %d", len(back.Reads))
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader("{}\ngarbage\n")); err == nil {
+		t.Error("garbage read line accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader("{}\n{\"epc\":\"zz\"}\n")); err == nil {
+		t.Error("bad EPC accepted")
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteGob(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Reads) != len(orig.Reads) {
+		t.Fatalf("reads = %d", len(back.Reads))
+	}
+	for i := range orig.Reads {
+		if back.Reads[i] != orig.Reads[i] {
+			t.Errorf("read %d mismatch", i)
+		}
+	}
+	if back.Header.Scenario != orig.Header.Scenario {
+		t.Errorf("header lost")
+	}
+}
+
+func TestReadGobError(t *testing.T) {
+	if _, err := ReadGob(strings.NewReader("junk")); err == nil {
+		t.Error("garbage gob accepted")
+	}
+}
+
+func TestTruthDecodeErrors(t *testing.T) {
+	tr := &Trace{Header: Header{TruthX: []string{"zz"}}}
+	if _, err := tr.TruthXEPCs(); err == nil {
+		t.Error("bad truth accepted")
+	}
+	tr2 := &Trace{Header: Header{TruthY: []string{"zz"}}}
+	if _, err := tr2.TruthYEPCs(); err == nil {
+		t.Error("bad truth accepted")
+	}
+	empty := &Trace{}
+	if x, err := empty.TruthXEPCs(); err != nil || len(x) != 0 {
+		t.Error("empty truth should decode to empty")
+	}
+}
