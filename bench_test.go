@@ -12,7 +12,9 @@ import (
 	"repro/internal/dtw"
 	"repro/internal/experiment"
 	"repro/internal/geom"
+	"repro/internal/pipeline"
 	"repro/internal/profile"
+	"repro/internal/reader"
 	"repro/internal/scenario"
 	"repro/internal/stpp"
 )
@@ -123,6 +125,85 @@ func BenchmarkSegmentedAlign(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dtw.AlignSegmentsOpenEndOpt(rs, qs, dtw.SegmentAlignOpts{Stiffness: 0.5})
+	}
+}
+
+// --- streaming engine vs batch localizer ---
+
+// benchReadLog produces a 20-tag population read log plus its STPP config.
+func benchReadLog(b *testing.B) ([]reader.TagRead, stpp.Config) {
+	b.Helper()
+	s, err := scenario.Population(20, true, 0.3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, err := s.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reads, s.STPPConfig()
+}
+
+// BenchmarkStreamingVsBatch compares the single-threaded batch Localizer
+// against the streaming Engine (worker pool over per-tag detection) on the
+// same read log, including one mid-stream snapshot for the streaming case.
+func BenchmarkStreamingVsBatch(b *testing.B) {
+	reads, cfg := benchReadLog(b)
+	loc, err := stpp.NewLocalizer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := loc.LocalizeReads(reads); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := pipeline.NewFromLocalizer(loc, pipeline.Options{})
+			if _, err := eng.Localize(reads); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// One mid-stream snapshot on top: measures the cost of incremental
+	// answers (every touched tag is re-detected at the second snapshot).
+	b.Run("streaming-incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := pipeline.NewFromLocalizer(loc, pipeline.Options{})
+			eng.Consume(reads[:len(reads)/2])
+			if _, err := eng.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+			eng.Consume(reads[len(reads)/2:])
+			if _, err := eng.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelRunner compares serial and pooled repetition execution
+// on a macro experiment (identical tables either way).
+func BenchmarkParallelRunner(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			r := experiment.Runner{Seed: 1, Reps: 4, Quick: true, Workers: bc.workers}
+			for i := 0; i < b.N; i++ {
+				tab, err := experiment.Run("fig18", r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tab.Render(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

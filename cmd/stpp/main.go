@@ -8,6 +8,7 @@
 //	tracegen -scenario library -o shelf.jsonl
 //	stpp -in shelf.jsonl
 //	stpp -in pop.gob -gob -w 5
+//	stpp -in shelf.jsonl -stream -every 2   # incremental snapshots
 package main
 
 import (
@@ -18,18 +19,23 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/phys"
+	"repro/internal/pipeline"
+	"repro/internal/reader"
 	"repro/internal/stpp"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		in     = flag.String("in", "-", "input trace ('-' = stdin)")
-		gob    = flag.Bool("gob", false, "input is gob instead of JSONL")
-		window = flag.Int("w", 5, "segmentation window w")
-		ch     = flag.Int("channel", 6, "carrier channel for the reference wavelength")
-		perp   = flag.Float64("perp", 0, "override perpendicular distance (m); 0 = use trace header")
-		speed  = flag.Float64("speed", 0, "override sweep speed (m/s); 0 = use trace header")
+		in      = flag.String("in", "-", "input trace ('-' = stdin)")
+		gob     = flag.Bool("gob", false, "input is gob instead of JSONL")
+		window  = flag.Int("w", 5, "segmentation window w")
+		ch      = flag.Int("channel", 6, "carrier channel for the reference wavelength")
+		perp    = flag.Float64("perp", 0, "override perpendicular distance (m); 0 = use trace header")
+		speed   = flag.Float64("speed", 0, "override sweep speed (m/s); 0 = use trace header")
+		stream  = flag.Bool("stream", false, "replay the trace through the streaming engine, printing incremental snapshots")
+		every   = flag.Float64("every", 1, "streaming snapshot interval in trace seconds")
+		workers = flag.Int("workers", 0, "streaming per-tag worker pool (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -72,7 +78,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := loc.LocalizeReads(tr.Reads)
+	var res *stpp.Result
+	if *stream {
+		res, err = streamTrace(loc, tr.Reads, *every, *workers)
+	} else {
+		res, err = loc.LocalizeReads(tr.Reads)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -109,6 +120,44 @@ func main() {
 			fmt.Printf("Y ordering accuracy vs ground truth: %.0f%%\n", acc*100)
 		}
 	}
+}
+
+// streamTrace replays a recorded read log through the streaming engine in
+// timestamp order, as if it were arriving live from the reader: reads are
+// fed in `every`-second windows, a progress line is printed per snapshot,
+// and the final result — identical to the batch path — is returned.
+func streamTrace(loc *stpp.Localizer, reads []reader.TagRead, every float64, workers int) (*stpp.Result, error) {
+	if every <= 0 {
+		every = 1
+	}
+	eng := pipeline.NewFromLocalizer(loc, pipeline.Options{Workers: workers})
+	start := 0
+	window := 1
+	for start < len(reads) {
+		limit := reads[0].Time + float64(window)*every
+		end := start
+		for end < len(reads) && reads[end].Time < limit {
+			end++
+		}
+		eng.Consume(reads[start:end])
+		// Intermediate window with new reads: report progress. Empty
+		// windows (gaps in the trace) cannot change the result.
+		if end < len(reads) && end > start {
+			if res, err := eng.Snapshot(); err == nil {
+				located := 0
+				for _, tag := range res.Tags {
+					if tag.Err == nil {
+						located++
+					}
+				}
+				fmt.Printf("t=%6.2fs  %4d reads  %3d tags seen  %3d located\n",
+					limit-reads[0].Time, end, eng.Tags(), located)
+			}
+		}
+		start = end
+		window++
+	}
+	return eng.Snapshot()
 }
 
 func fatal(err error) {

@@ -1,5 +1,7 @@
-// Quickstart: simulate a reader sweeping past four tags, run the full STPP
-// pipeline, and print the recovered relative order.
+// Quickstart: simulate a reader sweeping past four tags, stream the reads
+// through the incremental localization engine — printing the recovered
+// order as it firms up mid-sweep — and print the final relative order,
+// which is identical to the batch pipeline's.
 //
 //	go run ./examples/quickstart
 package main
@@ -7,11 +9,13 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"repro/internal/epcgen2"
 	"repro/internal/geom"
 	"repro/internal/motion"
 	"repro/internal/phys"
+	"repro/internal/pipeline"
 	"repro/internal/reader"
 	"repro/internal/stpp"
 )
@@ -42,18 +46,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	reads := sim.Run(traj.Duration())
-	fmt.Printf("collected %d phase reads from %d tags\n", len(reads), len(tags))
 
-	// STPP: configure the reference profile for this geometry and localize.
+	// STPP: configure the reference profile for this geometry and build the
+	// streaming engine. Reads flow out of the simulator as they happen and
+	// the engine refines its ordering with every snapshot — no need to wait
+	// for the sweep to finish.
 	cfg := stpp.DefaultConfig(phys.ChinaBand.Wavelength(6))
 	cfg.Reference.PerpDist = geom.V2(0.15, 0.30).Norm() // ≈ 0.335 m
 	cfg.Reference.Speed = 0.2
-	loc, err := stpp.NewLocalizer(cfg)
+	eng, err := pipeline.New(cfg, pipeline.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := loc.LocalizeReads(reads)
+
+	fmt.Println("streaming the sweep (snapshot every 2 s of trace time):")
+	res, err := eng.RunSimulator(sim, traj.Duration(), 2,
+		func(t float64, snap *stpp.Result) {
+			var order []string
+			for _, e := range snap.XOrderEPCs() {
+				order = append(order, e.String())
+			}
+			fmt.Printf("  t=%4.1fs  %d tags seen  X order so far: %s\n",
+				t, len(snap.Tags), strings.Join(order, " < "))
+		})
 	if err != nil {
 		log.Fatal(err)
 	}

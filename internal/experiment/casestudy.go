@@ -104,14 +104,16 @@ func Table2(r Runner) (*Table, error) {
 	}
 	booksPerLevel := r.scale(30, 12)
 	for _, k := range []int{1, 2, 3} {
-		succ := 0
 		reps := r.reps()
-		for rep := 0; rep < reps; rep++ {
+		oks, err := repMap(r, reps, func(rep int) (bool, error) {
 			seed := r.Seed + int64(rep*3+k)*9973
-			ok, err := misplacedTrial(seed, booksPerLevel, k)
-			if err != nil {
-				return nil, err
-			}
+			return misplacedTrial(seed, booksPerLevel, k)
+		})
+		if err != nil {
+			return nil, err
+		}
+		succ := 0
+		for _, ok := range oks {
 			if ok {
 				succ++
 			}
@@ -185,29 +187,43 @@ func Table3(r Runner) (*Table, error) {
 	for _, p := range periods {
 		correct := map[string]int{}
 		total := 0
-		for rep := 0; rep < p.reps; rep++ {
+		type periodRep struct {
+			correct map[string]int
+			total   int
+		}
+		perRep, err := repMap(r, p.reps, func(rep int) (periodRep, error) {
 			opts := p.opts
 			opts.Seed += int64(rep) * 31357
 			s, err := scenario.Airport(opts)
 			if err != nil {
-				return nil, err
+				return periodRep{}, err
 			}
 			ps, err := s.ProfilesOf()
 			if err != nil {
-				return nil, err
+				return periodRep{}, err
 			}
 			x, _, err := stppOrdersFromProfiles(s, ps)
 			if err != nil {
-				return nil, err
+				return periodRep{}, err
 			}
-			correct["STPP"] += correctCount(x, s.TruthX)
+			out := periodRep{correct: map[string]int{}, total: len(s.TruthX)}
+			out.correct["STPP"] = correctCount(x, s.TruthX)
 			if ord, err := baseline.OTrack(ps, baseline.DefaultOTrackConfig()); err == nil {
-				correct["OTrack"] += correctCount(ord.X, s.TruthX)
+				out.correct["OTrack"] = correctCount(ord.X, s.TruthX)
 			}
 			if ord, err := baseline.GRSSI(ps); err == nil {
-				correct["G-RSSI"] += correctCount(ord.X, s.TruthX)
+				out.correct["G-RSSI"] = correctCount(ord.X, s.TruthX)
 			}
-			total += len(s.TruthX)
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range perRep {
+			for k, c := range v.correct {
+				correct[k] += c
+			}
+			total += v.total
 		}
 		for _, scheme := range []string{"STPP", "OTrack", "G-RSSI"} {
 			t.AddRow(p.name, scheme,

@@ -34,12 +34,11 @@ func IDOrder(r Runner) (*Table, error) {
 	if n > 12 {
 		n = 12 // keep the whole row inside one static reading zone
 	}
-	var alohaTau float64
-	for rep := 0; rep < reps; rep++ {
+	alohaTaus, err := repMap(r, reps, func(rep int) (float64, error) {
 		seed := r.Seed + int64(rep)*127
 		s, err := scenario.Population(n, false, 0.3, seed)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		// Park the antenna over the row's center.
 		var cx float64
@@ -53,7 +52,7 @@ func IDOrder(r Runner) (*Table, error) {
 		s.Duration = 3
 		reads, err := s.Run()
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		var idOrder []epcgen2.EPC
 		seen := map[epcgen2.EPC]bool{}
@@ -64,18 +63,20 @@ func IDOrder(r Runner) (*Table, error) {
 			}
 		}
 		idOrder = padOrder(idOrder, s.TruthX)
-		tau, err := metrics.KendallTau(idOrder, s.TruthX)
-		if err != nil {
-			return nil, err
-		}
+		return metrics.KendallTau(idOrder, s.TruthX)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var alohaTau float64
+	for _, tau := range alohaTaus {
 		alohaTau += tau
 	}
 	t.AddRow("frame-slotted ALOHA (first read)", f2(alohaTau/float64(reps)), fmt.Sprint(reps))
 
 	// Tree walking: identification order is EPC order, independent of
 	// placement. Shuffle placements and correlate.
-	var treeTau float64
-	for rep := 0; rep < reps; rep++ {
+	treeTaus, err := repMap(r, reps, func(rep int) (float64, error) {
 		rng := rand.New(rand.NewSource(r.Seed + int64(rep)*131))
 		epcs := make([]epcgen2.EPC, n)
 		for i := range epcs {
@@ -88,10 +89,13 @@ func IDOrder(r Runner) (*Table, error) {
 		for i, idx := range order {
 			got[i] = epcs[idx]
 		}
-		tau, err := metrics.KendallTau(got, spatial)
-		if err != nil {
-			return nil, err
-		}
+		return metrics.KendallTau(got, spatial)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var treeTau float64
+	for _, tau := range treeTaus {
 		treeTau += tau
 	}
 	t.AddRow("tree walking (EPC order)", f2(treeTau/float64(reps)), fmt.Sprint(reps))
@@ -109,22 +113,23 @@ func AblationDTW(r Runner) (*Table, error) {
 	}
 	n := r.scale(10, 5)
 	reps := r.reps()
-	var segAcc, fullAcc float64
-	var segMS, fullMS float64
-	var detections int
-	for rep := 0; rep < reps; rep++ {
+	type dtwRep struct {
+		segAcc, fullAcc float64
+		segMS, fullMS   float64
+	}
+	perRep, err := repMap(r, reps, func(rep int) (dtwRep, error) {
 		seed := r.Seed + int64(rep)*173
 		s, err := scenario.Population(n, true, 0.3, seed)
 		if err != nil {
-			return nil, err
+			return dtwRep{}, err
 		}
 		ps, err := s.ProfilesOf()
 		if err != nil {
-			return nil, err
+			return dtwRep{}, err
 		}
 		loc, err := stpp.NewLocalizer(s.STPPConfig())
 		if err != nil {
-			return nil, err
+			return dtwRep{}, err
 		}
 		cfg := loc.Config()
 		det := loc.Detector()
@@ -163,13 +168,25 @@ func AblationDTW(r Runner) (*Table, error) {
 
 		segOrder, segT := orderOf(false)
 		fullOrder, fullT := orderOf(true)
-		segAcc += accuracyOrZero(segOrder, s.TruthX)
-		fullAcc += accuracyOrZero(fullOrder, s.TruthX)
-		segMS += segT
-		fullMS += fullT
-		detections++
+		return dtwRep{
+			segAcc:  accuracyOrZero(segOrder, s.TruthX),
+			fullAcc: accuracyOrZero(fullOrder, s.TruthX),
+			segMS:   segT,
+			fullMS:  fullT,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	d := float64(detections)
+	var segAcc, fullAcc float64
+	var segMS, fullMS float64
+	for _, v := range perRep {
+		segAcc += v.segAcc
+		fullAcc += v.fullAcc
+		segMS += v.segMS
+		fullMS += v.fullMS
+	}
+	d := float64(reps)
 	t.AddRow("segmented (paper)", f2(segAcc/d), f2(segMS/d))
 	t.AddRow("full DTW", f2(fullAcc/d), f2(fullMS/d))
 	t.AddNote("segmentation keeps accuracy while cutting per-tag detection time (paper's O(MN/w²) claim)")
@@ -186,20 +203,20 @@ func AblationFit(r Runner) (*Table, error) {
 	}
 	n := r.scale(12, 6)
 	reps := r.reps()
-	var fitAcc, rawAcc float64
-	for rep := 0; rep < reps; rep++ {
+	type fitRep struct{ fit, raw float64 }
+	perRep, err := repMap(r, reps, func(rep int) (fitRep, error) {
 		seed := r.Seed + int64(rep)*379
 		s, err := scenario.Population(n, true, 0.3, seed)
 		if err != nil {
-			return nil, err
+			return fitRep{}, err
 		}
 		ps, err := s.ProfilesOf()
 		if err != nil {
-			return nil, err
+			return fitRep{}, err
 		}
 		loc, err := stpp.NewLocalizer(s.STPPConfig())
 		if err != nil {
-			return nil, err
+			return fitRep{}, err
 		}
 		cfg := loc.Config()
 		det := loc.Detector()
@@ -235,8 +252,18 @@ func AblationFit(r Runner) (*Table, error) {
 			}
 			return out
 		}
-		fitAcc += accuracyOrZero(toOrder(fitKeys), s.TruthX)
-		rawAcc += accuracyOrZero(toOrder(rawKeys), s.TruthX)
+		return fitRep{
+			fit: accuracyOrZero(toOrder(fitKeys), s.TruthX),
+			raw: accuracyOrZero(toOrder(rawKeys), s.TruthX),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var fitAcc, rawAcc float64
+	for _, v := range perRep {
+		fitAcc += v.fit
+		rawAcc += v.raw
 	}
 	t.AddRow("quadratic fit (paper)", f2(fitAcc/float64(reps)))
 	t.AddRow("raw minimum", f2(rawAcc/float64(reps)))
@@ -254,29 +281,35 @@ func AblationPeriods(r Runner) (*Table, error) {
 	}
 	n := r.scale(10, 5)
 	for _, periods := range []int{2, 4, 6, 8} {
-		var acc float64
 		reps := r.reps()
-		for rep := 0; rep < reps; rep++ {
+		accs, err := repMap(r, reps, func(rep int) (float64, error) {
 			seed := r.Seed + int64(rep)*977
 			s, err := scenario.Population(n, true, 0.3, seed)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			cfg := s.STPPConfig()
 			cfg.Reference.Periods = periods
 			loc, err := stpp.NewLocalizer(cfg)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			ps, err := s.ProfilesOf()
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := loc.Localize(ps)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			acc += accuracyOrZero(res.XOrderEPCs(), s.TruthX)
+			return accuracyOrZero(res.XOrderEPCs(), s.TruthX), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var acc float64
+		for _, a := range accs {
+			acc += a
 		}
 		t.AddRow(fmt.Sprint(periods), f2(acc/float64(r.reps())))
 	}
@@ -294,30 +327,38 @@ func AblationPivot(r Runner) (*Table, error) {
 	}
 	n := r.scale(8, 5)
 	reps := r.reps()
-	var pivotAcc, pairAcc float64
-	for rep := 0; rep < reps; rep++ {
+	type pivotRep struct{ pivot, pair float64 }
+	perRep, err := repMap(r, reps, func(rep int) (pivotRep, error) {
 		seed := r.Seed + int64(rep)*1543
 		s, err := yScatterScene(n, seed)
 		if err != nil {
-			return nil, err
+			return pivotRep{}, err
 		}
 		ps, err := s.ProfilesOf()
 		if err != nil {
-			return nil, err
+			return pivotRep{}, err
 		}
 		loc, err := stpp.NewLocalizer(s.STPPConfig())
 		if err != nil {
-			return nil, err
+			return pivotRep{}, err
 		}
 		res, err := loc.Localize(ps)
 		if err != nil {
-			return nil, err
+			return pivotRep{}, err
 		}
-		pivotAcc += accuracyOrZero(res.YOrderEPCs(), s.TruthY)
-
 		// All-pairs: recover Y order by counting pairwise O-metric wins.
-		pairOrder := allPairsYOrder(res)
-		pairAcc += accuracyOrZero(pairOrder, s.TruthY)
+		return pivotRep{
+			pivot: accuracyOrZero(res.YOrderEPCs(), s.TruthY),
+			pair:  accuracyOrZero(allPairsYOrder(res), s.TruthY),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pivotAcc, pairAcc float64
+	for _, v := range perRep {
+		pivotAcc += v.pivot
+		pairAcc += v.pair
 	}
 	t.AddRow("pivot (paper)", f2(pivotAcc/float64(reps)), fmt.Sprintf("M-1 = %d", n-1))
 	t.AddRow("all pairs", f2(pairAcc/float64(reps)), fmt.Sprintf("M(M-1)/2 = %d", n*(n-1)/2))

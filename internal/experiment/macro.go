@@ -196,7 +196,8 @@ func Fig17(r Runner) (*Table, error) {
 	count := 0
 	n := r.scale(10, 6)
 	reps := r.reps()
-	for rep := 0; rep < reps; rep++ {
+	perRep, err := repMap(r, reps, func(rep int) ([]map[string]schemeResult, error) {
+		out := make([]map[string]schemeResult, 0, 5)
 		for layout := 1; layout <= 5; layout++ {
 			// Adjacent spacing cycles over the paper's 1-10 cm range, biased
 			// away from the sub-2 cm regime where every scheme collapses.
@@ -210,6 +211,15 @@ func Fig17(r Runner) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			out = append(out, res)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, layouts := range perRep {
+		for _, res := range layouts {
 			for k, v := range res {
 				agg := sum[k]
 				agg.x += v.x
@@ -246,16 +256,18 @@ func Fig18(r Runner) (*Table, error) {
 	for _, dist := range dists {
 		samples := map[string][]float64{}
 		reps := r.reps()
-		for rep := 0; rep < reps; rep++ {
+		perRep, err := repMap(r, reps, func(rep int) (map[string]schemeResult, error) {
 			seed := r.Seed + int64(rep)*6151
 			s, err := scenario.Layout(1, dist, n, seed)
 			if err != nil {
 				return nil, err
 			}
-			res, err := runAllSchemes(s, seed)
-			if err != nil {
-				return nil, err
-			}
+			return runAllSchemes(s, seed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range perRep {
 			for k, v := range res {
 				samples[k] = append(samples[k], (v.x+v.y)/2)
 			}
@@ -282,10 +294,9 @@ func Fig19(r Runner) (*Table, error) {
 		pops = []int{5, 15}
 	}
 	for _, n := range pops {
-		stppSamples := []float64{}
-		otrackSamples := []float64{}
 		reps := r.reps()
-		for rep := 0; rep < reps; rep++ {
+		type popSample struct{ stpp, otrack float64 }
+		perRep, err := repMap(r, reps, func(rep int) (popSample, error) {
 			seed := r.Seed + int64(rep)*4789
 			var pos []geom.Vec2
 			for i := 0; i < n; i++ {
@@ -295,22 +306,30 @@ func Fig19(r Runner) (*Table, error) {
 				Positions: pos, Speed: 0.2, ManualPush: true, Seed: seed,
 			})
 			if err != nil {
-				return nil, err
+				return popSample{}, err
 			}
 			ps, err := s.ProfilesOf()
 			if err != nil {
-				return nil, err
+				return popSample{}, err
 			}
 			x, _, err := stppOrdersFromProfiles(s, ps)
 			if err != nil {
-				return nil, err
+				return popSample{}, err
 			}
-			stppSamples = append(stppSamples, accuracyOrZero(x, s.TruthX))
+			out := popSample{stpp: accuracyOrZero(x, s.TruthX)}
 			if ord, err := baseline.OTrack(ps, baseline.DefaultOTrackConfig()); err == nil {
-				otrackSamples = append(otrackSamples, accuracyOrZero(ord.X, s.TruthX))
-			} else {
-				otrackSamples = append(otrackSamples, 0)
+				out.otrack = accuracyOrZero(ord.X, s.TruthX)
 			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		stppSamples := make([]float64, 0, reps)
+		otrackSamples := make([]float64, 0, reps)
+		for _, v := range perRep {
+			stppSamples = append(stppSamples, v.stpp)
+			otrackSamples = append(otrackSamples, v.otrack)
 		}
 		for _, sc := range []struct {
 			name    string

@@ -51,27 +51,33 @@ func Fig2(r Runner) (*Table, error) {
 	// Peak analysis over repetitions.
 	wrong := 0
 	n2 := r.reps()
-	for rep := 0; rep < n2; rep++ {
+	wrongs, err := repMap(r, n2, func(rep int) (bool, error) {
 		s2, err := scenario.Whiteboard(scenario.WhiteboardOpts{
 			Positions: []geom.Vec2{{X: 1.0, Y: 0}, {X: 1.13, Y: 0}},
 			Speed:     0.1,
 			Seed:      r.Seed + int64(rep)*31,
 		})
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		ps2, err := s2.ProfilesOf()
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		if len(ps2) != 2 {
-			continue
+			return false, nil
 		}
 		pk := func(p *profile.Profile) float64 {
 			sm := dsp.MovingAverage(p.RSSI, 11)
 			return p.Times[dsp.ArgMax(sm)]
 		}
-		if pk(byEPC(ps2, epcgen2.NewEPC(1))) > pk(byEPC(ps2, epcgen2.NewEPC(2))) {
+		return pk(byEPC(ps2, epcgen2.NewEPC(1))) > pk(byEPC(ps2, epcgen2.NewEPC(2))), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range wrongs {
+		if w {
 			wrong++
 		}
 	}
@@ -397,22 +403,31 @@ func Fig12(r Runner) (*Table, error) {
 	}
 	n := r.scale(12, 8)
 	for _, w := range []int{1, 3, 5, 7, 9} {
-		var tagAcc, antAcc float64
 		reps := r.reps()
-		for rep := 0; rep < reps; rep++ {
+		type windowAcc struct{ tag, ant float64 }
+		perRep, err := repMap(r, reps, func(rep int) (windowAcc, error) {
 			seed := r.Seed + int64(rep)*104729
 			// Tag moving.
 			sc, err := scenario.ConveyorPopulation(n, 0.3, seed)
 			if err != nil {
-				return nil, err
+				return windowAcc{}, err
 			}
-			tagAcc += windowAccuracy(sc, w)
+			out := windowAcc{tag: windowAccuracy(sc, w)}
 			// Antenna moving.
 			sa, err := scenario.Population(n, true, 0.3, seed)
 			if err != nil {
-				return nil, err
+				return windowAcc{}, err
 			}
-			antAcc += windowAccuracy(sa, w)
+			out.ant = windowAccuracy(sa, w)
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var tagAcc, antAcc float64
+		for _, v := range perRep {
+			tagAcc += v.tag
+			antAcc += v.ant
 		}
 		t.AddRow(fmt.Sprint(w), f2(tagAcc/float64(reps)), f2(antAcc/float64(reps)))
 	}
@@ -455,9 +470,9 @@ func distanceSweep(r Runner, id, title string, tagMoving bool) (*Table, error) {
 		Header: []string{"distance_cm", "accuracy_x", "accuracy_y"},
 	}
 	for _, dist := range []float64{0.02, 0.04, 0.06, 0.08, 0.10} {
-		var accX, accY float64
 		reps := r.reps()
-		for rep := 0; rep < reps; rep++ {
+		type pairAcc struct{ x, y float64 }
+		perRep, err := repMap(r, reps, func(rep int) (pairAcc, error) {
 			seed := r.Seed + int64(rep)*7907
 			var sx, sy *scenario.Scene
 			var err error
@@ -473,18 +488,27 @@ func distanceSweep(r Runner, id, title string, tagMoving bool) (*Table, error) {
 				}
 			}
 			if err != nil {
-				return nil, err
+				return pairAcc{}, err
 			}
 			x, _, err := stppOrders(sx)
 			if err != nil {
-				return nil, err
+				return pairAcc{}, err
 			}
-			accX += accuracyOrZero(x, sx.TruthX)
+			out := pairAcc{x: accuracyOrZero(x, sx.TruthX)}
 			_, y, err := stppOrders(sy)
 			if err != nil {
-				return nil, err
+				return pairAcc{}, err
 			}
-			accY += accuracyOrZero(y, sy.TruthY)
+			out.y = accuracyOrZero(y, sy.TruthY)
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var accX, accY float64
+		for _, v := range perRep {
+			accX += v.x
+			accY += v.y
 		}
 		t.AddRow(f2(dist*100), f2(accX/float64(reps)), f2(accY/float64(reps)))
 	}

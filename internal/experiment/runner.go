@@ -20,6 +20,11 @@ type Runner struct {
 	Reps int
 	// Quick further trims workload sizes (for tests and smoke runs).
 	Quick bool
+	// Workers bounds the repetition worker pool: repetitions run
+	// concurrently but every rep keeps its serial seed (Seed + rep·prime)
+	// and results are folded in rep order, so tables are bit-identical to a
+	// serial run. 0 means GOMAXPROCS; 1 forces serial execution.
+	Workers int
 }
 
 // DefaultRunner is the full-fidelity configuration.
@@ -117,9 +122,8 @@ func padOrder(got, want []epcgen2.EPC) []epcgen2.EPC {
 
 // meanAccuracy averages accuracy over repetitions of a scene builder.
 func meanAccuracy(r Runner, build func(seed int64) (*scenario.Scene, error), axis string) (float64, error) {
-	var sum float64
 	n := r.reps()
-	for rep := 0; rep < n; rep++ {
+	accs, err := repMap(r, n, func(rep int) (float64, error) {
 		s, err := build(r.Seed + int64(rep)*7919)
 		if err != nil {
 			return 0, err
@@ -130,12 +134,19 @@ func meanAccuracy(r Runner, build func(seed int64) (*scenario.Scene, error), axi
 		}
 		switch axis {
 		case "x":
-			sum += accuracyOrZero(x, s.TruthX)
+			return accuracyOrZero(x, s.TruthX), nil
 		case "y":
-			sum += accuracyOrZero(y, s.TruthY)
+			return accuracyOrZero(y, s.TruthY), nil
 		default:
 			return 0, fmt.Errorf("experiment: axis %q", axis)
 		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, a := range accs {
+		sum += a
 	}
 	return sum / float64(n), nil
 }

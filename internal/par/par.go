@@ -1,0 +1,42 @@
+// Package par holds the one bounded parallel-for harness shared by the
+// streaming engine's per-tag fan-out and the experiment runner's
+// repetition pool.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n) across at most workers concurrent
+// goroutines and returns once all calls have finished. workers <= 1 (or
+// n <= 1) degrades to a plain serial loop. Indices are claimed in order,
+// so when results are written to slot i the output order is deterministic
+// regardless of scheduling.
+func For(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

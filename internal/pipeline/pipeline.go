@@ -1,0 +1,156 @@
+// Package pipeline is the streaming localization engine: the online,
+// concurrent counterpart of the batch stpp.Localizer.
+//
+// An Engine consumes TagRead batches as the reader produces them (via
+// reader.Simulator.Stream or any other source), maintains incremental
+// per-tag phase profiles through a profile.Builder, and fans the expensive
+// per-tag stage — V-zone detection by segmented DTW plus quadratic
+// X-keying — out to a bounded worker pool. Snapshots may be taken at any
+// point during the stream; only tags that gained reads since the previous
+// snapshot are re-detected, and the global (cheap) X/Y ordering is
+// re-assembled over cached per-tag results.
+//
+// Both paths share the exact same per-tag and assembly code
+// (stpp.Localizer.LocalizeTag and Assemble), so the final snapshot over a
+// fully consumed stream is identical — per-tag V-zones, X/Y keys and both
+// orders — to stpp.Localizer.LocalizeReads over the same read log. The
+// batch Localizer cannot itself wrap the Engine without an import cycle, so
+// the sharing runs the other way: stpp owns the two stages and both the
+// batch facade and this engine compose them.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/epcgen2"
+	"repro/internal/par"
+	"repro/internal/profile"
+	"repro/internal/reader"
+	"repro/internal/stpp"
+)
+
+// Options tunes an Engine.
+type Options struct {
+	// Workers bounds the per-tag worker pool; 0 means runtime.GOMAXPROCS.
+	Workers int
+}
+
+// Engine is the streaming localization engine. It is not safe for
+// concurrent use — Consume and Snapshot must come from one goroutine; the
+// engine parallelizes internally.
+type Engine struct {
+	loc     *stpp.Localizer
+	builder *profile.Builder
+	workers int
+	cached  map[epcgen2.EPC]stpp.TagResult
+}
+
+// New builds an Engine for the given STPP configuration.
+func New(cfg stpp.Config, opts Options) (*Engine, error) {
+	loc, err := stpp.NewLocalizer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromLocalizer(loc, opts), nil
+}
+
+// NewFromLocalizer wraps an existing localizer in a streaming engine.
+func NewFromLocalizer(loc *stpp.Localizer, opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		loc:     loc,
+		builder: profile.NewBuilder(),
+		workers: w,
+		cached:  make(map[epcgen2.EPC]stpp.TagResult),
+	}
+}
+
+// Localizer returns the underlying batch localizer.
+func (e *Engine) Localizer() *stpp.Localizer { return e.loc }
+
+// Tags returns the number of distinct tags seen so far.
+func (e *Engine) Tags() int { return e.builder.Tags() }
+
+// Consume appends a batch of reads to the per-tag profiles. It is cheap
+// (amortized O(1) per read); all localization work is deferred to the next
+// Snapshot so bursts of reads between snapshots cost one detection per
+// touched tag, not one per read.
+func (e *Engine) Consume(batch []reader.TagRead) {
+	e.builder.AddBatch(batch)
+}
+
+// Snapshot localizes the stream consumed so far. Tags with new reads since
+// the previous snapshot are re-detected on the worker pool; unchanged tags
+// reuse their cached per-tag result. The returned Result matches what the
+// batch Localizer would produce over the same prefix of the read log.
+func (e *Engine) Snapshot() (*stpp.Result, error) {
+	epcs := e.builder.EPCs()
+	if len(epcs) == 0 {
+		return nil, fmt.Errorf("pipeline: no tag profiles in stream")
+	}
+	e.recompute(e.builder.TakeDirty())
+	tags := make([]stpp.TagResult, len(epcs))
+	for i, epc := range epcs {
+		tags[i] = e.cached[epc]
+	}
+	return e.loc.Assemble(tags), nil
+}
+
+// recompute refreshes the cached per-tag results for the given tags,
+// fanning out across the worker pool.
+func (e *Engine) recompute(dirty []epcgen2.EPC) {
+	// The builder is read from worker goroutines: force any lazy re-sort to
+	// happen here, serially, so workers see quiescent profiles.
+	ps := make([]*profile.Profile, len(dirty))
+	for i, epc := range dirty {
+		ps[i] = e.builder.Profile(epc)
+	}
+	results := make([]stpp.TagResult, len(dirty))
+	par.For(e.workers, len(dirty), func(i int) {
+		results[i] = e.loc.LocalizeTag(ps[i])
+	})
+	for i, epc := range dirty {
+		e.cached[epc] = results[i]
+	}
+}
+
+// Localize runs the engine over a complete read log in one call — the
+// parallel drop-in for stpp.Localizer.LocalizeReads.
+func (e *Engine) Localize(reads []reader.TagRead) (*stpp.Result, error) {
+	e.Consume(reads)
+	return e.Snapshot()
+}
+
+// RunSimulator drives a reader simulator to completion through the engine,
+// taking a snapshot roughly every `every` seconds of simulated time (0
+// disables intermediate snapshots) and returning the final result. The
+// simulator streams once with `duration` as its interrogation horizon —
+// identical to the batch Run — and the snapshot cadence is derived from
+// read timestamps, so no round is ever truncated mid-stream. onSnapshot,
+// if non-nil, receives each intermediate snapshot stamped with the latest
+// consumed read time; at most one snapshot is emitted per consumed batch,
+// so a read gap spanning several intervals yields one fresh snapshot, not
+// a backlog of stale duplicates. Intermediate snapshot errors (e.g. no
+// tags seen yet) are skipped, not fatal.
+func (e *Engine) RunSimulator(sim *reader.Simulator, duration, every float64, onSnapshot func(t float64, res *stpp.Result)) (*stpp.Result, error) {
+	next := every
+	sim.Stream(duration, func(batch []reader.TagRead) bool {
+		e.Consume(batch)
+		if onSnapshot != nil && every > 0 {
+			// The final snapshot is returned, not emitted (t >= duration).
+			if t := batch[len(batch)-1].Time; t >= next && t < duration {
+				if res, err := e.Snapshot(); err == nil {
+					onSnapshot(t, res)
+				}
+				for next += every; next <= t; next += every {
+				}
+			}
+		}
+		return true
+	})
+	return e.Snapshot()
+}

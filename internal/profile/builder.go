@@ -1,0 +1,104 @@
+package profile
+
+import (
+	"repro/internal/epcgen2"
+	"repro/internal/reader"
+)
+
+// Builder accumulates per-tag phase profiles incrementally from a read
+// stream: each Add is amortized O(1), profiles grow in place, and dirty
+// tracking tells a consumer which tags gained reads since it last looked.
+// Over a full read log it produces exactly the grouping FromReads does:
+// profiles in first-appearance order, each sorted by time. A Builder is not
+// safe for concurrent use.
+type Builder struct {
+	byEPC map[epcgen2.EPC]*builderEntry
+	order []epcgen2.EPC
+	dirty []epcgen2.EPC // first-touch order since the last TakeDirty
+}
+
+type builderEntry struct {
+	p      *Profile
+	sorted bool // times have arrived in nondecreasing order so far
+	dirty  bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{byEPC: make(map[epcgen2.EPC]*builderEntry)}
+}
+
+// Add appends one read to its tag's profile.
+func (b *Builder) Add(r reader.TagRead) {
+	e, ok := b.byEPC[r.EPC]
+	if !ok {
+		e = &builderEntry{p: &Profile{EPC: r.EPC}, sorted: true}
+		b.byEPC[r.EPC] = e
+		b.order = append(b.order, r.EPC)
+	}
+	p := e.p
+	if n := len(p.Times); n > 0 && r.Time < p.Times[n-1] {
+		e.sorted = false
+	}
+	p.Times = append(p.Times, r.Time)
+	p.Phases = append(p.Phases, r.Phase)
+	p.RSSI = append(p.RSSI, r.RSSI)
+	if !e.dirty {
+		e.dirty = true
+		b.dirty = append(b.dirty, r.EPC)
+	}
+}
+
+// AddBatch appends a batch of reads.
+func (b *Builder) AddBatch(reads []reader.TagRead) {
+	for _, r := range reads {
+		b.Add(r)
+	}
+}
+
+// Tags returns the number of distinct tags seen.
+func (b *Builder) Tags() int { return len(b.order) }
+
+// EPCs returns the tags seen so far in first-appearance order. The slice is
+// shared with the builder — callers must not mutate it.
+func (b *Builder) EPCs() []epcgen2.EPC { return b.order }
+
+// Profile returns the live profile for a tag, sorted by time (sorting only
+// happens when reads arrived out of order, which the reader simulator never
+// produces). Returns nil for an unseen tag. Later Adds may extend the
+// profile in place; callers needing a stable view must copy.
+func (b *Builder) Profile(e epcgen2.EPC) *Profile {
+	ent, ok := b.byEPC[e]
+	if !ok {
+		return nil
+	}
+	if !ent.sorted {
+		sortProfile(ent.p)
+		ent.sorted = true
+	}
+	return ent.p
+}
+
+// Profiles returns all profiles in first-appearance order, each sorted by
+// time. The profiles are live (see Profile).
+func (b *Builder) Profiles() []*Profile {
+	out := make([]*Profile, len(b.order))
+	for i, e := range b.order {
+		out[i] = b.Profile(e)
+	}
+	return out
+}
+
+// TakeDirty returns the tags that gained reads since the previous call, in
+// first-touch order, and resets the dirty set.
+func (b *Builder) TakeDirty() []epcgen2.EPC {
+	if len(b.dirty) == 0 {
+		return nil
+	}
+	out := b.dirty
+	b.dirty = nil
+	for _, e := range out {
+		b.byEPC[e].dirty = false
+	}
+	return out
+}

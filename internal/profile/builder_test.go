@@ -1,0 +1,90 @@
+package profile
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/epcgen2"
+	"repro/internal/reader"
+)
+
+func builderReads() []reader.TagRead {
+	epcs := []epcgen2.EPC{epcgen2.NewEPC(1), epcgen2.NewEPC(2), epcgen2.NewEPC(3)}
+	var reads []reader.TagRead
+	for i := 0; i < 60; i++ {
+		reads = append(reads, reader.TagRead{
+			EPC:   epcs[(i*7)%3],
+			Time:  float64(i) * 0.05,
+			Phase: float64(i%628) / 100,
+			RSSI:  -50 - float64(i%20),
+		})
+	}
+	return reads
+}
+
+// TestBuilderMatchesFromReads: incremental accumulation over arbitrary
+// batch boundaries must produce exactly the FromReads grouping.
+func TestBuilderMatchesFromReads(t *testing.T) {
+	reads := builderReads()
+	want := FromReads(reads)
+
+	b := NewBuilder()
+	for start := 0; start < len(reads); start += 7 {
+		end := start + 7
+		if end > len(reads) {
+			end = len(reads)
+		}
+		b.AddBatch(reads[start:end])
+		// Interleaved snapshots must not corrupt later ones.
+		_ = b.Profiles()
+	}
+	got := b.Profiles()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("builder grouping diverged from FromReads: %d vs %d profiles", len(got), len(want))
+	}
+	if b.Tags() != len(want) {
+		t.Errorf("Tags() = %d, want %d", b.Tags(), len(want))
+	}
+}
+
+// TestBuilderOutOfOrder: out-of-order arrivals are sorted per profile, as
+// FromReads does.
+func TestBuilderOutOfOrder(t *testing.T) {
+	reads := builderReads()
+	// Swap two reads of the same tag so its times arrive out of order.
+	reads[0], reads[3] = reads[3], reads[0] // both EPC 1 (i*7%3: 0 and 21%3=0)
+	want := FromReads(reads)
+	b := NewBuilder()
+	b.AddBatch(reads)
+	got := b.Profiles()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("out-of-order grouping diverged from FromReads")
+	}
+	for _, p := range got {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("profile %s: %v", p.EPC, err)
+		}
+	}
+}
+
+// TestBuilderDirtyTracking: TakeDirty reports exactly the tags touched
+// since the previous call, then resets.
+func TestBuilderDirtyTracking(t *testing.T) {
+	b := NewBuilder()
+	r1 := reader.TagRead{EPC: epcgen2.NewEPC(1), Time: 0.1, Phase: 1}
+	r2 := reader.TagRead{EPC: epcgen2.NewEPC(2), Time: 0.2, Phase: 2}
+	b.Add(r1)
+	b.Add(r2)
+	b.Add(r1)
+	dirty := b.TakeDirty()
+	if len(dirty) != 2 || dirty[0] != r1.EPC || dirty[1] != r2.EPC {
+		t.Fatalf("dirty = %v", dirty)
+	}
+	if d := b.TakeDirty(); d != nil {
+		t.Fatalf("dirty after reset = %v", d)
+	}
+	b.Add(r2)
+	if d := b.TakeDirty(); len(d) != 1 || d[0] != r2.EPC {
+		t.Fatalf("dirty after second add = %v", d)
+	}
+}

@@ -72,30 +72,12 @@ func (p *Profile) Validate() error {
 
 // FromReads groups a read log by EPC into per-tag profiles, ordered by each
 // tag's first appearance. Reads are assumed time-ordered (as produced by
-// the reader simulator); if not, each profile is sorted.
+// the reader simulator); if not, each profile is sorted. It is a batch
+// wrapper over Builder.
 func FromReads(reads []reader.TagRead) []*Profile {
-	byEPC := make(map[epcgen2.EPC]*Profile)
-	var order []epcgen2.EPC
-	for _, r := range reads {
-		p, ok := byEPC[r.EPC]
-		if !ok {
-			p = &Profile{EPC: r.EPC}
-			byEPC[r.EPC] = p
-			order = append(order, r.EPC)
-		}
-		p.Times = append(p.Times, r.Time)
-		p.Phases = append(p.Phases, r.Phase)
-		p.RSSI = append(p.RSSI, r.RSSI)
-	}
-	out := make([]*Profile, 0, len(order))
-	for _, e := range order {
-		p := byEPC[e]
-		if !sort.Float64sAreSorted(p.Times) {
-			sortProfile(p)
-		}
-		out = append(out, p)
-	}
-	return out
+	b := NewBuilder()
+	b.AddBatch(reads)
+	return b.Profiles()
 }
 
 func sortProfile(p *Profile) {

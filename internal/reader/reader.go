@@ -144,7 +144,9 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Simulator runs the interrogation loop.
+// Simulator runs the interrogation loop. It is resumable: the clock
+// persists across Step/Stream/Run calls, so a stream can be consumed in
+// increments. A Simulator is not safe for concurrent use.
 type Simulator struct {
 	cfg     Config
 	antTraj motion.Trajectory
@@ -154,6 +156,9 @@ type Simulator struct {
 	rng     *rand.Rand
 	hops    []int
 	hopIdx  int
+	clock   float64
+	active  []int // reading-zone scratch, reused across rounds
+	batch   []TagRead
 }
 
 // New builds a Simulator. The antenna follows antTraj; each tag follows its
@@ -198,41 +203,83 @@ func (s *Simulator) currentChannel() int {
 	return ch
 }
 
-// Run simulates interrogation for the given duration (seconds) and returns
-// all successful tag reads in time order.
+// Clock returns the simulator's current time in seconds: the start time of
+// the next inventory round.
+func (s *Simulator) Clock() float64 { return s.clock }
+
+// Step executes the next inventory round, appending the round's successful
+// reads to buf. limit is the interrogation horizon — the experiment's end
+// time: reads past it are discarded, exactly where the batch loop stops.
+// The second result is false once the clock has reached limit. Step is the
+// resumable unit of the stream: call it repeatedly with the same horizon to
+// consume the interrogation round by round. (Passing a larger limit later
+// also resumes — from the next round — but reads a round lost to an
+// earlier, shorter horizon are not revisited, so pace consumption by
+// rounds, not by moving the horizon.)
+func (s *Simulator) Step(limit float64, buf []TagRead) ([]TagRead, bool) {
+	if s.clock >= limit {
+		return buf, false
+	}
+	t := s.clock
+	ch := s.currentChannel()
+	wl := s.cfg.Band.Wavelength(ch)
+
+	// Reading zone: tags whose noiseless link closes at round start.
+	antPos := s.antTraj.PositionAt(t)
+	s.active = s.active[:0]
+	for i := range s.tags {
+		if s.inReadingZone(antPos, i, t, wl) {
+			s.active = append(s.active, i)
+		}
+	}
+
+	round := s.aloha.Round(len(s.active))
+	for _, ev := range round.Slots {
+		if ev.Outcome != epcgen2.SlotSuccess {
+			continue
+		}
+		tr := t + ev.Start
+		if tr > limit {
+			break
+		}
+		tagIdx := s.active[ev.Tag]
+		if read, ok := s.interrogate(tagIdx, tr, ch, wl); ok {
+			buf = append(buf, read)
+		}
+	}
+	s.clock = t + round.Duration
+	return buf, s.clock < limit
+}
+
+// Stream runs inventory rounds until the clock reaches limit, emitting each
+// round's successful reads as they are produced. The emitted batch reuses
+// an internal buffer — the callback must not retain it past its return. A
+// callback returning false cancels the stream early.
+func (s *Simulator) Stream(limit float64, emit func(batch []TagRead) bool) {
+	for {
+		batch, more := s.Step(limit, s.batch[:0])
+		s.batch = batch[:0]
+		if len(batch) > 0 && !emit(batch) {
+			return
+		}
+		if !more {
+			return
+		}
+	}
+}
+
+// Run simulates interrogation until the clock reaches duration and returns
+// all successful tag reads in time order. It is a thin batch wrapper over
+// Step: on a fresh Simulator it produces the complete read log.
 func (s *Simulator) Run(duration float64) []TagRead {
 	var reads []TagRead
-	t := 0.0
-	for t < duration {
-		ch := s.currentChannel()
-		wl := s.cfg.Band.Wavelength(ch)
-
-		// Reading zone: tags whose noiseless link closes at round start.
-		antPos := s.antTraj.PositionAt(t)
-		var active []int
-		for i := range s.tags {
-			if s.inReadingZone(antPos, i, t, wl) {
-				active = append(active, i)
-			}
+	for {
+		var more bool
+		reads, more = s.Step(duration, reads)
+		if !more {
+			return reads
 		}
-
-		round := s.aloha.Round(len(active))
-		for _, ev := range round.Slots {
-			if ev.Outcome != epcgen2.SlotSuccess {
-				continue
-			}
-			tr := t + ev.Start
-			if tr > duration {
-				break
-			}
-			tagIdx := active[ev.Tag]
-			if read, ok := s.interrogate(tagIdx, tr, ch, wl); ok {
-				reads = append(reads, read)
-			}
-		}
-		t += round.Duration
 	}
-	return reads
 }
 
 // inReadingZone checks the noiseless free-space link budget including the

@@ -1,0 +1,72 @@
+package reader
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStreamMatchesRun: the streaming API must emit exactly the read log
+// the batch API produces — same reads, same order — because Run is a thin
+// wrapper over Step and both consume the RNGs identically.
+func TestStreamMatchesRun(t *testing.T) {
+	simA, _ := shelfScene(t, []float64{1.0, 1.5, 2.0}, 0.3, 7)
+	simB, _ := shelfScene(t, []float64{1.0, 1.5, 2.0}, 0.3, 7)
+
+	batch := simA.Run(13)
+	var streamed []TagRead
+	simB.Stream(13, func(b []TagRead) bool {
+		streamed = append(streamed, b...)
+		return true
+	})
+	if len(batch) == 0 {
+		t.Fatal("no reads")
+	}
+	if !reflect.DeepEqual(batch, streamed) {
+		t.Fatalf("stream diverged from batch: %d vs %d reads", len(streamed), len(batch))
+	}
+}
+
+// TestStepResumable: consuming the interrogation round by round — one Step
+// call at a time, arbitrary work in between — must reproduce the one-shot
+// run exactly: the clock and RNG state carry across Step calls.
+func TestStepResumable(t *testing.T) {
+	simA, _ := shelfScene(t, []float64{1.0, 2.0}, 0.3, 3)
+	simB, _ := shelfScene(t, []float64{1.0, 2.0}, 0.3, 3)
+
+	batch := simA.Run(10)
+	var inc []TagRead
+	rounds := 0
+	for {
+		var more bool
+		inc, more = simB.Step(10, inc)
+		rounds++
+		if !more {
+			break
+		}
+	}
+	if rounds < 2 {
+		t.Fatalf("only %d rounds — resumability not exercised", rounds)
+	}
+	if !reflect.DeepEqual(batch, inc) {
+		t.Fatalf("incremental consumption diverged: %d vs %d reads", len(inc), len(batch))
+	}
+	if c := simB.Clock(); c < 10 {
+		t.Errorf("clock = %v, want >= 10", c)
+	}
+}
+
+// TestStreamCancel: a callback returning false stops the stream early.
+func TestStreamCancel(t *testing.T) {
+	sim, _ := shelfScene(t, []float64{1.0, 2.0}, 0.3, 3)
+	calls := 0
+	sim.Stream(10, func(b []TagRead) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("stream delivered %d batches after cancel", calls)
+	}
+	if sim.Clock() >= 10 {
+		t.Error("stream ran to completion despite cancel")
+	}
+}

@@ -87,41 +87,61 @@ func (l *Localizer) LocalizeReads(reads []reader.TagRead) (*Result, error) {
 // Localize runs V-zone detection, X ordering and Y ordering over the given
 // profiles. Tags whose profiles cannot be processed are retained with Err
 // set; they are ordered by whatever partial keys they have (NaN bottom
-// times sort last on X, zero keys sort at the pivot on Y).
+// times sort last on X, zero keys sort at the pivot on Y). It is a thin
+// serial composition of LocalizeTag and Assemble — the streaming
+// pipeline.Engine drives the same two stages with the per-tag stage fanned
+// out over a worker pool, so both paths produce identical results.
 func (l *Localizer) Localize(profiles []*profile.Profile) (*Result, error) {
-	n := len(profiles)
-	if n == 0 {
+	if len(profiles) == 0 {
 		return nil, fmt.Errorf("stpp: no profiles")
 	}
-	res := &Result{Tags: make([]TagResult, n)}
-	vzones := make([]VZone, n)
+	tags := make([]TagResult, len(profiles))
 	for i, p := range profiles {
-		tr := TagResult{EPC: p.EPC, Profile: p}
-		vz, err := l.det.Detect(p)
-		if err != nil {
-			tr.Err = err
-			res.Tags[i] = tr
-			continue
-		}
-		tr.VZone = vz
-		vzones[i] = vz
-		xk, err := l.cfg.XKeyOf(p, vz)
-		if err != nil {
-			tr.Err = err
-			res.Tags[i] = tr
-			continue
-		}
-		tr.X = xk
-		res.Tags[i] = tr
+		tags[i] = l.LocalizeTag(p)
 	}
+	return l.Assemble(tags), nil
+}
 
-	// X order over all tags (failed tags sort last via NaN handling).
+// LocalizeTag runs the per-tag portion of the pipeline — V-zone detection
+// and X-keying — over one profile. This stage carries essentially all of
+// the localization cost (segmented DTW plus quadratic fitting) and touches
+// no shared mutable state: the Localizer is immutable after construction,
+// so LocalizeTag is safe to call concurrently for different tags.
+func (l *Localizer) LocalizeTag(p *profile.Profile) TagResult {
+	tr := TagResult{EPC: p.EPC, Profile: p}
+	vz, err := l.det.Detect(p)
+	if err != nil {
+		tr.Err = err
+		return tr
+	}
+	tr.VZone = vz
+	xk, err := l.cfg.XKeyOf(p, vz)
+	if err != nil {
+		tr.Err = err
+		return tr
+	}
+	tr.X = xk
+	return tr
+}
+
+// Assemble runs the global portion of the pipeline over per-tag results:
+// the X order over bottom times (failed tags sort last via NaN handling)
+// and the pivot-based Y keys and order. It takes ownership of tags, filling
+// in each tag's Y key and recording Y-stage errors on tags that passed the
+// per-tag stage.
+func (l *Localizer) Assemble(tags []TagResult) *Result {
+	n := len(tags)
+	res := &Result{Tags: tags}
 	xkeys := make([]XKey, n)
-	for i := range res.Tags {
-		if res.Tags[i].Err != nil {
+	profiles := make([]*profile.Profile, n)
+	vzones := make([]VZone, n)
+	for i := range tags {
+		profiles[i] = tags[i].Profile
+		vzones[i] = tags[i].VZone
+		if tags[i].Err != nil {
 			xkeys[i] = XKey{BottomTime: math.NaN()}
 		} else {
-			xkeys[i] = res.Tags[i].X
+			xkeys[i] = tags[i].X
 		}
 	}
 	res.XOrder = OrderByX(xkeys)
@@ -135,5 +155,5 @@ func (l *Localizer) Localize(profiles []*profile.Profile) (*Result, error) {
 		res.Tags[i].Y = ykeys[i]
 	}
 	res.YOrder = OrderByY(ykeys)
-	return res, nil
+	return res
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCommands compiles the three binaries into a temp dir and returns
+// their paths.
+func buildCommands(t *testing.T) map[string]string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	out := map[string]string{}
+	for _, cmd := range []string{"experiments", "stpp", "tracegen"} {
+		bin := filepath.Join(dir, cmd)
+		o, err := exec.Command("go", "build", "-o", bin, "./cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build ./cmd/%s: %v\n%s", cmd, err, o)
+		}
+		out[cmd] = bin
+	}
+	return out
+}
+
+// TestCommandsEndToEnd: the binaries must build, and the tracegen → stpp
+// pipeline must run both batch and streaming, agreeing on the final
+// orders. Also smokes experiments -run on one artifact.
+func TestCommandsEndToEnd(t *testing.T) {
+	bins := buildCommands(t)
+	traceFile := filepath.Join(t.TempDir(), "pop.jsonl")
+
+	if o, err := exec.Command(bins["tracegen"],
+		"-scenario", "population", "-n", "6", "-seed", "3", "-o", traceFile).CombinedOutput(); err != nil {
+		t.Fatalf("tracegen: %v\n%s", err, o)
+	}
+
+	batch, err := exec.Command(bins["stpp"], "-in", traceFile).CombinedOutput()
+	if err != nil {
+		t.Fatalf("stpp batch: %v\n%s", err, batch)
+	}
+	stream, err := exec.Command(bins["stpp"], "-in", traceFile, "-stream", "-every", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("stpp stream: %v\n%s", err, stream)
+	}
+	// The streaming run prints progress lines first; everything from the
+	// per-tag table on must match the batch output exactly.
+	tail := func(out []byte) string {
+		s := string(out)
+		i := strings.Index(s, "EPC") // tabwriter-rendered header of the per-tag table
+		if i < 0 {
+			t.Fatalf("no per-tag table in output:\n%s", s)
+		}
+		return s[i:]
+	}
+	if tail(batch) != tail(stream) {
+		t.Errorf("streaming output diverged from batch:\n--- batch ---\n%s\n--- stream ---\n%s",
+			tail(batch), tail(stream))
+	}
+	if !strings.Contains(string(stream), "tags seen") {
+		t.Error("streaming run printed no progress lines")
+	}
+
+	if o, err := exec.Command(bins["experiments"],
+		"-run", "fig3", "-quick", "-reps", "1").CombinedOutput(); err != nil {
+		t.Fatalf("experiments: %v\n%s", err, o)
+	}
+}
+
+// TestExamplesBuild: the example programs must compile.
+func TestExamplesBuild(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	out, err := exec.Command("go", "build", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./examples/...: %v\n%s", err, out)
+	}
+}
