@@ -6,9 +6,11 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
+	"repro/internal/deploy"
 	"repro/internal/dtw"
 	"repro/internal/experiment"
 	"repro/internal/geom"
@@ -185,6 +187,31 @@ func BenchmarkStreamingVsBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkShardedAisle runs the two-reader warehouse aisle log through
+// the sharded deployment engine — per-reader routing, concurrent shard
+// localization and order stitching — end to end.
+func BenchmarkShardedAisle(b *testing.B) {
+	ms, err := scenario.WarehouseAisle(scenario.DefaultAisleOpts(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, err := ms.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := deploy.Of(ms)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		se, err := deploy.NewSharded(d, deploy.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := se.Localize(reads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkParallelRunner compares serial and pooled repetition execution
 // on a macro experiment (identical tables either way).
 func BenchmarkParallelRunner(b *testing.B) {
@@ -210,8 +237,26 @@ func BenchmarkParallelRunner(b *testing.B) {
 func BenchmarkFullDTWAlign(b *testing.B) {
 	det, p := benchProfilePair(b)
 	ref, _, _ := det.Reference()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dtw.Align(ref.Phases, p.Phases, nil)
+	}
+}
+
+// BenchmarkAlignBanded measures the banded alignment on a measured
+// profile at several band widths. allocs/op shows the flat pooled cost
+// matrix: the former dense implementation allocated one row slice per
+// reference sample regardless of the band.
+func BenchmarkAlignBanded(b *testing.B) {
+	det, p := benchProfilePair(b)
+	ref, _, _ := det.Reference()
+	for _, bw := range []int{5, 20, 80} {
+		b.Run(fmt.Sprintf("band=%d", bw), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dtw.AlignBanded(ref.Phases, p.Phases, nil, bw)
+			}
+		})
 	}
 }

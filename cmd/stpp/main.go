@@ -1,7 +1,10 @@
 // Command stpp runs STPP relative localization over a recorded trace
 // (JSONL or gob, as produced by tracegen) and prints the recovered X and Y
 // orders, per-tag diagnostics, and — when the trace carries ground truth —
-// the ordering accuracy.
+// the ordering accuracy. A trace whose header describes a multi-reader
+// deployment is replayed through the sharded engine: reads route to
+// per-reader shards, each zone is localized independently, and the
+// per-zone orders are stitched into the global order.
 //
 // Usage:
 //
@@ -9,14 +12,19 @@
 //	stpp -in shelf.jsonl
 //	stpp -in pop.gob -gob -w 5
 //	stpp -in shelf.jsonl -stream -every 2   # incremental snapshots
+//	tracegen -scenario aisle -o aisle.jsonl
+//	stpp -in aisle.jsonl                    # sharded replay + stitch
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
+	"repro/internal/deploy"
+	"repro/internal/epcgen2"
 	"repro/internal/metrics"
 	"repro/internal/phys"
 	"repro/internal/pipeline"
@@ -74,6 +82,15 @@ func main() {
 		cfg.Reference.Speed = *speed
 	}
 
+	if len(tr.Header.Readers) > 0 {
+		// Explicit -perp/-speed flags override the per-reader header
+		// metadata, mirroring the single-reader precedence.
+		if err := runDeployment(tr, cfg, *workers, *stream, *every, *perp > 0, *speed > 0); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	loc, err := stpp.NewLocalizer(cfg)
 	if err != nil {
 		fatal(err)
@@ -122,15 +139,16 @@ func main() {
 	}
 }
 
-// streamTrace replays a recorded read log through the streaming engine in
-// timestamp order, as if it were arriving live from the reader: reads are
-// fed in `every`-second windows, a progress line is printed per snapshot,
-// and the final result — identical to the batch path — is returned.
-func streamTrace(loc *stpp.Localizer, reads []reader.TagRead, every float64, workers int) (*stpp.Result, error) {
+// forEachWindow replays a recorded read log in `every`-second windows of
+// trace time, calling fn for every window that contains reads: win is the
+// window's reads, t the window's end on the trace clock (relative to the
+// first read), total the cumulative read count, and final whether no
+// reads follow. Empty windows (gaps in the trace) are skipped — they
+// cannot change a result.
+func forEachWindow(reads []reader.TagRead, every float64, fn func(win []reader.TagRead, t float64, total int, final bool) error) error {
 	if every <= 0 {
 		every = 1
 	}
-	eng := pipeline.NewFromLocalizer(loc, pipeline.Options{Workers: workers})
 	start := 0
 	window := 1
 	for start < len(reads) {
@@ -139,10 +157,26 @@ func streamTrace(loc *stpp.Localizer, reads []reader.TagRead, every float64, wor
 		for end < len(reads) && reads[end].Time < limit {
 			end++
 		}
-		eng.Consume(reads[start:end])
-		// Intermediate window with new reads: report progress. Empty
-		// windows (gaps in the trace) cannot change the result.
-		if end < len(reads) && end > start {
+		if end > start {
+			if err := fn(reads[start:end], limit-reads[0].Time, end, end == len(reads)); err != nil {
+				return err
+			}
+		}
+		start = end
+		window++
+	}
+	return nil
+}
+
+// streamTrace replays a recorded read log through the streaming engine in
+// timestamp order, as if it were arriving live from the reader: reads are
+// fed in `every`-second windows, a progress line is printed per snapshot,
+// and the final result — identical to the batch path — is returned.
+func streamTrace(loc *stpp.Localizer, reads []reader.TagRead, every float64, workers int) (*stpp.Result, error) {
+	eng := pipeline.NewFromLocalizer(loc, pipeline.Options{Workers: workers})
+	err := forEachWindow(reads, every, func(win []reader.TagRead, t float64, total int, final bool) error {
+		eng.Consume(win)
+		if !final {
 			if res, err := eng.Snapshot(); err == nil {
 				located := 0
 				for _, tag := range res.Tags {
@@ -151,13 +185,120 @@ func streamTrace(loc *stpp.Localizer, reads []reader.TagRead, every float64, wor
 					}
 				}
 				fmt.Printf("t=%6.2fs  %4d reads  %3d tags seen  %3d located\n",
-					limit-reads[0].Time, end, eng.Tags(), located)
+					t, total, eng.Tags(), located)
 			}
 		}
-		start = end
-		window++
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return eng.Snapshot()
+}
+
+// runDeployment replays a multi-reader trace through the sharded engine:
+// one pipeline shard per reader described in the header, per-zone
+// localization, and the stitched global orders (with accuracy when the
+// trace carries ground truth). With stream set, reads are fed in
+// `every`-second windows with a progress line per intermediate snapshot —
+// the final result is identical to the one-shot replay.
+func runDeployment(tr *trace.Trace, base stpp.Config, workers int, stream bool, every float64, perpFixed, speedFixed bool) error {
+	var d deploy.Deployment
+	for _, rm := range tr.Header.Readers {
+		cfg := base
+		if !perpFixed && rm.PerpDist > 0 {
+			cfg.Reference.PerpDist = rm.PerpDist
+		}
+		if !speedFixed && rm.Speed > 0 {
+			cfg.Reference.Speed = rm.Speed
+		}
+		d.Readers = append(d.Readers, deploy.ReaderSpec{
+			ID:          rm.ID,
+			Zone:        deploy.Zone{XMin: rm.XMin, XMax: rm.XMax},
+			Config:      cfg,
+			ClockOffset: rm.ClockOffset,
+		})
+	}
+	se, err := deploy.NewSharded(d, deploy.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	var res *deploy.GlobalResult
+	if stream {
+		res, err = streamDeployment(se, tr.Reads, every)
+	} else {
+		res, err = se.Localize(tr.Reads)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("deployment: %d readers, %d reads\n\n", se.Shards(), len(tr.Reads))
+	for _, sh := range res.Shards {
+		fmt.Printf("zone [%.2f, %.2f] m — reader %d:\n", sh.Zone.XMin, sh.Zone.XMax, sh.ReaderID)
+		if sh.Result == nil {
+			fmt.Println("  (no reads)")
+			continue
+		}
+		located := 0
+		for _, tag := range sh.Result.Tags {
+			if tag.Err == nil {
+				located++
+			}
+		}
+		fmt.Printf("  %d tags, %d located\n  X order: %s\n",
+			len(sh.Result.Tags), located, epcList(sh.Result.XOrderEPCs()))
+	}
+
+	fmt.Println("\nstitched global X order (movement axis):")
+	for i, e := range res.XOrder {
+		fmt.Printf("  %2d. %s\n", i+1, e)
+	}
+	fmt.Println("stitched global Y order (nearest to trajectory first):")
+	for i, e := range res.YOrder {
+		fmt.Printf("  %2d. %s\n", i+1, e)
+	}
+
+	if truth, err := tr.TruthXEPCs(); err == nil && len(truth) == len(res.XOrder) {
+		if acc, err := metrics.OrderingAccuracy(res.XOrder, truth); err == nil {
+			fmt.Printf("\nX ordering accuracy vs ground truth: %.0f%%\n", acc*100)
+		}
+	}
+	if truth, err := tr.TruthYEPCs(); err == nil && len(truth) == len(res.YOrder) {
+		if acc, err := metrics.OrderingAccuracy(res.YOrder, truth); err == nil {
+			fmt.Printf("Y ordering accuracy vs ground truth: %.0f%%\n", acc*100)
+		}
+	}
+	return nil
+}
+
+// streamDeployment feeds a recorded multi-reader log through the sharded
+// engine in `every`-second windows, printing a progress line per window
+// with new reads, and returns the final snapshot.
+func streamDeployment(se *deploy.ShardedEngine, reads []reader.TagRead, every float64) (*deploy.GlobalResult, error) {
+	err := forEachWindow(reads, every, func(win []reader.TagRead, t float64, total int, final bool) error {
+		if err := se.Consume(win); err != nil {
+			return err
+		}
+		if !final {
+			if res, err := se.Snapshot(); err == nil {
+				// Overlap tags are profiled once per shard, so count the
+				// stitched distinct tags, not ShardedEngine.Tags().
+				fmt.Printf("t=%6.2fs  %4d reads  %3d tags seen  %d shard profiles\n",
+					t, total, len(res.XOrder), se.Tags())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return se.Snapshot()
+}
+
+// epcList renders EPCs space-separated on one line.
+func epcList(epcs []epcgen2.EPC) string {
+	return strings.Join(trace.EncodeEPCs(epcs), " ")
 }
 
 func fatal(err error) {

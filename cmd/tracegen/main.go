@@ -1,11 +1,16 @@
 // Command tracegen generates synthetic RFID read traces from the built-in
-// scenarios and writes them as JSONL (default) or gob.
+// scenarios and writes them as JSONL (default) or gob. Multi-reader
+// scenarios (aisle, airport-portals) record one merged trace with each
+// read stamped by its reader and the deployment geometry in the header, so
+// stpp can shard and stitch the replay.
 //
 // Usage:
 //
 //	tracegen -scenario library -seed 7 -o shelf.jsonl
 //	tracegen -scenario airport-peak -bags 40 -o peak.jsonl
 //	tracegen -scenario population -n 20 -gob -o pop.gob
+//	tracegen -scenario aisle -n 16 -o aisle.jsonl
+//	tracegen -scenario airport-portals -n 12 -portals 3 -o portals.jsonl
 package main
 
 import (
@@ -19,33 +24,69 @@ import (
 
 func main() {
 	var (
-		name = flag.String("scenario", "population", "scenario: population | conveyor | library | airport-peak | airport-offpeak | pair-x | pair-y")
-		n    = flag.Int("n", 10, "tag/bag count (population, conveyor, airport)")
-		dist = flag.Float64("dist", 0.08, "pair spacing in meters (pair-x, pair-y)")
-		seed = flag.Int64("seed", 1, "seed")
-		out  = flag.String("o", "-", "output file ('-' = stdout)")
-		gob  = flag.Bool("gob", false, "write gob instead of JSONL")
+		name    = flag.String("scenario", "population", "scenario: population | conveyor | library | airport-peak | airport-offpeak | pair-x | pair-y | aisle | airport-portals")
+		n       = flag.Int("n", 10, "tag/bag count (population, conveyor, airport, aisle, airport-portals)")
+		dist    = flag.Float64("dist", 0.08, "pair spacing in meters (pair-x, pair-y)")
+		portals = flag.Int("portals", 2, "portal count (airport-portals)")
+		seed    = flag.Int64("seed", 1, "seed")
+		out     = flag.String("o", "-", "output file ('-' = stdout)")
+		gob     = flag.Bool("gob", false, "write gob instead of JSONL")
 	)
 	flag.Parse()
 
-	sc, err := buildScene(*name, *n, *dist, *seed)
-	if err != nil {
+	var tr *trace.Trace
+	var tagCount int
+	if ms, err := buildMultiScene(*name, *n, *portals, *seed); err != nil {
 		fatal(err)
-	}
-	reads, err := sc.Run()
-	if err != nil {
-		fatal(err)
-	}
-	tr := &trace.Trace{
-		Header: trace.Header{
-			Scenario: *name,
-			Seed:     *seed,
-			TruthX:   trace.EncodeEPCs(sc.TruthX),
-			TruthY:   trace.EncodeEPCs(sc.TruthY),
-			PerpDist: sc.PerpDist,
-			Speed:    sc.Speed,
-		},
-		Reads: reads,
+	} else if ms != nil {
+		reads, err := ms.Run()
+		if err != nil {
+			fatal(err)
+		}
+		tr = &trace.Trace{
+			Header: trace.Header{
+				Scenario: *name,
+				Seed:     *seed,
+				TruthX:   trace.EncodeEPCs(ms.TruthX),
+				TruthY:   trace.EncodeEPCs(ms.TruthY),
+			},
+			Reads: reads,
+		}
+		// ClockOffset stays 0: MultiScene.Run re-bases every read onto the
+		// global clock before it is recorded, so a replay must not shift
+		// shard keys again.
+		for i := range ms.Readers {
+			rs := &ms.Readers[i]
+			tr.Header.Readers = append(tr.Header.Readers, trace.ReaderMeta{
+				ID:       rs.ID,
+				XMin:     rs.XMin,
+				XMax:     rs.XMax,
+				PerpDist: rs.Scene.PerpDist,
+				Speed:    rs.Scene.Speed,
+			})
+		}
+		tagCount = ms.Tags()
+	} else {
+		sc, err := buildScene(*name, *n, *dist, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		reads, err := sc.Run()
+		if err != nil {
+			fatal(err)
+		}
+		tr = &trace.Trace{
+			Header: trace.Header{
+				Scenario: *name,
+				Seed:     *seed,
+				TruthX:   trace.EncodeEPCs(sc.TruthX),
+				TruthY:   trace.EncodeEPCs(sc.TruthY),
+				PerpDist: sc.PerpDist,
+				Speed:    sc.Speed,
+			},
+			Reads: reads,
+		}
+		tagCount = len(sc.Tags)
 	}
 	w := os.Stdout
 	if *out != "-" {
@@ -56,16 +97,34 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+	var werr error
 	if *gob {
-		err = trace.WriteGob(w, tr)
+		werr = trace.WriteGob(w, tr)
 	} else {
-		err = trace.WriteJSONL(w, tr)
+		werr = trace.WriteJSONL(w, tr)
 	}
-	if err != nil {
-		fatal(err)
+	if werr != nil {
+		fatal(werr)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d reads (%d tags) for scenario %s\n",
-		len(reads), len(sc.Tags), *name)
+		len(tr.Reads), tagCount, *name)
+}
+
+// buildMultiScene returns the multi-reader deployment for the named
+// scenario, or nil when the name is a single-reader scenario.
+func buildMultiScene(name string, n, portals int, seed int64) (*scenario.MultiScene, error) {
+	switch name {
+	case "aisle":
+		o := scenario.DefaultAisleOpts(seed)
+		o.Tags = n
+		return scenario.WarehouseAisle(o)
+	case "airport-portals":
+		o := scenario.DefaultPortalsOpts(n, seed)
+		o.Portals = portals
+		return scenario.AirportPortals(o)
+	default:
+		return nil, nil
+	}
 }
 
 func buildScene(name string, n int, dist float64, seed int64) (*scenario.Scene, error) {

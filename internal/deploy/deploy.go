@@ -1,0 +1,279 @@
+// Package deploy scales the streaming localization engine to multi-reader
+// deployments: warehouse aisles, multi-lane conveyors and airport portal
+// tunnels where several readers/antennas cover adjacent zones of one tag
+// field.
+//
+// A Deployment describes the readers — each with its coverage zone, STPP
+// configuration and clock offset. A ShardedEngine routes incoming TagRead
+// batches by reader ID to one pipeline.Engine per reader, snapshots the
+// dirty shards concurrently on the shared par pool (caching per-shard
+// results so quiet zones cost nothing), and stitches the per-zone relative
+// orders into one global order: overlap tags read by adjacent readers
+// anchor the merge, and when a zone boundary has no overlap the stitch
+// falls back to zone geometry (left zone first).
+//
+// A deployment with a single reader is byte-identical to the plain
+// streaming engine (and therefore to the batch stpp.Localizer): routing is
+// the identity, the one shard runs the exact same engine, and stitching a
+// single order is the identity. internal/deploy tests enforce this.
+package deploy
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/epcgen2"
+	"repro/internal/par"
+	"repro/internal/pipeline"
+	"repro/internal/reader"
+	"repro/internal/scenario"
+	"repro/internal/stpp"
+)
+
+// Zone bounds a reader's coverage along the global movement axis, meters.
+// Zones order the shards: ascending XMin, left to right.
+type Zone struct {
+	XMin, XMax float64
+}
+
+// ReaderSpec describes one reader/antenna of a deployment.
+type ReaderSpec struct {
+	// ID keys the shard: reads with TagRead.Reader == ID route here.
+	ID int
+	// Zone is the coverage interval on the global movement axis.
+	Zone Zone
+	// Config is the shard's STPP configuration (reference geometry and
+	// sweep speed may differ per reader).
+	Config stpp.Config
+	// ClockOffset is the reader's local t=0 on the deployment's global
+	// clock, seconds. Set it ONLY when this reader's reads are fed in on
+	// its local clock: snapshots then re-base the shard's X keys so bottom
+	// times are comparable across shards. Leave it 0 when the stream is
+	// already on the global clock (scenario.MultiScene.Run/Stream re-base
+	// read times before emitting — shifting again would double-count).
+	ClockOffset float64
+}
+
+// Deployment describes N readers covering adjacent zones.
+type Deployment struct {
+	Readers []ReaderSpec
+}
+
+// Validate reports structural errors.
+func (d Deployment) Validate() error {
+	if len(d.Readers) == 0 {
+		return fmt.Errorf("deploy: no readers")
+	}
+	seen := make(map[int]bool, len(d.Readers))
+	for _, r := range d.Readers {
+		if seen[r.ID] {
+			return fmt.Errorf("deploy: duplicate reader ID %d", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Zone.XMax < r.Zone.XMin {
+			return fmt.Errorf("deploy: reader %d zone [%v, %v] inverted", r.ID, r.Zone.XMin, r.Zone.XMax)
+		}
+	}
+	return nil
+}
+
+// Of builds the Deployment described by a multi-reader scene: one spec per
+// reader, with the scene's zone and per-reader STPP configuration. Spec
+// clock offsets stay 0 — MultiScene.Run/Stream already emit reads on the
+// global clock, so the engine must not shift shard keys again.
+func Of(m *scenario.MultiScene) Deployment {
+	var d Deployment
+	for i := range m.Readers {
+		rs := &m.Readers[i]
+		d.Readers = append(d.Readers, ReaderSpec{
+			ID:     rs.ID,
+			Zone:   Zone{XMin: rs.XMin, XMax: rs.XMax},
+			Config: rs.Scene.STPPConfig(),
+		})
+	}
+	return d
+}
+
+// Options tunes a ShardedEngine.
+type Options struct {
+	// Workers bounds the deployment's total per-tag worker budget; 0
+	// means runtime.GOMAXPROCS. The budget is divided across the shards
+	// (each gets at least one worker) because dirty shards snapshot
+	// concurrently — giving every shard the full budget would run
+	// shards×Workers goroutines.
+	Workers int
+}
+
+// shard is one reader's slice of the engine.
+type shard struct {
+	spec   ReaderSpec
+	eng    *pipeline.Engine
+	dirty  bool
+	cached *stpp.Result // last snapshot; nil until the shard has reads
+}
+
+// ShardedEngine is the multi-reader streaming engine. Like
+// pipeline.Engine it is not safe for concurrent use — Consume and Snapshot
+// must come from one goroutine; the engine parallelizes internally.
+type ShardedEngine struct {
+	shards []*shard // zone order: ascending Zone.XMin, ties by ID
+	byID   map[int]*shard
+}
+
+// NewSharded builds a ShardedEngine for the deployment.
+func NewSharded(d Deployment, opts Options) (*ShardedEngine, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	total := opts.Workers
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	perShard := (total + len(d.Readers) - 1) / len(d.Readers)
+	se := &ShardedEngine{byID: make(map[int]*shard, len(d.Readers))}
+	for _, spec := range d.Readers {
+		eng, err := pipeline.New(spec.Config, pipeline.Options{Workers: perShard})
+		if err != nil {
+			return nil, fmt.Errorf("deploy: reader %d: %w", spec.ID, err)
+		}
+		sh := &shard{spec: spec, eng: eng}
+		se.shards = append(se.shards, sh)
+		se.byID[spec.ID] = sh
+	}
+	sort.SliceStable(se.shards, func(a, b int) bool {
+		za, zb := se.shards[a].spec.Zone, se.shards[b].spec.Zone
+		if za.XMin != zb.XMin {
+			return za.XMin < zb.XMin
+		}
+		return se.shards[a].spec.ID < se.shards[b].spec.ID
+	})
+	return se, nil
+}
+
+// Shards returns the number of reader shards.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Tags returns the number of distinct (reader, tag) profiles across all
+// shards; an overlap tag read by two readers counts twice.
+func (se *ShardedEngine) Tags() int {
+	n := 0
+	for _, sh := range se.shards {
+		n += sh.eng.Tags()
+	}
+	return n
+}
+
+// Consume routes a batch of reads to their shards by reader ID. Like
+// pipeline.Engine.Consume it is cheap; localization is deferred to the
+// next Snapshot. A read carrying an unknown reader ID is an error (the
+// batch is consumed up to the offending read).
+func (se *ShardedEngine) Consume(batch []reader.TagRead) error {
+	for i := 0; i < len(batch); {
+		id := batch[i].Reader
+		j := i + 1
+		for j < len(batch) && batch[j].Reader == id {
+			j++
+		}
+		sh, ok := se.byID[id]
+		if !ok {
+			return fmt.Errorf("deploy: read for unknown reader ID %d", id)
+		}
+		sh.eng.Consume(batch[i:j])
+		sh.dirty = true
+		i = j
+	}
+	return nil
+}
+
+// ShardResult is one zone's localization outcome.
+type ShardResult struct {
+	// ReaderID and Zone identify the shard.
+	ReaderID int
+	Zone     Zone
+	// Result is the shard's own localization result. Its X keys are on
+	// the deployment's global clock (re-based by the reader's
+	// ClockOffset); its Y keys are relative to the shard's own pivot.
+	// Nil while the shard has no reads.
+	Result *stpp.Result
+}
+
+// GlobalResult is a deployment-wide snapshot: the per-zone results plus
+// the stitched global orders.
+type GlobalResult struct {
+	// Shards holds per-zone results in zone order (left to right). Shards
+	// without reads yet carry a nil Result.
+	Shards []ShardResult
+	// XOrder is the stitched global order along the movement axis: every
+	// tag seen by any reader exactly once, overlap tags anchoring the
+	// merge of adjacent zones.
+	XOrder []epcgen2.EPC
+	// YOrder is the stitched global Y order (nearest to each reader's
+	// trajectory first). Y keys are only comparable within a zone, so the
+	// stitch relies on overlap anchors; with disjoint zones it degrades
+	// to zone concatenation.
+	YOrder []epcgen2.EPC
+}
+
+// Snapshot localizes the stream consumed so far: shards that gained reads
+// since the previous snapshot are re-localized concurrently (each shard's
+// per-tag stage fans out on its own worker pool), quiet shards reuse their
+// cached result, and the per-zone orders are stitched into the global
+// orders. It is an error if no shard has any reads yet.
+func (se *ShardedEngine) Snapshot() (*GlobalResult, error) {
+	var refresh []*shard
+	for _, sh := range se.shards {
+		if sh.dirty && sh.eng.Tags() > 0 {
+			refresh = append(refresh, sh)
+		}
+	}
+	errs := make([]error, len(refresh))
+	par.For(len(refresh), len(refresh), func(i int) {
+		sh := refresh[i]
+		res, err := sh.eng.Snapshot()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if off := sh.spec.ClockOffset; off != 0 {
+			for j := range res.Tags {
+				res.Tags[j].X = res.Tags[j].X.Shifted(off)
+			}
+		}
+		sh.cached = res
+		sh.dirty = false
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("deploy: reader %d: %w", refresh[i].spec.ID, err)
+		}
+	}
+
+	gr := &GlobalResult{}
+	var xOrders, yOrders [][]epcgen2.EPC
+	for _, sh := range se.shards {
+		gr.Shards = append(gr.Shards, ShardResult{
+			ReaderID: sh.spec.ID,
+			Zone:     sh.spec.Zone,
+			Result:   sh.cached,
+		})
+		if sh.cached != nil {
+			xOrders = append(xOrders, sh.cached.XOrderEPCs())
+			yOrders = append(yOrders, sh.cached.YOrderEPCs())
+		}
+	}
+	if len(xOrders) == 0 {
+		return nil, fmt.Errorf("deploy: no tag profiles in any shard")
+	}
+	gr.XOrder = MergeOrders(xOrders)
+	gr.YOrder = MergeOrders(yOrders)
+	return gr, nil
+}
+
+// Localize runs the engine over a complete read log in one call.
+func (se *ShardedEngine) Localize(reads []reader.TagRead) (*GlobalResult, error) {
+	if err := se.Consume(reads); err != nil {
+		return nil, err
+	}
+	return se.Snapshot()
+}

@@ -1,0 +1,357 @@
+package deploy
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/epcgen2"
+	"repro/internal/pipeline"
+	"repro/internal/reader"
+	"repro/internal/scenario"
+	"repro/internal/stpp"
+)
+
+// sameResult asserts byte-identical localization outcomes (mirrors the
+// pipeline equivalence helper): both orders, and per-tag EPC, V-zone, X/Y
+// keys and error text.
+func sameResult(t *testing.T, want, got *stpp.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want.XOrder, got.XOrder) {
+		t.Errorf("X order diverged:\n  plain   %v\n  sharded %v", want.XOrder, got.XOrder)
+	}
+	if !reflect.DeepEqual(want.YOrder, got.YOrder) {
+		t.Errorf("Y order diverged:\n  plain   %v\n  sharded %v", want.YOrder, got.YOrder)
+	}
+	if len(want.Tags) != len(got.Tags) {
+		t.Fatalf("tag count %d vs %d", len(got.Tags), len(want.Tags))
+	}
+	for i := range want.Tags {
+		w, g := want.Tags[i], got.Tags[i]
+		if w.EPC != g.EPC {
+			t.Errorf("tag %d: EPC %s vs %s", i, g.EPC, w.EPC)
+		}
+		if w.VZone != g.VZone {
+			t.Errorf("tag %d: V-zone %+v vs %+v", i, g.VZone, w.VZone)
+		}
+		if !xKeyEqual(w.X, g.X) {
+			t.Errorf("tag %d: X key %+v vs %+v", i, g.X, w.X)
+		}
+		if w.Y != g.Y {
+			t.Errorf("tag %d: Y key %+v vs %+v", i, g.Y, w.Y)
+		}
+		werr, gerr := "", ""
+		if w.Err != nil {
+			werr = w.Err.Error()
+		}
+		if g.Err != nil {
+			gerr = g.Err.Error()
+		}
+		if werr != gerr {
+			t.Errorf("tag %d: err %q vs %q", i, gerr, werr)
+		}
+	}
+}
+
+func xKeyEqual(a, b stpp.XKey) bool {
+	if math.IsNaN(a.BottomTime) || math.IsNaN(b.BottomTime) {
+		return math.IsNaN(a.BottomTime) == math.IsNaN(b.BottomTime)
+	}
+	return a == b
+}
+
+// TestSingleReaderMatchesEngine: a one-reader ShardedEngine fed the read
+// log in chunks — with intermediate snapshots — must produce byte-identical
+// results to the plain pipeline.Engine (which is itself equivalence-tested
+// against the batch stpp.Localizer), and its stitched global orders must be
+// exactly the shard's own orders.
+func TestSingleReaderMatchesEngine(t *testing.T) {
+	s, err := scenario.ConveyorPopulation(8, 0.3, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.STPPConfig()
+
+	plain, err := pipeline.New(cfg, pipeline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewSharded(Deployment{Readers: []ReaderSpec{
+		{ID: 0, Zone: Zone{XMin: -2, XMax: 2}, Config: cfg},
+	}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for start := 0; start < len(reads); start += 17 {
+		end := start + 17
+		if end > len(reads) {
+			end = len(reads)
+		}
+		plain.Consume(reads[start:end])
+		if err := sharded.Consume(reads[start:end]); err != nil {
+			t.Fatal(err)
+		}
+		if start%51 == 0 {
+			if _, err := plain.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sharded.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want, err := plain.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Shards) != 1 || got.Shards[0].Result == nil {
+		t.Fatalf("sharded result = %+v", got)
+	}
+	sameResult(t, want, got.Shards[0].Result)
+	if !reflect.DeepEqual(got.XOrder, want.XOrderEPCs()) {
+		t.Errorf("global X order %v != shard X order %v", got.XOrder, want.XOrderEPCs())
+	}
+	if !reflect.DeepEqual(got.YOrder, want.YOrderEPCs()) {
+		t.Errorf("global Y order %v != shard Y order %v", got.YOrder, want.YOrderEPCs())
+	}
+}
+
+// TestAisleStitchRecoversTruth: the two-reader warehouse aisle, streamed
+// live through the sharded engine with intermediate snapshots, must
+// recover the full ground-truth X order across both zones — including the
+// overlap tags read by both readers.
+func TestAisleStitchRecoversTruth(t *testing.T) {
+	for _, seed := range []int64{1, 5} {
+		ms, err := scenario.WarehouseAisle(scenario.DefaultAisleOpts(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		se, err := NewSharded(Of(ms), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches, snapshots := 0, 0
+		err = ms.Stream(func(batch []reader.TagRead) bool {
+			if err := se.Consume(batch); err != nil {
+				t.Fatal(err)
+			}
+			batches++
+			if batches%40 == 0 {
+				if _, err := se.Snapshot(); err == nil {
+					snapshots++
+				}
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snapshots == 0 {
+			t.Error("no intermediate snapshots succeeded")
+		}
+		gr, err := se.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both zones must have localized, and the overlap band must be
+		// non-empty: together the shards hold more profiles than there are
+		// tags.
+		perShard := 0
+		for _, sh := range gr.Shards {
+			if sh.Result == nil {
+				t.Fatalf("seed %d: shard %d saw no reads", seed, sh.ReaderID)
+			}
+			perShard += len(sh.Result.Tags)
+		}
+		if perShard <= ms.Tags() {
+			t.Errorf("seed %d: no overlap tags (%d profiles for %d tags)", seed, perShard, ms.Tags())
+		}
+		if !reflect.DeepEqual(gr.XOrder, ms.TruthX) {
+			t.Errorf("seed %d: stitched X order %v != truth %v", seed, gr.XOrder, ms.TruthX)
+		}
+	}
+}
+
+// TestPortalsStitchRecoversTruth: the multi-portal airport belt — every
+// bag passes every portal — must stitch the per-portal orders back into
+// the full belt order.
+func TestPortalsStitchRecoversTruth(t *testing.T) {
+	for _, seed := range []int64{1, 4} {
+		ms, err := scenario.AirportPortals(scenario.DefaultPortalsOpts(8, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads, err := ms.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		se, err := NewSharded(Of(ms), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := se.Localize(reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gr.XOrder, ms.TruthX) {
+			t.Errorf("seed %d: stitched X order %v != truth %v", seed, gr.XOrder, ms.TruthX)
+		}
+	}
+}
+
+// TestClockOffsetRebase: reads recorded on a reader's local clock, with
+// the offset declared in its spec, must produce the same global orders as
+// the same reads on the global clock — and the shard's X keys must come
+// back re-based onto the global clock.
+func TestClockOffsetRebase(t *testing.T) {
+	const offset = 2.5
+	ms, err := scenario.WarehouseAisle(scenario.DefaultAisleOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := NewSharded(Of(ms), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Localize(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reader 1's reads shifted onto its local clock, its spec declaring
+	// the offset.
+	local := append([]reader.TagRead(nil), reads...)
+	for i := range local {
+		if local[i].Reader == 1 {
+			local[i].Time -= offset
+		}
+	}
+	d := Of(ms)
+	for i := range d.Readers {
+		if d.Readers[i].ID == 1 {
+			d.Readers[i].ClockOffset = offset
+		}
+	}
+	shifted, err := NewSharded(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := shifted.Localize(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got.XOrder, want.XOrder) {
+		t.Errorf("X order diverged under clock offset:\n  global %v\n  local  %v", want.XOrder, got.XOrder)
+	}
+	if !reflect.DeepEqual(got.YOrder, want.YOrder) {
+		t.Errorf("Y order diverged under clock offset")
+	}
+	// Shard 1's bottom times must be back on the global clock.
+	wantBT := bottomTimes(t, want, 1)
+	gotBT := bottomTimes(t, got, 1)
+	for epc, w := range wantBT {
+		g, ok := gotBT[epc]
+		if !ok {
+			t.Errorf("tag %s missing from shifted shard", epc)
+			continue
+		}
+		if math.Abs(g-w) > 1e-6 {
+			t.Errorf("tag %s: bottom time %v, want %v (Δ=%g)", epc, g, w, g-w)
+		}
+	}
+}
+
+// bottomTimes collects EPC → fitted bottom time for one shard's located
+// tags.
+func bottomTimes(t *testing.T, gr *GlobalResult, readerID int) map[epcgen2.EPC]float64 {
+	t.Helper()
+	for _, sh := range gr.Shards {
+		if sh.ReaderID != readerID {
+			continue
+		}
+		if sh.Result == nil {
+			t.Fatalf("shard %d has no result", readerID)
+		}
+		out := make(map[epcgen2.EPC]float64)
+		for _, tag := range sh.Result.Tags {
+			if tag.Err == nil {
+				out[tag.EPC] = tag.X.BottomTime
+			}
+		}
+		return out
+	}
+	t.Fatalf("no shard %d", readerID)
+	return nil
+}
+
+// TestConsumeUnknownReader: a read stamped with an ID outside the
+// deployment is an error, not silent misrouting.
+func TestConsumeUnknownReader(t *testing.T) {
+	s, err := scenario.ConveyorPopulation(2, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewSharded(Deployment{Readers: []ReaderSpec{
+		{ID: 0, Config: s.STPPConfig()},
+	}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Consume([]reader.TagRead{{Reader: 7}}); err == nil {
+		t.Error("unknown reader ID accepted")
+	}
+}
+
+// TestDeploymentValidate: structural errors are rejected at construction.
+func TestDeploymentValidate(t *testing.T) {
+	s, err := scenario.ConveyorPopulation(2, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.STPPConfig()
+	if _, err := NewSharded(Deployment{}, Options{}); err == nil {
+		t.Error("empty deployment accepted")
+	}
+	if _, err := NewSharded(Deployment{Readers: []ReaderSpec{
+		{ID: 1, Config: cfg}, {ID: 1, Config: cfg},
+	}}, Options{}); err == nil {
+		t.Error("duplicate reader IDs accepted")
+	}
+	if _, err := NewSharded(Deployment{Readers: []ReaderSpec{
+		{ID: 0, Zone: Zone{XMin: 2, XMax: 1}, Config: cfg},
+	}}, Options{}); err == nil {
+		t.Error("inverted zone accepted")
+	}
+}
+
+// TestSnapshotEmpty: a snapshot before any shard has reads is an error,
+// matching the plain engine's behavior.
+func TestSnapshotEmpty(t *testing.T) {
+	s, err := scenario.ConveyorPopulation(2, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewSharded(Deployment{Readers: []ReaderSpec{
+		{ID: 0, Config: s.STPPConfig()},
+	}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Snapshot(); err == nil {
+		t.Error("snapshot over empty deployment succeeded")
+	}
+}

@@ -1,0 +1,226 @@
+package deploy
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/epcgen2"
+)
+
+// truthOrder builds the ground-truth order 1..n as EPCs.
+func truthOrder(n int) []epcgen2.EPC {
+	out := make([]epcgen2.EPC, n)
+	for i := range out {
+		out[i] = epcgen2.NewEPC(uint64(i + 1))
+	}
+	return out
+}
+
+// windows cuts [0, n) into k contiguous index windows in left-to-right
+// order. When overlap is true adjacent windows share at least one index
+// (overlap tags); otherwise they partition [0, n) disjointly.
+func windows(rng *rand.Rand, n, k int, overlap bool) [][2]int {
+	cuts := make([]int, k-1)
+	for i := range cuts {
+		cuts[i] = 1 + rng.Intn(n-1)
+	}
+	// Sorted cut points partition [0, n).
+	for i := 0; i < len(cuts); i++ {
+		for j := i + 1; j < len(cuts); j++ {
+			if cuts[j] < cuts[i] {
+				cuts[i], cuts[j] = cuts[j], cuts[i]
+			}
+		}
+	}
+	out := make([][2]int, k)
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := n
+		if i < k-1 {
+			hi = cuts[i]
+		}
+		out[i] = [2]int{lo, hi}
+		lo = hi
+	}
+	if overlap {
+		// Stretch every window a random amount into its neighbours.
+		for i := range out {
+			if i > 0 {
+				out[i][0] -= 1 + rng.Intn(3)
+				if out[i][0] < 0 {
+					out[i][0] = 0
+				}
+			}
+			if i < len(out)-1 {
+				out[i][1] += 1 + rng.Intn(3)
+				if out[i][1] > n {
+					out[i][1] = n
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestMergeOrdersReconstructsOverlappingShards: slicing a known total
+// order into overlapping per-zone windows and merging them back must
+// reconstruct the original order exactly, whatever the window layout.
+func TestMergeOrdersReconstructsOverlappingShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(40)
+		k := 2 + rng.Intn(4)
+		if k > n {
+			k = n
+		}
+		truth := truthOrder(n)
+		var shards [][]epcgen2.EPC
+		for _, w := range windows(rng, n, k, true) {
+			if w[0] < w[1] {
+				shards = append(shards, truth[w[0]:w[1]])
+			}
+		}
+		got := MergeOrders(shards)
+		if !reflect.DeepEqual(got, truth) {
+			t.Fatalf("trial %d (n=%d, k=%d): merged %v != truth %v", trial, n, k, got, truth)
+		}
+	}
+}
+
+// TestMergeOrdersDisjointZones: with no overlap tags the merge must fall
+// back to zone geometry — concatenating the per-zone orders left to right
+// — which reconstructs the truth when the zones partition it in order.
+func TestMergeOrdersDisjointZones(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(40)
+		k := 2 + rng.Intn(4)
+		if k > n {
+			k = n
+		}
+		truth := truthOrder(n)
+		var shards [][]epcgen2.EPC
+		for _, w := range windows(rng, n, k, false) {
+			if w[0] < w[1] {
+				shards = append(shards, truth[w[0]:w[1]])
+			}
+		}
+		got := MergeOrders(shards)
+		if !reflect.DeepEqual(got, truth) {
+			t.Fatalf("trial %d (n=%d, k=%d): merged %v != truth %v", trial, n, k, got, truth)
+		}
+	}
+}
+
+// TestMergeOrdersSingleTagShards: degenerate one-tag zones — the smallest
+// possible shard output — must still merge into the full order.
+func TestMergeOrdersSingleTagShards(t *testing.T) {
+	truth := truthOrder(5)
+	var shards [][]epcgen2.EPC
+	for i := range truth {
+		shards = append(shards, truth[i:i+1])
+	}
+	if got := MergeOrders(shards); !reflect.DeepEqual(got, truth) {
+		t.Errorf("merged %v != truth %v", got, truth)
+	}
+	// A single-tag shard overlapping a larger one anchors normally.
+	shards = [][]epcgen2.EPC{truth[0:3], truth[2:3], truth[2:5]}
+	if got := MergeOrders(shards); !reflect.DeepEqual(got, truth) {
+		t.Errorf("merged %v != truth %v", got, truth)
+	}
+}
+
+// TestMergeOrdersConflict: when two zones disagree on the relative order
+// of their overlap tags, the left zone wins, and every tag still appears
+// exactly once.
+func TestMergeOrdersConflict(t *testing.T) {
+	a, b, c, d := epcgen2.NewEPC(1), epcgen2.NewEPC(2), epcgen2.NewEPC(3), epcgen2.NewEPC(4)
+	got := MergeOrders([][]epcgen2.EPC{
+		{a, b, c},
+		{c, b, d}, // disagrees on b vs c
+	})
+	want := []epcgen2.EPC{a, b, c, d}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged %v, want %v", got, want)
+	}
+}
+
+// TestMergeOrdersEmpty: empty and nil shards are identity elements.
+func TestMergeOrdersEmpty(t *testing.T) {
+	if got := MergeOrders(nil); len(got) != 0 {
+		t.Errorf("MergeOrders(nil) = %v", got)
+	}
+	truth := truthOrder(3)
+	got := MergeOrders([][]epcgen2.EPC{nil, truth, {}})
+	if !reflect.DeepEqual(got, truth) {
+		t.Errorf("merged %v != %v", got, truth)
+	}
+}
+
+// FuzzMergeOrders: arbitrary shard layouts — including duplicate EPCs,
+// single-tag shards and inconsistent orders — must merge into a
+// deterministic order containing every distinct input tag exactly once and
+// preserving the first shard's relative order.
+func FuzzMergeOrders(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 3, 2, 3, 4}) // two overlapping shards
+	f.Add([]byte{1, 1, 1, 2, 1, 3})       // degenerate single-tag shards
+	f.Add([]byte{2, 5, 5, 2, 5, 6})       // duplicate EPC inside a shard
+	f.Add([]byte{3, 1, 2, 3, 3, 3, 2, 1}) // fully conflicting orders
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode: [len, epc, epc, ...]* with small tag IDs.
+		var shards [][]epcgen2.EPC
+		for i := 0; i < len(data); {
+			k := int(data[i]%8) + 1
+			i++
+			var shard []epcgen2.EPC
+			for j := 0; j < k && i < len(data); j++ {
+				shard = append(shard, epcgen2.NewEPC(uint64(data[i]%32)+1))
+				i++
+			}
+			if len(shard) > 0 {
+				shards = append(shards, shard)
+			}
+		}
+		got := MergeOrders(shards)
+
+		// Exactly the distinct input tags, each once.
+		want := make(map[epcgen2.EPC]int)
+		for _, s := range shards {
+			for _, e := range s {
+				want[e]++
+			}
+		}
+		seen := make(map[epcgen2.EPC]int)
+		for _, e := range got {
+			seen[e]++
+			if seen[e] > 1 {
+				t.Fatalf("tag %s appears %d times in %v", e, seen[e], got)
+			}
+			if want[e] == 0 {
+				t.Fatalf("tag %s not in any shard", e)
+			}
+		}
+		if len(seen) != len(want) {
+			t.Fatalf("merged %d distinct tags, want %d", len(seen), len(want))
+		}
+		// Deterministic.
+		if again := MergeOrders(shards); !reflect.DeepEqual(again, got) {
+			t.Fatalf("merge not deterministic: %v vs %v", got, again)
+		}
+		// The first shard's relative order survives (later zones never
+		// reorder an already-merged prefix).
+		if len(shards) > 0 {
+			first := dedup(shards[0])
+			pos := make(map[epcgen2.EPC]int, len(got))
+			for i, e := range got {
+				pos[e] = i
+			}
+			for i := 1; i < len(first); i++ {
+				if pos[first[i-1]] > pos[first[i]] {
+					t.Fatalf("first shard order %v not preserved in %v", first, got)
+				}
+			}
+		}
+	})
+}

@@ -7,6 +7,7 @@ package dtw
 
 import (
 	"math"
+	"sync"
 )
 
 // Path is a warping path: a sequence of (i, j) index pairs into the two
@@ -42,6 +43,98 @@ func Align(a, b []float64, d Dist) Result {
 	return AlignBanded(a, b, d, -1)
 }
 
+// inf marks cost-matrix cells outside the band (or not yet reachable).
+const inf = math.MaxFloat64
+
+// costMatrix is a row-windowed DTW cost matrix backed by one flat slice:
+// row i stores only the columns [lo[i], hi[i]) inside the Sakoe-Chiba
+// band, so a banded alignment holds O(m·band) cells instead of the full
+// m×n, and matrices are pooled and reused across alignments — the hot
+// detection path allocates nothing per call beyond the returned Path.
+// Reads outside a row's window return inf, exactly as the out-of-band
+// cells of a dense matrix would.
+type costMatrix struct {
+	lo, hi []int // per-row column window [lo, hi)
+	off    []int // per-row offset into cells
+	cells  []float64
+}
+
+var matrixPool sync.Pool
+
+// newMatrix sizes a pooled matrix for an m×n alignment with the given
+// band half-width (band < 0 = full rows). Every in-window cell is written
+// by the recurrence before it is read, so cells are not cleared.
+func newMatrix(m, n, band int) *costMatrix {
+	cm, _ := matrixPool.Get().(*costMatrix)
+	if cm == nil {
+		cm = &costMatrix{}
+	}
+	if cap(cm.lo) < m {
+		cm.lo = make([]int, m)
+		cm.hi = make([]int, m)
+		cm.off = make([]int, m)
+	}
+	cm.lo, cm.hi, cm.off = cm.lo[:m], cm.hi[:m], cm.off[:m]
+	total := 0
+	for i := 0; i < m; i++ {
+		lo, hi := bandWindow(i, m, n, band)
+		cm.lo[i], cm.hi[i], cm.off[i] = lo, hi, total
+		total += hi - lo
+	}
+	if cap(cm.cells) < total {
+		cm.cells = make([]float64, total)
+	}
+	cm.cells = cm.cells[:total]
+	return cm
+}
+
+func (cm *costMatrix) release() { matrixPool.Put(cm) }
+
+// bandWindow returns the contiguous run of columns of row i inside the
+// band: |j − diag(i)| <= band, with the diagonal scaled for unequal
+// lengths. The window may be empty (a too-narrow band on a non-integer
+// diagonal), leaving the row all-inf like the dense matrix did.
+func bandWindow(i, m, n, band int) (lo, hi int) {
+	if band < 0 {
+		return 0, n
+	}
+	diag := float64(i) * float64(n-1) / float64(max(m-1, 1))
+	from := int(diag) - band - 1
+	if from < 0 {
+		from = 0
+	}
+	to := int(diag) + band + 1
+	if to > n-1 {
+		to = n - 1
+	}
+	lo, hi = -1, -1
+	for j := from; j <= to; j++ {
+		if math.Abs(float64(j)-diag) <= float64(band) {
+			if lo < 0 {
+				lo = j
+			}
+			hi = j + 1
+		}
+	}
+	if lo < 0 {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// at reads cell (i, j); out-of-window cells are inf.
+func (cm *costMatrix) at(i, j int) float64 {
+	if j < cm.lo[i] || j >= cm.hi[i] {
+		return inf
+	}
+	return cm.cells[cm.off[i]+j-cm.lo[i]]
+}
+
+// set writes cell (i, j), which must be inside row i's window.
+func (cm *costMatrix) set(i, j int, v float64) {
+	cm.cells[cm.off[i]+j-cm.lo[i]] = v
+}
+
 // AlignBanded computes DTW restricted to a Sakoe-Chiba band of the given
 // half-width around the diagonal. band < 0 disables the constraint.
 func AlignBanded(a, b []float64, d Dist, band int) Result {
@@ -53,49 +146,30 @@ func AlignBanded(a, b []float64, d Dist, band int) Result {
 		d = AbsDist
 	}
 
-	const inf = math.MaxFloat64
-	cost := make([][]float64, m)
-	for i := range cost {
-		cost[i] = make([]float64, n)
-		for j := range cost[i] {
-			cost[i][j] = inf
-		}
-	}
-
-	inBand := func(i, j int) bool {
-		if band < 0 {
-			return true
-		}
-		// Scale the diagonal for unequal lengths.
-		diag := float64(i) * float64(n-1) / float64(max(m-1, 1))
-		return math.Abs(float64(j)-diag) <= float64(band)
-	}
-
+	cm := newMatrix(m, n, band)
+	defer cm.release()
 	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			if !inBand(i, j) {
-				continue
-			}
+		for j, hi := cm.lo[i], cm.hi[i]; j < hi; j++ {
 			c := d(a[i], b[j])
 			switch {
 			case i == 0 && j == 0:
-				cost[i][j] = c
+				cm.set(i, j, c)
 			case i == 0:
-				cost[i][j] = c + cost[i][j-1]
+				cm.set(i, j, c+cm.at(i, j-1))
 			case j == 0:
-				cost[i][j] = c + cost[i-1][j]
+				cm.set(i, j, c+cm.at(i-1, j))
 			default:
-				cost[i][j] = c + min3(cost[i-1][j], cost[i][j-1], cost[i-1][j-1])
+				cm.set(i, j, c+min3(cm.at(i-1, j), cm.at(i, j-1), cm.at(i-1, j-1)))
 			}
 		}
 	}
-	if cost[m-1][n-1] == inf {
+	if cm.at(m-1, n-1) == inf {
 		// Band too narrow to connect the corners; fall back to unconstrained.
 		return AlignBanded(a, b, d, -1)
 	}
 	return Result{
-		Distance: cost[m-1][n-1],
-		Path:     traceback(cost, m-1, n-1),
+		Distance: cm.at(m-1, n-1),
+		Path:     traceback(cm, m-1, n-1),
 	}
 }
 
@@ -113,43 +187,41 @@ func AlignOpenEnd(p, q []float64, d Dist) (Result, int, int) {
 	if d == nil {
 		d = AbsDist
 	}
-	cost := make([][]float64, m)
-	for i := range cost {
-		cost[i] = make([]float64, n)
-	}
+	cm := newMatrix(m, n, -1)
+	defer cm.release()
 	for j := 0; j < n; j++ {
 		// Free start: the first pattern sample may match any q sample at
 		// just its pointwise cost.
-		cost[0][j] = d(p[0], q[j])
+		cm.set(0, j, d(p[0], q[j]))
 	}
 	for i := 1; i < m; i++ {
 		for j := 0; j < n; j++ {
 			c := d(p[i], q[j])
 			if j == 0 {
-				cost[i][j] = c + cost[i-1][j]
+				cm.set(i, j, c+cm.at(i-1, j))
 				continue
 			}
-			cost[i][j] = c + min3(cost[i-1][j], cost[i][j-1], cost[i-1][j-1])
+			cm.set(i, j, c+min3(cm.at(i-1, j), cm.at(i, j-1), cm.at(i-1, j-1)))
 		}
 	}
 	// Free end: pick the cheapest cell in the last pattern row. Ties prefer
 	// the latest end so zero-cost plateaus match the whole pattern region
 	// rather than a truncated prefix.
 	endJ := 0
-	best := cost[m-1][0]
+	best := cm.at(m-1, 0)
 	for j := 1; j < n; j++ {
-		if cost[m-1][j] <= best {
-			best = cost[m-1][j]
+		if c := cm.at(m-1, j); c <= best {
+			best = c
 			endJ = j
 		}
 	}
-	path := tracebackOpen(cost, m-1, endJ)
+	path := tracebackOpen(cm, m-1, endJ)
 	startJ := path[0].J
 	return Result{Distance: best, Path: path}, startJ, endJ
 }
 
 // traceback reconstructs the optimal path for a standard DTW cost matrix.
-func traceback(cost [][]float64, i, j int) Path {
+func traceback(cm *costMatrix, i, j int) Path {
 	var rev Path
 	for {
 		rev = append(rev, Step{I: i, J: j})
@@ -163,7 +235,7 @@ func traceback(cost [][]float64, i, j int) Path {
 			i--
 		default:
 			// Choose the predecessor with minimal cost.
-			diag, up, left := cost[i-1][j-1], cost[i-1][j], cost[i][j-1]
+			diag, up, left := cm.at(i-1, j-1), cm.at(i-1, j), cm.at(i, j-1)
 			if diag <= up && diag <= left {
 				i--
 				j--
@@ -181,7 +253,7 @@ func traceback(cost [][]float64, i, j int) Path {
 // tracebackOpen reconstructs the path for the open-start/open-end matrix:
 // it stops as soon as the pattern row reaches 0 (any q column is a valid
 // start).
-func tracebackOpen(cost [][]float64, i, j int) Path {
+func tracebackOpen(cm *costMatrix, i, j int) Path {
 	var rev Path
 	for {
 		rev = append(rev, Step{I: i, J: j})
@@ -192,7 +264,7 @@ func tracebackOpen(cost [][]float64, i, j int) Path {
 			i--
 			continue
 		}
-		diag, up, left := cost[i-1][j-1], cost[i-1][j], cost[i][j-1]
+		diag, up, left := cm.at(i-1, j-1), cm.at(i-1, j), cm.at(i, j-1)
 		if diag <= up && diag <= left {
 			i--
 			j--

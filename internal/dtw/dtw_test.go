@@ -244,3 +244,48 @@ func TestQuickOpenEndUpperBoundedByFull(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestBandWindowMatchesPredicate: the per-row windows of the flat matrix
+// must contain exactly the cells the dense band predicate admitted, for
+// awkward shapes (unequal lengths, band 0, band wider than the matrix).
+func TestBandWindowMatchesPredicate(t *testing.T) {
+	for _, tc := range []struct{ m, n, band int }{
+		{1, 1, 0}, {1, 9, 0}, {9, 1, 2}, {7, 5, 0}, {5, 7, 1},
+		{12, 8, 3}, {8, 12, 3}, {6, 6, 100}, {10, 40, 2}, {40, 10, 2},
+	} {
+		for i := 0; i < tc.m; i++ {
+			lo, hi := bandWindow(i, tc.m, tc.n, tc.band)
+			diag := float64(i) * float64(tc.n-1) / float64(max(tc.m-1, 1))
+			for j := 0; j < tc.n; j++ {
+				want := math.Abs(float64(j)-diag) <= float64(tc.band)
+				got := j >= lo && j < hi
+				if want != got {
+					t.Fatalf("m=%d n=%d band=%d: row %d col %d in-window=%v, want %v",
+						tc.m, tc.n, tc.band, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAlignBandedAllocs: the banded alignment must run on the pooled flat
+// matrix — a handful of allocations for the returned path, not one slice
+// per matrix row.
+func TestAlignBandedAllocs(t *testing.T) {
+	a := make([]float64, 400)
+	b := make([]float64, 400)
+	for i := range a {
+		a[i] = math.Sin(float64(i) / 7)
+		b[i] = math.Sin(float64(i)/7 + 0.3)
+	}
+	AlignBanded(a, b, nil, 10) // warm the pool
+	allocs := testing.AllocsPerRun(20, func() {
+		AlignBanded(a, b, nil, 10)
+	})
+	// The dense implementation allocated one row slice per sample (400+)
+	// plus the matrix spine; the flat pooled matrix leaves only the
+	// traceback path and pool bookkeeping.
+	if allocs > 40 {
+		t.Errorf("AlignBanded allocs/op = %v, want the pooled flat matrix (<= 40)", allocs)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"reflect"
 	"testing"
 
-	"repro/internal/reader"
 	"repro/internal/scenario"
 	"repro/internal/stpp"
 )
@@ -140,7 +139,7 @@ func TestRunSimulatorMatchesBatch(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			sim, err := reader.New(s.Cfg, s.AntennaTraj, s.Tags)
+			sim, err := s.Simulator()
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -35,6 +35,10 @@ type TagRead struct {
 	RSSI float64 `json:"rssi"`
 	// Channel is the carrier channel index the read occurred on.
 	Channel int `json:"ch"`
+	// Reader identifies which reader/antenna produced the read in a
+	// multi-reader deployment (Config.ReaderID). Single-reader setups leave
+	// it 0.
+	Reader int `json:"rdr,omitempty"`
 }
 
 // Config assembles a reader simulation.
@@ -63,6 +67,10 @@ type Config struct {
 	Mount antenna.Mount
 	// Env is the propagation environment. Defaults to free space.
 	Env *phys.Environment
+	// ReaderID stamps every TagRead this simulator emits, identifying the
+	// reader in a multi-reader deployment. Reads are routed to per-reader
+	// shards by this ID (internal/deploy); single-reader setups leave it 0.
+	ReaderID int
 	// Coupling models mutual coupling between closely spaced tags: a
 	// neighbour within a few centimetres parasitically re-radiates the
 	// interrogation, distorting the victim tag's apparent phase centre.
@@ -355,6 +363,7 @@ func (s *Simulator) interrogate(tagIdx int, tr float64, ch int, wl float64) (Tag
 		Phase:   phase,
 		RSSI:    rssi,
 		Channel: ch,
+		Reader:  s.cfg.ReaderID,
 	}, true
 }
 

@@ -1,0 +1,354 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/antenna"
+	"repro/internal/epcgen2"
+	"repro/internal/geom"
+	"repro/internal/motion"
+	"repro/internal/phys"
+	"repro/internal/reader"
+)
+
+// ReaderScene is one reader of a multi-reader deployment: a runnable Scene
+// (trajectory, tag population, reader config) plus the coverage zone it is
+// responsible for along the global movement axis.
+type ReaderScene struct {
+	// ID is the reader's deployment ID; the scene's Cfg.ReaderID matches,
+	// so every read it emits is routed back to this reader's shard.
+	ID int
+	// Scene is the reader's own simulation: its trajectory and the tag
+	// population assigned to its zone (overlap tags appear in the
+	// populations of both adjacent readers).
+	Scene *Scene
+	// XMin and XMax bound the reader's coverage zone on the global X axis.
+	// Zones order the shards when stitching falls back to geometry.
+	XMin, XMax float64
+	// ClockOffset is the reader's local t=0 on the deployment's global
+	// clock, seconds. Scene timestamps are local; Run/Stream re-base them.
+	ClockOffset float64
+}
+
+// MultiScene is a multi-reader deployment scene: N readers covering
+// adjacent zones of one tag field, with the global ground truth across all
+// zones. Each reader simulates independently (no inter-reader RF
+// interference is modeled — real deployments separate readers in space,
+// frequency or time).
+type MultiScene struct {
+	// Name labels the deployment (e.g. "warehouse-aisle").
+	Name string
+	// Readers are the per-zone reader scenes, in no particular order.
+	Readers []ReaderScene
+	// TruthX is the global ground-truth order along the movement axis,
+	// across all zones.
+	TruthX []epcgen2.EPC
+	// TruthY is the global ground-truth order by perpendicular distance
+	// (nearest first); nil when the deployment has no Y dimension.
+	TruthY []epcgen2.EPC
+}
+
+// Run simulates every reader and returns the merged read log in global
+// time order, each read stamped with its reader ID and re-based onto the
+// global clock.
+func (m *MultiScene) Run() ([]reader.TagRead, error) {
+	var all []reader.TagRead
+	for i := range m.Readers {
+		rs := &m.Readers[i]
+		reads, err := rs.Scene.Run()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: reader %d: %w", rs.ID, err)
+		}
+		for j := range reads {
+			reads[j].Time += rs.ClockOffset
+		}
+		all = append(all, reads...)
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].Time < all[b].Time })
+	return all, nil
+}
+
+// Stream interleaves the readers' live streams in global time order at
+// inventory-round granularity: at every step the reader whose clock lags
+// furthest behind runs its next round, so batches are emitted roughly as a
+// co-located deployment would produce them. The emitted batch reuses an
+// internal buffer — the callback must not retain it. A callback returning
+// false cancels the stream.
+func (m *MultiScene) Stream(emit func(batch []reader.TagRead) bool) error {
+	type source struct {
+		sim   *reader.Simulator
+		off   float64
+		limit float64
+		done  bool
+	}
+	srcs := make([]source, len(m.Readers))
+	for i := range m.Readers {
+		rs := &m.Readers[i]
+		sim, err := rs.Scene.Simulator()
+		if err != nil {
+			return fmt.Errorf("scenario: reader %d: %w", rs.ID, err)
+		}
+		srcs[i] = source{sim: sim, off: rs.ClockOffset, limit: rs.Scene.Duration}
+	}
+	var buf []reader.TagRead
+	for {
+		best := -1
+		for i := range srcs {
+			if srcs[i].done {
+				continue
+			}
+			if best < 0 || srcs[i].sim.Clock()+srcs[i].off < srcs[best].sim.Clock()+srcs[best].off {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		s := &srcs[best]
+		batch, more := s.sim.Step(s.limit, buf[:0])
+		if !more {
+			s.done = true
+		}
+		for i := range batch {
+			batch[i].Time += s.off
+		}
+		if len(batch) > 0 && !emit(batch) {
+			return nil
+		}
+		buf = batch[:0]
+	}
+}
+
+// Tags returns the number of distinct tags across all zones.
+func (m *MultiScene) Tags() int { return len(m.TruthX) }
+
+// AisleOpts parameterizes the two-reader warehouse aisle.
+type AisleOpts struct {
+	// Tags is the number of tagged items along the aisle.
+	Tags int
+	// Overlap is the half-width of the shared coverage band around the
+	// aisle midpoint, meters: tags within ±Overlap of the midpoint are
+	// read by both readers and anchor the stitch. 0 keeps the zones
+	// disjoint (stitching falls back to zone geometry).
+	Overlap float64
+	// Speed is each reader cart's sweep speed (m/s).
+	Speed float64
+	// Seed drives placement and both simulations.
+	Seed int64
+}
+
+// DefaultAisleOpts is a 16-item aisle with a 30 cm overlap band.
+func DefaultAisleOpts(seed int64) AisleOpts {
+	return AisleOpts{Tags: 16, Overlap: 0.30, Speed: 0.20, Seed: seed}
+}
+
+// WarehouseAisle builds the two-reader warehouse scene: one aisle of
+// tagged items on the whiteboard geometry, split into a left and a right
+// coverage zone. Each reader cart sweeps its own half (plus the overlap
+// band and a run-up margin so every assigned tag gets a complete V-zone);
+// items inside the overlap band belong to both tag populations and are the
+// anchors the deployment stitcher merges the two zone orders with.
+func WarehouseAisle(o AisleOpts) (*MultiScene, error) {
+	if o.Tags < 4 {
+		return nil, fmt.Errorf("scenario: aisle needs >= 4 tags")
+	}
+	if o.Overlap < 0 {
+		return nil, fmt.Errorf("scenario: overlap %v < 0", o.Overlap)
+	}
+	if o.Speed <= 0 {
+		return nil, fmt.Errorf("scenario: speed %v <= 0", o.Speed)
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	// Items along the aisle: adjacent spacing U[8cm,15cm], plus the same
+	// shuffled Y ladder the whiteboard Population uses so the Y ground
+	// truth is total.
+	n := o.Tags
+	positions := make([]geom.Vec2, n)
+	ys := make([]float64, n)
+	for i := range ys {
+		ys[i] = float64(i) * 0.12 / float64(n)
+	}
+	rng.Shuffle(n, func(a, b int) { ys[a], ys[b] = ys[b], ys[a] })
+	x := 0.0
+	for i := 0; i < n; i++ {
+		positions[i] = geom.V2(x, ys[i])
+		x += 0.08 + rng.Float64()*0.07
+	}
+	tags := make([]reader.Tag, n)
+	for i, p := range positions {
+		tags[i] = reader.Tag{
+			EPC:   epcgen2.NewEPC(uint64(i + 1)),
+			Model: reader.AlienALN9662,
+			Traj:  motion.Static{P: geom.V3(p.X, p.Y, 0)},
+		}
+	}
+
+	minX, maxX := positions[0].X, positions[n-1].X
+	mid := (minX + maxX) / 2
+	zones := []struct{ lo, hi float64 }{
+		{minX, mid + o.Overlap},
+		{mid - o.Overlap, maxX},
+	}
+
+	ms := &MultiScene{Name: "warehouse-aisle"}
+	for id, z := range zones {
+		var pop []reader.Tag
+		var popPos []geom.Vec2
+		for i, p := range positions {
+			if p.X >= z.lo && p.X <= z.hi {
+				pop = append(pop, tags[i])
+				popPos = append(popPos, p)
+			}
+		}
+		if len(pop) == 0 {
+			return nil, fmt.Errorf("scenario: zone %d [%v,%v] has no tags", id, z.lo, z.hi)
+		}
+		// The sweep overshoots the zone by the whiteboard run-up margin so
+		// boundary tags still trace complete V-zones.
+		from := geom.V3(z.lo-0.6, -belowY, standZ)
+		to := geom.V3(z.hi+0.6, -belowY, standZ)
+		traj, err := motion.NewLinear(from, to, o.Speed)
+		if err != nil {
+			return nil, err
+		}
+		sc := &Scene{
+			Cfg: reader.Config{
+				Channel:  6,
+				Seed:     o.Seed + int64(id)*7919,
+				Env:      phys.LibraryEnvironment(0.45, 1.0),
+				Mount:    whiteboardMount(),
+				ReaderID: id,
+			},
+			AntennaTraj: traj,
+			Tags:        pop,
+			Duration:    traj.Duration(),
+			PerpDist:    perpOf(0),
+			Speed:       o.Speed,
+		}
+		sc.TruthX, sc.TruthY = truthFromPositions(pop, popPos)
+		ms.Readers = append(ms.Readers, ReaderScene{
+			ID: id, Scene: sc, XMin: z.lo, XMax: z.hi,
+		})
+	}
+	ms.TruthX, ms.TruthY = truthFromPositions(tags, positions)
+	return ms, nil
+}
+
+// PortalsOpts parameterizes the multi-portal airport deployment.
+type PortalsOpts struct {
+	// Portals is the number of fixed portal readers along the belt.
+	Portals int
+	// Bags is the number of bags in the batch.
+	Bags int
+	// PortalGap is the along-belt distance between adjacent portals (m).
+	PortalGap float64
+	// MinSpacing and MaxSpacing bound the along-belt gap between adjacent
+	// bag tags (see AirportOpts).
+	MinSpacing, MaxSpacing float64
+	// BeltSpeed in m/s.
+	BeltSpeed float64
+	// Seed drives placement and all simulations.
+	Seed int64
+}
+
+// DefaultPortalsOpts is a two-portal peak-hour belt.
+func DefaultPortalsOpts(bags int, seed int64) PortalsOpts {
+	return PortalsOpts{
+		Portals: 2, Bags: bags, PortalGap: 4.0,
+		MinSpacing: 0.06, MaxSpacing: 0.20, BeltSpeed: 0.3, Seed: seed,
+	}
+}
+
+// AirportPortals builds the multi-portal baggage deployment: one belt of
+// bags riding past several fixed portal antennas (the airport scene's
+// geometry repeated every PortalGap meters). Every bag passes every
+// portal, so all tags are overlap tags — each zone recovers the full belt
+// order and the stitcher reconciles the per-portal orders.
+func AirportPortals(o PortalsOpts) (*MultiScene, error) {
+	if o.Portals < 1 {
+		return nil, fmt.Errorf("scenario: need >= 1 portal")
+	}
+	if o.Bags < 2 {
+		return nil, fmt.Errorf("scenario: need >= 2 bags")
+	}
+	if o.PortalGap <= 0 {
+		return nil, fmt.Errorf("scenario: portal gap %v <= 0", o.PortalGap)
+	}
+	if o.MinSpacing <= 0 || o.MaxSpacing < o.MinSpacing {
+		return nil, fmt.Errorf("scenario: bad spacing [%v, %v]", o.MinSpacing, o.MaxSpacing)
+	}
+	if o.BeltSpeed <= 0 {
+		return nil, fmt.Errorf("scenario: belt speed %v <= 0", o.BeltSpeed)
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	// Bag placement exactly as in the single-portal airport scene; the
+	// belt is long enough for every bag to clear the last portal.
+	const startBack = 2.5
+	lastPortal := float64(o.Portals-1) * o.PortalGap
+	travel := startBack*2 + lastPortal + float64(o.Bags)*o.MaxSpacing + 2
+	x := -startBack
+	tags := make([]reader.Tag, 0, o.Bags)
+	type bagTruth struct {
+		epc epcgen2.EPC
+		x   float64
+	}
+	var truths []bagTruth
+	for i := 0; i < o.Bags; i++ {
+		lateral := (rng.Float64() - 0.5) * 0.10
+		epc := epcgen2.NewEPC(uint64(i + 1))
+		tags = append(tags, reader.Tag{
+			EPC:   epc,
+			Model: reader.AlienALN9662,
+			Traj: motion.Conveyor{
+				Start:      geom.V3(x, lateral, 0),
+				Dir:        geom.V3(1, 0, 0),
+				Speed:      o.BeltSpeed,
+				TravelDist: travel,
+			},
+		})
+		truths = append(truths, bagTruth{epc: epc, x: x})
+		x -= o.MinSpacing + rng.Float64()*(o.MaxSpacing-o.MinSpacing)
+	}
+	sort.SliceStable(truths, func(a, b int) bool { return truths[a].x > truths[b].x })
+
+	ms := &MultiScene{Name: "airport-portals"}
+	duration := travel / o.BeltSpeed
+	for p := 0; p < o.Portals; p++ {
+		portalX := float64(p) * o.PortalGap
+		antennaPos := geom.V3(portalX, 0.6, 0.5)
+		sc := &Scene{
+			Cfg: reader.Config{
+				Channel: 6,
+				Seed:    o.Seed + int64(p)*7919,
+				Env:     phys.AirportEnvironment(1.6),
+				Mount: antenna.Mount{
+					Pattern:   antenna.DefaultPanel(),
+					Boresight: geom.V3(0, -1, -1).Unit(),
+				},
+				ReaderID: p,
+			},
+			AntennaTraj: motion.Static{P: antennaPos},
+			Tags:        tags,
+			Duration:    duration,
+			PerpDist:    antennaPos.Dist(geom.V3(portalX, 0, 0)),
+			Speed:       o.BeltSpeed,
+		}
+		for _, t := range truths {
+			sc.TruthX = append(sc.TruthX, t.epc)
+		}
+		ms.Readers = append(ms.Readers, ReaderScene{
+			ID:    p,
+			Scene: sc,
+			XMin:  portalX - o.PortalGap/2,
+			XMax:  portalX + o.PortalGap/2,
+		})
+	}
+	for _, t := range truths {
+		ms.TruthX = append(ms.TruthX, t.epc)
+	}
+	return ms, nil
+}

@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/reader"
+)
+
+// TestWarehouseAisleStructure: two readers, zones overlapping around the
+// aisle midpoint, overlap tags present in both populations, reads stamped
+// with their reader IDs and merged in time order.
+func TestWarehouseAisleStructure(t *testing.T) {
+	ms, err := WarehouseAisle(DefaultAisleOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Readers) != 2 {
+		t.Fatalf("readers = %d", len(ms.Readers))
+	}
+	left, right := ms.Readers[0], ms.Readers[1]
+	if left.XMax <= right.XMin {
+		t.Errorf("zones [%v,%v] and [%v,%v] do not overlap",
+			left.XMin, left.XMax, right.XMin, right.XMax)
+	}
+	if got := len(left.Scene.Tags) + len(right.Scene.Tags); got <= ms.Tags() {
+		t.Errorf("populations %d tags total, want > %d (overlap tags in both)", got, ms.Tags())
+	}
+	for _, rs := range ms.Readers {
+		if rs.Scene.Cfg.ReaderID != rs.ID {
+			t.Errorf("reader %d: Cfg.ReaderID = %d", rs.ID, rs.Scene.Cfg.ReaderID)
+		}
+	}
+
+	reads, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	last := -1.0
+	for _, r := range reads {
+		seen[r.Reader]++
+		if r.Time < last {
+			t.Fatal("merged reads not in time order")
+		}
+		last = r.Time
+	}
+	if seen[0] == 0 || seen[1] == 0 {
+		t.Errorf("reads per reader = %v, want both readers present", seen)
+	}
+}
+
+// TestMultiSceneStreamMatchesRun: the interleaved live stream delivers
+// exactly the reads of the batch Run (same multiset; per-reader
+// subsequences in identical order).
+func TestMultiSceneStreamMatchesRun(t *testing.T) {
+	ms, err := WarehouseAisle(AisleOpts{Tags: 6, Overlap: 0.2, Speed: 0.25, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perReader := func(reads []reader.TagRead) map[int][]reader.TagRead {
+		out := map[int][]reader.TagRead{}
+		for _, r := range reads {
+			out[r.Reader] = append(out[r.Reader], r)
+		}
+		return out
+	}
+	var got []reader.TagRead
+	if err := ms.Stream(func(batch []reader.TagRead) bool {
+		got = append(got, batch...)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantBy, gotBy := perReader(want), perReader(got)
+	if len(wantBy) != len(gotBy) {
+		t.Fatalf("readers: run %d vs stream %d", len(wantBy), len(gotBy))
+	}
+	for id, w := range wantBy {
+		g := gotBy[id]
+		if len(g) != len(w) {
+			t.Fatalf("reader %d: run %d reads vs stream %d", id, len(w), len(g))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("reader %d read %d: %+v != %+v", id, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestAirportPortalsStructure: every portal sees the whole bag population
+// and shares the global belt-order truth.
+func TestAirportPortalsStructure(t *testing.T) {
+	ms, err := AirportPortals(DefaultPortalsOpts(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Readers) != 2 {
+		t.Fatalf("portals = %d", len(ms.Readers))
+	}
+	for _, rs := range ms.Readers {
+		if len(rs.Scene.Tags) != 5 {
+			t.Errorf("portal %d population = %d, want 5", rs.ID, len(rs.Scene.Tags))
+		}
+	}
+	if ms.Readers[0].XMax <= ms.Readers[0].XMin || ms.Readers[1].XMin <= ms.Readers[0].XMin {
+		t.Errorf("portal zones malformed: %+v", ms.Readers)
+	}
+	if len(ms.TruthX) != 5 {
+		t.Errorf("truth = %d tags", len(ms.TruthX))
+	}
+}
+
+// TestSceneStreamMatchesRun: the Scene.Stream helper delivers exactly the
+// reads Run produces.
+func TestSceneStreamMatchesRun(t *testing.T) {
+	s, err := ConveyorPopulation(4, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []reader.TagRead
+	if err := s.Stream(func(batch []reader.TagRead) bool {
+		got = append(got, batch...)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream %d reads vs run %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("read %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -42,13 +42,32 @@ type Scene struct {
 	Speed float64
 }
 
+// Simulator builds a fresh reader simulator for the scene.
+func (s *Scene) Simulator() (*reader.Simulator, error) {
+	return reader.New(s.Cfg, s.AntennaTraj, s.Tags)
+}
+
 // Run executes the scene and returns the read log.
 func (s *Scene) Run() ([]reader.TagRead, error) {
-	sim, err := reader.New(s.Cfg, s.AntennaTraj, s.Tags)
+	sim, err := s.Simulator()
 	if err != nil {
 		return nil, err
 	}
 	return sim.Run(s.Duration), nil
+}
+
+// Stream executes the scene incrementally, emitting each inventory round's
+// reads as they are produced — the direct feed for a streaming engine, so
+// callers need not re-derive reader.New(...).Stream themselves. The emitted
+// batch reuses an internal buffer (see reader.Simulator.Stream); a callback
+// returning false cancels the stream.
+func (s *Scene) Stream(emit func(batch []reader.TagRead) bool) error {
+	sim, err := s.Simulator()
+	if err != nil {
+		return err
+	}
+	sim.Stream(s.Duration, emit)
+	return nil
 }
 
 // STPPConfig returns the STPP configuration matched to this scene's

@@ -128,32 +128,51 @@ func (l *Localizer) LocalizeTag(p *profile.Profile) TagResult {
 // the X order over bottom times (failed tags sort last via NaN handling)
 // and the pivot-based Y keys and order. It takes ownership of tags, filling
 // in each tag's Y key and recording Y-stage errors on tags that passed the
-// per-tag stage.
+// per-tag stage. It is a composition of the two independently usable
+// stages AssembleX and AssembleY — a sharded deployment assembles each
+// shard the same way and then stitches the per-shard orders
+// (internal/deploy).
 func (l *Localizer) Assemble(tags []TagResult) *Result {
-	n := len(tags)
 	res := &Result{Tags: tags}
-	xkeys := make([]XKey, n)
-	profiles := make([]*profile.Profile, n)
-	vzones := make([]VZone, n)
+	res.XOrder = l.AssembleX(tags)
+	res.YOrder = l.AssembleY(tags)
+	return res
+}
+
+// AssembleX computes the X order over per-tag results: ascending V-zone
+// bottom time, with failed tags sorting last via NaN keys. Bottom times of
+// shards recorded on different local clocks can be made mergeable first via
+// XKey.Shifted.
+func (l *Localizer) AssembleX(tags []TagResult) []int {
+	xkeys := make([]XKey, len(tags))
 	for i := range tags {
-		profiles[i] = tags[i].Profile
-		vzones[i] = tags[i].VZone
 		if tags[i].Err != nil {
 			xkeys[i] = XKey{BottomTime: math.NaN()}
 		} else {
 			xkeys[i] = tags[i].X
 		}
 	}
-	res.XOrder = OrderByX(xkeys)
+	return OrderByX(xkeys)
+}
 
-	// Y order via pivot metrics over the tags with usable V-zones.
-	ykeys, errs := l.cfg.YKeysOf(profiles, vzones, 0)
-	for i := range res.Tags {
-		if res.Tags[i].Err == nil && errs[i] != nil {
-			res.Tags[i].Err = errs[i]
-		}
-		res.Tags[i].Y = ykeys[i]
+// AssembleY computes the pivot-based Y keys and order over per-tag results,
+// writing each tag's Y key (and any Y-stage error) in place. Y keys are
+// signed gaps from a per-call pivot, so they are only comparable within one
+// assembly — per-shard Y orders are stitched as orders, not as keys.
+func (l *Localizer) AssembleY(tags []TagResult) []int {
+	n := len(tags)
+	profiles := make([]*profile.Profile, n)
+	vzones := make([]VZone, n)
+	for i := range tags {
+		profiles[i] = tags[i].Profile
+		vzones[i] = tags[i].VZone
 	}
-	res.YOrder = OrderByY(ykeys)
-	return res
+	ykeys, errs := l.cfg.YKeysOf(profiles, vzones, 0)
+	for i := range tags {
+		if tags[i].Err == nil && errs[i] != nil {
+			tags[i].Err = errs[i]
+		}
+		tags[i].Y = ykeys[i]
+	}
+	return OrderByY(ykeys)
 }

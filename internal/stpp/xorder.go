@@ -65,6 +65,26 @@ func (c Config) XKeyOf(p *profile.Profile, vz VZone) (XKey, error) {
 	return k, nil
 }
 
+// Shifted re-bases the key onto a clock whose origin is dt seconds before
+// this key's clock: BottomTime moves to BottomTime+dt and the fitted
+// parabola is translated to match (q'(t) = q(t−dt)), leaving the shape and
+// R² untouched. A sharded deployment uses it to express per-reader keys —
+// each recorded on the reader's local clock — on the deployment's global
+// clock, where they become mergeable. Shifted(0) is the identity.
+func (k XKey) Shifted(dt float64) XKey {
+	if dt == 0 {
+		return k
+	}
+	k.BottomTime += dt
+	q := k.Fit
+	k.Fit = dsp.Quadratic{
+		A: q.A,
+		B: q.B - 2*q.A*dt,
+		C: (q.A*dt-q.B)*dt + q.C,
+	}
+	return k
+}
+
 func rawMin(times, phases []float64) (float64, float64) {
 	i := dsp.ArgMin(phases)
 	return times[i], phases[i]

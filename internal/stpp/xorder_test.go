@@ -1,0 +1,59 @@
+package stpp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+// TestXKeyShifted: re-basing a key by dt moves the bottom time by exactly
+// dt and translates the fitted parabola so that evaluating the shifted fit
+// at t+dt reproduces the original fit at t.
+func TestXKeyShifted(t *testing.T) {
+	k := XKey{
+		BottomTime:  2.25,
+		BottomPhase: 0.4,
+		Fit:         dsp.Quadratic{A: 1.5, B: -6.75, C: 7.99},
+		R2:          0.93,
+	}
+	const dt = 3.5
+	s := k.Shifted(dt)
+	if got, want := s.BottomTime, k.BottomTime+dt; math.Abs(got-want) > 1e-12 {
+		t.Errorf("BottomTime = %v, want %v", got, want)
+	}
+	if s.BottomPhase != k.BottomPhase || s.R2 != k.R2 {
+		t.Errorf("shape fields changed: %+v vs %+v", s, k)
+	}
+	for _, x := range []float64{0, 1, 2.25, 4.8} {
+		if got, want := s.Fit.Eval(x+dt), k.Fit.Eval(x); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Fit(%v+dt) = %v, want %v", x, got, want)
+		}
+	}
+	// The shifted vertex must agree with the shifted bottom time.
+	if got, want := s.Fit.VertexX(), k.Fit.VertexX()+dt; math.Abs(got-want) > 1e-9 {
+		t.Errorf("vertex = %v, want %v", got, want)
+	}
+	if got := k.Shifted(0); got != k {
+		t.Errorf("Shifted(0) = %+v, want identity", got)
+	}
+}
+
+// TestOrderByXNaNLast: failed tags (NaN bottom time) sort after every
+// finite key regardless of input position.
+func TestOrderByXNaNLast(t *testing.T) {
+	keys := []XKey{
+		{BottomTime: math.NaN()},
+		{BottomTime: 3},
+		{BottomTime: 1},
+		{BottomTime: math.NaN()},
+		{BottomTime: 2},
+	}
+	got := OrderByX(keys)
+	want := []int{2, 4, 1, 0, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OrderByX = %v, want %v", got, want)
+		}
+	}
+}

@@ -29,6 +29,32 @@ type Header struct {
 	// PerpDist and Speed configure the STPP reference for this trace.
 	PerpDist float64 `json:"perp_dist"`
 	Speed    float64 `json:"speed"`
+	// Readers describes the deployment for multi-reader traces: one entry
+	// per reader/antenna, keyed by the Reader field of each read. Empty for
+	// single-reader traces.
+	Readers []ReaderMeta `json:"readers,omitempty"`
+}
+
+// ReaderMeta is the per-reader deployment metadata a multi-reader trace
+// carries so a replay can shard and stitch without the original scenario.
+type ReaderMeta struct {
+	// ID matches TagRead.Reader.
+	ID int `json:"id"`
+	// XMin and XMax bound the reader's coverage zone along the global
+	// movement axis (meters). Zones order the shards when stitching falls
+	// back to geometry.
+	XMin float64 `json:"x_min"`
+	XMax float64 `json:"x_max"`
+	// PerpDist and Speed configure this reader's STPP reference, overriding
+	// the header-level values when nonzero.
+	PerpDist float64 `json:"perp_dist,omitempty"`
+	Speed    float64 `json:"speed,omitempty"`
+	// ClockOffset is this reader's local t=0 on the deployment's global
+	// clock (seconds). Nonzero means this reader's reads were recorded on
+	// its local clock and a replay must re-base its keys; traces whose
+	// reads are already merged onto the global clock (tracegen's) leave
+	// it 0.
+	ClockOffset float64 `json:"clock_offset,omitempty"`
 }
 
 // Trace is a read log plus its metadata.
@@ -84,6 +110,7 @@ func WriteJSONL(w io.Writer, t *Trace) error {
 			Phase:   r.Phase,
 			RSSI:    r.RSSI,
 			Channel: r.Channel,
+			Reader:  r.Reader,
 		}
 		if err := enc.Encode(&j); err != nil {
 			return fmt.Errorf("trace: encode read %d: %w", i, err)
@@ -136,6 +163,7 @@ type jsonRead struct {
 	Phase   float64 `json:"phase"`
 	RSSI    float64 `json:"rssi"`
 	Channel int     `json:"ch"`
+	Reader  int     `json:"rdr,omitempty"`
 }
 
 func (j jsonRead) toTagRead() (reader.TagRead, error) {
@@ -143,7 +171,7 @@ func (j jsonRead) toTagRead() (reader.TagRead, error) {
 	if err != nil {
 		return reader.TagRead{}, err
 	}
-	return reader.TagRead{EPC: e, Time: j.Time, Phase: j.Phase, RSSI: j.RSSI, Channel: j.Channel}, nil
+	return reader.TagRead{EPC: e, Time: j.Time, Phase: j.Phase, RSSI: j.RSSI, Channel: j.Channel, Reader: j.Reader}, nil
 }
 
 // gobTrace is the on-wire form for the binary codec.

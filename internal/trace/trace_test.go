@@ -17,10 +17,14 @@ func sampleTrace() *Trace {
 			TruthX:   EncodeEPCs([]epcgen2.EPC{epcgen2.NewEPC(1), epcgen2.NewEPC(2)}),
 			PerpDist: 0.35,
 			Speed:    0.1,
+			Readers: []ReaderMeta{
+				{ID: 0, XMin: 0, XMax: 1.2, PerpDist: 0.35, Speed: 0.1},
+				{ID: 1, XMin: 0.9, XMax: 2.1, PerpDist: 0.35, Speed: 0.1, ClockOffset: 0.5},
+			},
 		},
 		Reads: []reader.TagRead{
 			{EPC: epcgen2.NewEPC(1), Time: 0.1, Phase: 1.25, RSSI: -55.5, Channel: 6},
-			{EPC: epcgen2.NewEPC(2), Time: 0.2, Phase: 2.5, RSSI: -60, Channel: 6},
+			{EPC: epcgen2.NewEPC(2), Time: 0.2, Phase: 2.5, RSSI: -60, Channel: 6, Reader: 1},
 			{EPC: epcgen2.NewEPC(1), Time: 0.3, Phase: 1.3, RSSI: -55, Channel: 6},
 		},
 	}
@@ -54,6 +58,9 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 	if len(truth) != 2 || truth[0] != epcgen2.NewEPC(1) {
 		t.Errorf("truth = %v", truth)
+	}
+	if len(back.Header.Readers) != 2 || back.Header.Readers[1] != orig.Header.Readers[1] {
+		t.Errorf("readers = %+v", back.Header.Readers)
 	}
 }
 
