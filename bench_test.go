@@ -18,7 +18,9 @@ import (
 	"repro/internal/profile"
 	"repro/internal/reader"
 	"repro/internal/scenario"
+	"repro/internal/serve"
 	"repro/internal/stpp"
+	"repro/internal/trace"
 )
 
 // benchExperiment runs one registered experiment per iteration and renders
@@ -210,6 +212,46 @@ func BenchmarkShardedAisle(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDaemonIngest pushes a two-reader aisle log through the serve
+// layer — per-session queue, consumer goroutine, periodic snapshots,
+// drain and final snapshot — the full stppd hot path minus HTTP.
+func BenchmarkDaemonIngest(b *testing.B) {
+	ms, err := scenario.WarehouseAisle(scenario.DefaultAisleOpts(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, err := ms.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	hdr := trace.Header{Readers: ms.ReaderMetas()}
+	srv, err := serve.New(serve.Options{
+		Config:       ms.Readers[0].Scene.STPPConfig(),
+		PublishEvery: 2000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := srv.CreateSession(hdr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for start := 0; start < len(reads); start += 256 {
+			end := min(start+256, len(reads))
+			if err := sess.Enqueue(reads[start:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := sess.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		srv.DropSession(sess.ID)
+	}
+	b.ReportMetric(float64(len(reads))*float64(b.N)/b.Elapsed().Seconds(), "reads/s")
 }
 
 // BenchmarkParallelRunner compares serial and pooled repetition execution

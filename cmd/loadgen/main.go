@@ -1,0 +1,261 @@
+// Command loadgen replays recorded traces against a running stppd at a
+// configurable rate × N concurrent sessions and verifies the daemon: each
+// session's final global X/Y order must be byte-identical to the offline
+// replay (the same deploy.FromHeader + ShardedEngine path cmd/stpp runs)
+// of the same trace.
+//
+// Usage:
+//
+//	tracegen -scenario aisle -n 12 -o aisle.jsonl
+//	stppd -addr :7080 &
+//	loadgen -addr 127.0.0.1:7080 -in aisle.jsonl -sessions 32
+//	loadgen -addr 127.0.0.1:7080 -in aisle.jsonl,portals.jsonl -sessions 64 -rate 5000
+//
+// Exit status 0 means every session matched; anything else is a failure.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"slices"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/phys"
+	"repro/internal/serve"
+	"repro/internal/stpp"
+	"repro/internal/trace"
+)
+
+type workload struct {
+	name   string
+	header trace.Header
+	body   [][]byte // pre-marshaled NDJSON batches
+	reads  int
+	wantX  []string
+	wantY  []string
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7080", "stppd address")
+		in       = flag.String("in", "", "comma-separated trace files (JSONL; .gob suffix = gob)")
+		sessions = flag.Int("sessions", 32, "concurrent sessions")
+		rate     = flag.Float64("rate", 0, "per-session replay rate in reads/s (0 = as fast as possible)")
+		batch    = flag.Int("batch", 256, "reads per POST")
+		ch       = flag.Int("channel", 6, "carrier channel (must match stppd)")
+		window   = flag.Int("w", 5, "segmentation window (must match stppd)")
+		verbose  = flag.Bool("v", false, "per-session progress")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+
+	cfg := stpp.DefaultConfig(phys.ChinaBand.Wavelength(*ch))
+	cfg.Window = *window
+
+	var loads []*workload
+	for _, path := range strings.Split(*in, ",") {
+		wl, err := loadWorkload(strings.TrimSpace(path), cfg, *batch)
+		if err != nil {
+			fatal(err)
+		}
+		loads = append(loads, wl)
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *sessions * 2,
+		MaxIdleConnsPerHost: *sessions * 2,
+	}}
+	base := "http://" + *addr
+
+	var wg sync.WaitGroup
+	errs := make([]error, *sessions)
+	start := time.Now()
+	totalReads := 0
+	for i := 0; i < *sessions; i++ {
+		wl := loads[i%len(loads)]
+		totalReads += wl.reads
+		wg.Add(1)
+		go func(i int, wl *workload) {
+			defer wg.Done()
+			errs[i] = runSession(client, base, wl, *rate, *verbose, i)
+		}(i, wl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	failed := 0
+	for i, err := range errs {
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "session %d (%s): %v\n", i, loads[i%len(loads)].name, err)
+		}
+	}
+	fmt.Printf("%d/%d sessions OK, %d reads in %.2fs (%.0f reads/s aggregate)\n",
+		*sessions-failed, *sessions, totalReads, elapsed.Seconds(),
+		float64(totalReads)/elapsed.Seconds())
+	if stats, err := fetchStats(client, base); err == nil {
+		fmt.Printf("server: %d sessions finished, %d stalls (backpressure), %d snapshots, avg snapshot %.1fms\n",
+			stats.SessionsFinished, stats.Stalls, stats.Snapshots, stats.AvgSnapshotMs)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// loadWorkload reads one trace, pre-marshals its NDJSON batches and
+// computes the offline ground result the daemon must reproduce.
+func loadWorkload(path string, cfg stpp.Config, batch int) (*workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var tr *trace.Trace
+	if strings.HasSuffix(path, ".gob") {
+		tr, err = trace.ReadGob(f)
+	} else {
+		tr, err = trace.ReadJSONL(f)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+
+	se, err := deploy.NewSharded(deploy.FromHeader(tr.Header, cfg, false, false), deploy.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	want, err := se.Localize(tr.Reads)
+	if err != nil {
+		return nil, fmt.Errorf("%s: offline replay: %w", path, err)
+	}
+
+	wl := &workload{
+		name:   path,
+		header: tr.Header,
+		reads:  len(tr.Reads),
+		wantX:  trace.EncodeEPCs(want.XOrder),
+		wantY:  trace.EncodeEPCs(want.YOrder),
+	}
+	// The daemon localizes; it has no use for the recorded ground truth.
+	wl.header.TruthX, wl.header.TruthY = nil, nil
+	// Pre-marshal the read lines once — shared read-only by every session
+	// replaying this trace.
+	for start := 0; start < len(tr.Reads); start += batch {
+		end := min(start+batch, len(tr.Reads))
+		var buf bytes.Buffer
+		for _, rd := range tr.Reads[start:end] {
+			line, err := trace.MarshalRead(rd)
+			if err != nil {
+				return nil, err
+			}
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		wl.body = append(wl.body, buf.Bytes())
+	}
+	return wl, nil
+}
+
+// runSession drives one full session: create, stream all batches (paced),
+// finish, verify the final orders.
+func runSession(client *http.Client, base string, wl *workload, rate float64, verbose bool, idx int) error {
+	hdr, err := json.Marshal(wl.header)
+	if err != nil {
+		return err
+	}
+	var created serve.CreateResponse
+	if err := post(client, base+"/v1/sessions", hdr, &created); err != nil {
+		return fmt.Errorf("create: %w", err)
+	}
+	sessURL := base + "/v1/sessions/" + created.ID
+
+	sent := 0
+	start := time.Now()
+	for _, body := range wl.body {
+		var ing serve.IngestResponse
+		if err := post(client, sessURL+"/reads", body, &ing); err != nil {
+			return fmt.Errorf("reads after %d: %w", sent, err)
+		}
+		sent += ing.Accepted
+		if rate > 0 {
+			// Pace to the target rate measured from session start, so
+			// slow POSTs (backpressure) do not pile extra sleep on top.
+			ahead := time.Duration(float64(sent)/rate*float64(time.Second)) - time.Since(start)
+			if ahead > 0 {
+				time.Sleep(ahead)
+			}
+		}
+	}
+
+	var final serve.OrderResponse
+	if err := post(client, sessURL+"/finish", nil, &final); err != nil {
+		return fmt.Errorf("finish: %w", err)
+	}
+	if sent != wl.reads {
+		return fmt.Errorf("sent %d reads, trace has %d", sent, wl.reads)
+	}
+	if !final.Final {
+		return fmt.Errorf("finish returned a non-final snapshot")
+	}
+	if int(final.Reads) != wl.reads {
+		return fmt.Errorf("daemon consumed %d reads, want %d", final.Reads, wl.reads)
+	}
+	if !slices.Equal(final.XOrder, wl.wantX) {
+		return fmt.Errorf("X order diverged from offline replay:\n  daemon  %v\n  offline %v", final.XOrder, wl.wantX)
+	}
+	if !slices.Equal(final.YOrder, wl.wantY) {
+		return fmt.Errorf("Y order diverged from offline replay:\n  daemon  %v\n  offline %v", final.YOrder, wl.wantY)
+	}
+	if verbose {
+		fmt.Printf("session %d (%s): %d reads in %.2fs, orders match\n",
+			idx, created.ID, sent, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// post sends body (nil = empty) and decodes the JSON response into out,
+// treating non-2xx statuses as errors carrying the server's message.
+func post(client *http.Client, url string, body []byte, out any) error {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+func fetchStats(client *http.Client, base string) (serve.Stats, error) {
+	var st serve.Stats
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

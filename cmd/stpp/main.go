@@ -67,14 +67,12 @@ func main() {
 		fatal(err)
 	}
 
+	// Precedence everywhere: explicit flags > per-reader header metadata >
+	// header-level geometry > defaults. The multi-reader derivation lives
+	// in deploy.FromHeader, shared with stppd and loadgen so all replays
+	// of one trace configure identically.
 	cfg := stpp.DefaultConfig(phys.ChinaBand.Wavelength(*ch))
 	cfg.Window = *window
-	if tr.Header.PerpDist > 0 {
-		cfg.Reference.PerpDist = tr.Header.PerpDist
-	}
-	if tr.Header.Speed > 0 {
-		cfg.Reference.Speed = tr.Header.Speed
-	}
 	if *perp > 0 {
 		cfg.Reference.PerpDist = *perp
 	}
@@ -83,12 +81,16 @@ func main() {
 	}
 
 	if len(tr.Header.Readers) > 0 {
-		// Explicit -perp/-speed flags override the per-reader header
-		// metadata, mirroring the single-reader precedence.
 		if err := runDeployment(tr, cfg, *workers, *stream, *every, *perp > 0, *speed > 0); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *perp <= 0 && tr.Header.PerpDist > 0 {
+		cfg.Reference.PerpDist = tr.Header.PerpDist
+	}
+	if *speed <= 0 && tr.Header.Speed > 0 {
+		cfg.Reference.Speed = tr.Header.Speed
 	}
 
 	loc, err := stpp.NewLocalizer(cfg)
@@ -203,22 +205,7 @@ func streamTrace(loc *stpp.Localizer, reads []reader.TagRead, every float64, wor
 // `every`-second windows with a progress line per intermediate snapshot —
 // the final result is identical to the one-shot replay.
 func runDeployment(tr *trace.Trace, base stpp.Config, workers int, stream bool, every float64, perpFixed, speedFixed bool) error {
-	var d deploy.Deployment
-	for _, rm := range tr.Header.Readers {
-		cfg := base
-		if !perpFixed && rm.PerpDist > 0 {
-			cfg.Reference.PerpDist = rm.PerpDist
-		}
-		if !speedFixed && rm.Speed > 0 {
-			cfg.Reference.Speed = rm.Speed
-		}
-		d.Readers = append(d.Readers, deploy.ReaderSpec{
-			ID:          rm.ID,
-			Zone:        deploy.Zone{XMin: rm.XMin, XMax: rm.XMax},
-			Config:      cfg,
-			ClockOffset: rm.ClockOffset,
-		})
-	}
+	d := deploy.FromHeader(tr.Header, base, perpFixed, speedFixed)
 	se, err := deploy.NewSharded(d, deploy.Options{Workers: workers})
 	if err != nil {
 		return err
@@ -233,7 +220,7 @@ func runDeployment(tr *trace.Trace, base stpp.Config, workers int, stream bool, 
 		return err
 	}
 
-	fmt.Printf("deployment: %d readers, %d reads\n\n", se.Shards(), len(tr.Reads))
+	fmt.Printf("deployment: %d readers, %d reads\n\n", se.Shards(), se.Reads())
 	for _, sh := range res.Shards {
 		fmt.Printf("zone [%.2f, %.2f] m — reader %d:\n", sh.Zone.XMin, sh.Zone.XMax, sh.ReaderID)
 		if sh.Result == nil {

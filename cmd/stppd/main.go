@@ -1,0 +1,98 @@
+// Command stppd is the STPP trace-ingest daemon: it accepts many
+// concurrent ingest sessions over HTTP, routes each session's reads into
+// its own sharded streaming engine behind a bounded backpressured queue,
+// and publishes periodic stitched-order snapshots on a query endpoint.
+//
+// A session speaks the trace wire format: its header is the trace.Header
+// JSON a recorded trace starts with, and its reads are the same NDJSON
+// lines tracegen archives — `cat trace.jsonl` minus the first line IS a
+// valid reads body. The final order returned by /finish is byte-identical
+// to an offline `stpp -in trace.jsonl` replay of the same reads.
+//
+// Usage:
+//
+//	stppd -addr :8080
+//	stppd -addr 127.0.0.1:0 -queue 32 -batch 128 -publish 1000
+//
+// Endpoints (see internal/serve):
+//
+//	POST   /v1/sessions             create session (trace.Header JSON body)
+//	POST   /v1/sessions/{id}/reads  NDJSON read lines
+//	GET    /v1/sessions/{id}/order  latest snapshot (?refresh=1 forces one)
+//	POST   /v1/sessions/{id}/finish drain + final order
+//	GET    /v1/sessions/{id}        session counters
+//	DELETE /v1/sessions/{id}        abort session
+//	GET    /v1/stats                server counters
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/phys"
+	"repro/internal/serve"
+	"repro/internal/stpp"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7080", "listen address (port 0 = ephemeral)")
+		ch      = flag.Int("channel", 6, "carrier channel for the reference wavelength")
+		window  = flag.Int("w", 5, "segmentation window w")
+		queue   = flag.Int("queue", 64, "per-session queue capacity, in batches (backpressure bound)")
+		batch   = flag.Int("batch", 256, "max reads per queued batch")
+		publish = flag.Int("publish", 2000, "publish a snapshot every N consumed reads (0 = only on refresh/finish)")
+		workers = flag.Int("workers", 0, "per-session engine worker budget (0 = all cores)")
+	)
+	flag.Parse()
+
+	cfg := stpp.DefaultConfig(phys.ChinaBand.Wavelength(*ch))
+	cfg.Window = *window
+	srv, err := serve.New(serve.Options{
+		Config:       cfg,
+		QueueBatches: *queue,
+		MaxBatch:     *batch,
+		PublishEvery: *publish,
+		Workers:      *workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The bound address goes to stdout so scripts (and the e2e test) can
+	// drive an ephemeral-port daemon.
+	fmt.Printf("stppd listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	case <-sig:
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stppd:", err)
+	os.Exit(1)
+}

@@ -52,19 +52,7 @@ func main() {
 			},
 			Reads: reads,
 		}
-		// ClockOffset stays 0: MultiScene.Run re-bases every read onto the
-		// global clock before it is recorded, so a replay must not shift
-		// shard keys again.
-		for i := range ms.Readers {
-			rs := &ms.Readers[i]
-			tr.Header.Readers = append(tr.Header.Readers, trace.ReaderMeta{
-				ID:       rs.ID,
-				XMin:     rs.XMin,
-				XMax:     rs.XMax,
-				PerpDist: rs.Scene.PerpDist,
-				Speed:    rs.Scene.Speed,
-			})
-		}
+		tr.Header.Readers = ms.ReaderMetas()
 		tagCount = ms.Tags()
 	} else {
 		sc, err := buildScene(*name, *n, *dist, *seed)

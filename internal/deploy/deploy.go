@@ -20,6 +20,7 @@ package deploy
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 
@@ -29,6 +30,7 @@ import (
 	"repro/internal/reader"
 	"repro/internal/scenario"
 	"repro/internal/stpp"
+	"repro/internal/trace"
 )
 
 // Zone bounds a reader's coverage along the global movement axis, meters.
@@ -71,11 +73,57 @@ func (d Deployment) Validate() error {
 			return fmt.Errorf("deploy: duplicate reader ID %d", r.ID)
 		}
 		seen[r.ID] = true
+		if !finite(r.Zone.XMin) || !finite(r.Zone.XMax) {
+			return fmt.Errorf("deploy: reader %d zone [%v, %v] not finite", r.ID, r.Zone.XMin, r.Zone.XMax)
+		}
 		if r.Zone.XMax < r.Zone.XMin {
 			return fmt.Errorf("deploy: reader %d zone [%v, %v] inverted", r.ID, r.Zone.XMin, r.Zone.XMax)
 		}
+		if !finite(r.ClockOffset) {
+			return fmt.Errorf("deploy: reader %d clock offset %v not finite", r.ID, r.ClockOffset)
+		}
 	}
 	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// FromHeader builds the Deployment a recorded trace header describes, the
+// shared derivation used by cmd/stpp, the stppd ingest daemon and loadgen
+// so all three replay a trace with identical configurations. base supplies
+// the wavelength and tuning; the header's deployment-wide PerpDist/Speed
+// override base, and each reader's metadata overrides those in turn —
+// unless fixedPerp/fixedSpeed pin the caller's (flag-supplied) values. A
+// header without reader metadata describes a single reader with ID 0
+// covering everything, which NewSharded runs byte-identically to the plain
+// streaming engine.
+func FromHeader(h trace.Header, base stpp.Config, fixedPerp, fixedSpeed bool) Deployment {
+	if !fixedPerp && h.PerpDist > 0 {
+		base.Reference.PerpDist = h.PerpDist
+	}
+	if !fixedSpeed && h.Speed > 0 {
+		base.Reference.Speed = h.Speed
+	}
+	if len(h.Readers) == 0 {
+		return Deployment{Readers: []ReaderSpec{{ID: 0, Config: base}}}
+	}
+	var d Deployment
+	for _, rm := range h.Readers {
+		cfg := base
+		if !fixedPerp && rm.PerpDist > 0 {
+			cfg.Reference.PerpDist = rm.PerpDist
+		}
+		if !fixedSpeed && rm.Speed > 0 {
+			cfg.Reference.Speed = rm.Speed
+		}
+		d.Readers = append(d.Readers, ReaderSpec{
+			ID:          rm.ID,
+			Zone:        Zone{XMin: rm.XMin, XMax: rm.XMax},
+			Config:      cfg,
+			ClockOffset: rm.ClockOffset,
+		})
+	}
+	return d
 }
 
 // Of builds the Deployment described by a multi-reader scene: one spec per
@@ -111,6 +159,11 @@ type shard struct {
 	eng    *pipeline.Engine
 	dirty  bool
 	cached *stpp.Result // last snapshot; nil until the shard has reads
+
+	// snap takes the shard's snapshot; it is eng.Snapshot except in tests,
+	// which swap in failing implementations to exercise Snapshot's
+	// all-or-nothing commit.
+	snap func() (*stpp.Result, error)
 }
 
 // ShardedEngine is the multi-reader streaming engine. Like
@@ -137,7 +190,7 @@ func NewSharded(d Deployment, opts Options) (*ShardedEngine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("deploy: reader %d: %w", spec.ID, err)
 		}
-		sh := &shard{spec: spec, eng: eng}
+		sh := &shard{spec: spec, eng: eng, snap: eng.Snapshot}
 		se.shards = append(se.shards, sh)
 		se.byID[spec.ID] = sh
 	}
@@ -160,6 +213,15 @@ func (se *ShardedEngine) Tags() int {
 	n := 0
 	for _, sh := range se.shards {
 		n += sh.eng.Tags()
+	}
+	return n
+}
+
+// Reads returns the total reads consumed across all shards.
+func (se *ShardedEngine) Reads() int64 {
+	var n int64
+	for _, sh := range se.shards {
+		n += sh.eng.Reads()
 	}
 	return n
 }
@@ -220,6 +282,11 @@ type GlobalResult struct {
 // per-tag stage fans out on its own worker pool), quiet shards reuse their
 // cached result, and the per-zone orders are stitched into the global
 // orders. It is an error if no shard has any reads yet.
+//
+// Snapshot is all-or-nothing: when any shard's localization errors, no
+// shard commits its new result — every refreshed shard keeps its previous
+// cache and stays dirty, so a retried Snapshot re-localizes all of them
+// instead of stitching a mix of new and stale zones.
 func (se *ShardedEngine) Snapshot() (*GlobalResult, error) {
 	var refresh []*shard
 	for _, sh := range se.shards {
@@ -227,10 +294,11 @@ func (se *ShardedEngine) Snapshot() (*GlobalResult, error) {
 			refresh = append(refresh, sh)
 		}
 	}
+	results := make([]*stpp.Result, len(refresh))
 	errs := make([]error, len(refresh))
 	par.For(len(refresh), len(refresh), func(i int) {
 		sh := refresh[i]
-		res, err := sh.eng.Snapshot()
+		res, err := sh.snap()
 		if err != nil {
 			errs[i] = err
 			return
@@ -240,13 +308,16 @@ func (se *ShardedEngine) Snapshot() (*GlobalResult, error) {
 				res.Tags[j].X = res.Tags[j].X.Shifted(off)
 			}
 		}
-		sh.cached = res
-		sh.dirty = false
+		results[i] = res
 	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("deploy: reader %d: %w", refresh[i].spec.ID, err)
 		}
+	}
+	for i, sh := range refresh {
+		sh.cached = results[i]
+		sh.dirty = false
 	}
 
 	gr := &GlobalResult{}

@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/reader"
 	"repro/internal/scenario"
 	"repro/internal/stpp"
+	"repro/internal/trace"
 )
 
 // sameResult asserts byte-identical localization outcomes (mirrors the
@@ -114,6 +116,9 @@ func TestSingleReaderMatchesEngine(t *testing.T) {
 	}
 	if len(got.Shards) != 1 || got.Shards[0].Result == nil {
 		t.Fatalf("sharded result = %+v", got)
+	}
+	if plain.Reads() != int64(len(reads)) || sharded.Reads() != int64(len(reads)) {
+		t.Errorf("read counters: plain %d, sharded %d, want %d", plain.Reads(), sharded.Reads(), len(reads))
 	}
 	sameResult(t, want, got.Shards[0].Result)
 	if !reflect.DeepEqual(got.XOrder, want.XOrderEPCs()) {
@@ -335,6 +340,191 @@ func TestDeploymentValidate(t *testing.T) {
 		{ID: 0, Zone: Zone{XMin: 2, XMax: 1}, Config: cfg},
 	}}, Options{}); err == nil {
 		t.Error("inverted zone accepted")
+	}
+}
+
+// TestSnapshotPartialFailureAtomic: when one shard's localization errors
+// mid-snapshot, NO shard may commit — every refreshed shard must keep its
+// previous cache and stay dirty, so the retried snapshot re-localizes all
+// of them and never stitches a mix of new and stale zones. (Pre-fix,
+// shards that succeeded before the error had already replaced `cached` and
+// cleared `dirty`.)
+func TestSnapshotPartialFailureAtomic(t *testing.T) {
+	ms, err := scenario.WarehouseAisle(scenario.DefaultAisleOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := NewSharded(Of(ms), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Localize(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	se, err := NewSharded(Of(ms), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Consume(reads); err != nil {
+		t.Fatal(err)
+	}
+	// Make the *last* shard fail so the other has already produced its
+	// result within the same snapshot.
+	fail := se.shards[len(se.shards)-1]
+	orig := fail.snap
+	fail.snap = func() (*stpp.Result, error) {
+		return nil, fmt.Errorf("injected shard failure")
+	}
+	if _, err := se.Snapshot(); err == nil {
+		t.Fatal("snapshot with a failing shard succeeded")
+	}
+	for _, sh := range se.shards {
+		if !sh.dirty {
+			t.Errorf("shard %d committed dirty=false during a failed snapshot", sh.spec.ID)
+		}
+		if sh.cached != nil {
+			t.Errorf("shard %d committed a cached result during a failed snapshot", sh.spec.ID)
+		}
+	}
+
+	// The failure clears: the retried snapshot must match a clean engine's
+	// one-shot result exactly.
+	fail.snap = orig
+	got, err := se.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.XOrder, want.XOrder) {
+		t.Errorf("post-retry X order %v != clean run %v", got.XOrder, want.XOrder)
+	}
+	if !reflect.DeepEqual(got.YOrder, want.YOrder) {
+		t.Errorf("post-retry Y order %v != clean run %v", got.YOrder, want.YOrder)
+	}
+	for i := range want.Shards {
+		if want.Shards[i].Result == nil || got.Shards[i].Result == nil {
+			t.Fatalf("shard %d missing result after retry", want.Shards[i].ReaderID)
+		}
+		sameResult(t, want.Shards[i].Result, got.Shards[i].Result)
+	}
+}
+
+// TestSnapshotFailureKeepsPriorCache: a failed snapshot must leave the
+// previous successful snapshot's caches untouched, so the engine can keep
+// serving the last good result per shard.
+func TestSnapshotFailureKeepsPriorCache(t *testing.T) {
+	ms, err := scenario.WarehouseAisle(scenario.DefaultAisleOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewSharded(Of(ms), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(reads) / 2
+	if err := se.Consume(reads[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	prior := make([]*stpp.Result, len(se.shards))
+	for i, sh := range se.shards {
+		prior[i] = sh.cached
+	}
+
+	if err := se.Consume(reads[half:]); err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range se.shards {
+		sh := sh
+		orig := sh.snap
+		sh.snap = func() (*stpp.Result, error) { return nil, fmt.Errorf("boom") }
+		defer func() { sh.snap = orig }()
+	}
+	if _, err := se.Snapshot(); err == nil {
+		t.Fatal("snapshot with failing shards succeeded")
+	}
+	for i, sh := range se.shards {
+		if sh.cached != prior[i] {
+			t.Errorf("shard %d: failed snapshot replaced the prior cache", sh.spec.ID)
+		}
+		if !sh.dirty {
+			t.Errorf("shard %d: failed snapshot cleared dirty", sh.spec.ID)
+		}
+	}
+}
+
+// TestFromHeader: the shared trace-header → deployment derivation used by
+// cmd/stpp, stppd and loadgen.
+func TestFromHeader(t *testing.T) {
+	s, err := scenario.ConveyorPopulation(2, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.STPPConfig()
+
+	// No reader metadata: one implicit reader with ID 0, header-level
+	// geometry applied.
+	d := FromHeader(trace.Header{PerpDist: 0.42, Speed: 0.2}, base, false, false)
+	if len(d.Readers) != 1 || d.Readers[0].ID != 0 {
+		t.Fatalf("single-reader header: %+v", d)
+	}
+	if got := d.Readers[0].Config.Reference.PerpDist; got != 0.42 {
+		t.Errorf("header PerpDist not applied: %v", got)
+	}
+
+	// Per-reader metadata overrides the header level; fixed flags pin the
+	// base values against both.
+	h := trace.Header{
+		PerpDist: 0.42,
+		Readers: []trace.ReaderMeta{
+			{ID: 1, XMin: 0, XMax: 2, PerpDist: 0.5, ClockOffset: 1.5},
+			{ID: 2, XMin: 2, XMax: 4, Speed: 0.3},
+		},
+	}
+	d = FromHeader(h, base, false, false)
+	if len(d.Readers) != 2 {
+		t.Fatalf("reader count %d", len(d.Readers))
+	}
+	if got := d.Readers[0].Config.Reference.PerpDist; got != 0.5 {
+		t.Errorf("reader 1 PerpDist = %v, want 0.5", got)
+	}
+	if got := d.Readers[0].ClockOffset; got != 1.5 {
+		t.Errorf("reader 1 ClockOffset = %v, want 1.5", got)
+	}
+	if got := d.Readers[1].Config.Reference.PerpDist; got != 0.42 {
+		t.Errorf("reader 2 PerpDist = %v, want header 0.42", got)
+	}
+	if got := d.Readers[1].Config.Reference.Speed; got != 0.3 {
+		t.Errorf("reader 2 Speed = %v, want 0.3", got)
+	}
+	fixed := FromHeader(h, base, true, true)
+	if got := fixed.Readers[0].Config.Reference; got != base.Reference {
+		t.Errorf("fixed flags did not pin base geometry: %+v", got)
+	}
+
+	// Malformed metadata must be rejected by NewSharded, never panic.
+	for _, bad := range []trace.Header{
+		{Readers: []trace.ReaderMeta{{ID: 1}, {ID: 1}}},
+		{Readers: []trace.ReaderMeta{{ID: 1, XMin: 2, XMax: 1}}},
+		{Readers: []trace.ReaderMeta{{ID: 1, XMin: math.NaN()}}},
+		{Readers: []trace.ReaderMeta{{ID: 1, XMax: math.Inf(1)}}},
+		{Readers: []trace.ReaderMeta{{ID: 1, ClockOffset: math.NaN()}}},
+	} {
+		if _, err := NewSharded(FromHeader(bad, base, false, false), Options{}); err == nil {
+			t.Errorf("malformed header %+v accepted", bad)
+		}
 	}
 }
 

@@ -1,0 +1,57 @@
+package deploy
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/stpp"
+	"repro/internal/trace"
+)
+
+// FuzzTraceDeployment: an arbitrary JSONL trace — malformed multi-reader
+// headers, hostile reader metadata, reads stamped with unknown reader IDs
+// — must either replay through the sharded engine or return an error at
+// decode, construction, or consume time. It must never panic and never
+// silently misroute.
+func FuzzTraceDeployment(f *testing.F) {
+	f.Add([]byte(`{"scenario":"aisle","readers":[{"id":0,"x_min":0,"x_max":2},{"id":1,"x_min":1.5,"x_max":4}]}
+{"epc":"306400000000000000000001","t":0.1,"phase":1.5,"rssi":-60,"ch":6}
+{"epc":"306400000000000000000001","t":0.2,"phase":1.4,"rssi":-60,"ch":6,"rdr":1}`))
+	f.Add([]byte(`{"readers":[{"id":0,"x_min":0,"x_max":2}]}
+{"epc":"306400000000000000000001","t":0.1,"phase":1.5,"rssi":-60,"ch":6,"rdr":99}`))
+	f.Add([]byte(`{"readers":[{"id":1},{"id":1}]}`))
+	f.Add([]byte(`{"readers":[{"id":1,"x_min":5,"x_max":-5}]}`))
+	f.Add([]byte(`{"readers":[{"id":1,"perp_dist":-3,"speed":-1}]}`))
+	f.Add([]byte(`{"readers":[{"id":-2147483648,"clock_offset":1e308}]}`))
+	f.Add([]byte(`{"perp_dist":1e308,"speed":5e-324}
+{"epc":"306400000000000000000001","t":0.1,"phase":1.5,"rssi":-60,"ch":6}`))
+
+	base := stpp.DefaultConfig(0.33)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		se, err := NewSharded(FromHeader(tr.Header, base, false, false), Options{Workers: 1})
+		if err != nil {
+			return
+		}
+		for _, rd := range tr.Reads {
+			if !se.byID[rd.Reader].valid() {
+				if cerr := se.Consume(tr.Reads); cerr == nil {
+					t.Fatalf("reads with unknown reader ID consumed without error")
+				}
+				return
+			}
+		}
+		if err := se.Consume(tr.Reads); err != nil {
+			t.Fatalf("all reader IDs known, yet Consume failed: %v", err)
+		}
+		// Snapshot errors (sparse or degenerate profiles) are expected;
+		// panics are not.
+		se.Snapshot()
+	})
+}
+
+// valid reports shard existence on a possibly-nil map entry.
+func (sh *shard) valid() bool { return sh != nil }

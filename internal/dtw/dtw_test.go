@@ -268,6 +268,119 @@ func TestBandWindowMatchesPredicate(t *testing.T) {
 	}
 }
 
+// TestBandWindowExhaustive: the closed-form window bounds must admit
+// exactly the cells of the dense predicate |j − diag| <= band for EVERY
+// row of EVERY small shape — the proof that replacing the per-row linear
+// scan changed nothing.
+func TestBandWindowExhaustive(t *testing.T) {
+	for m := 1; m <= 14; m++ {
+		for n := 1; n <= 14; n++ {
+			for band := 0; band <= n+2; band++ {
+				for i := 0; i < m; i++ {
+					lo, hi := bandWindow(i, m, n, band)
+					diag := float64(i) * float64(n-1) / float64(max(m-1, 1))
+					// The admitted set must be contiguous, so comparing
+					// membership per column fully determines (lo, hi).
+					for j := 0; j < n; j++ {
+						want := math.Abs(float64(j)-diag) <= float64(band)
+						got := j >= lo && j < hi
+						if want != got {
+							t.Fatalf("m=%d n=%d band=%d row=%d col=%d: in-window=%v, want %v (window [%d,%d))",
+								m, n, band, i, j, got, want, lo, hi)
+						}
+					}
+					if lo == hi && (lo != 0 || hi != 0) {
+						t.Fatalf("m=%d n=%d band=%d row=%d: empty window not normalized: [%d,%d)", m, n, band, i, lo, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// denseBanded is the reference implementation: the full m×n matrix with
+// out-of-band cells pinned to inf, exactly what the flat windowed matrix
+// replaced.
+func denseBanded(a, b []float64, d Dist, band int) float64 {
+	m, n := len(a), len(b)
+	cost := make([][]float64, m)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		diag := float64(i) * float64(n-1) / float64(max(m-1, 1))
+		for j := 0; j < n; j++ {
+			if band >= 0 && math.Abs(float64(j)-diag) > float64(band) {
+				cost[i][j] = inf
+				continue
+			}
+			c := d(a[i], b[j])
+			switch {
+			case i == 0 && j == 0:
+				cost[i][j] = c
+			case i == 0:
+				cost[i][j] = c + cost[i][j-1]
+			case j == 0:
+				cost[i][j] = c + cost[i-1][j]
+			default:
+				cost[i][j] = c + min3(cost[i-1][j], cost[i][j-1], cost[i-1][j-1])
+			}
+		}
+	}
+	return cost[m-1][n-1]
+}
+
+// TestAlignBandedMatchesDenseExhaustive: over every small (m, n, band) the
+// windowed alignment must produce the dense matrix's distance (including
+// the unconstrained fallback when the band disconnects the corners).
+func TestAlignBandedMatchesDenseExhaustive(t *testing.T) {
+	seq := func(n int, phase float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Sin(float64(i)*0.9+phase) + 0.25*math.Cos(float64(i)*2.3)
+		}
+		return out
+	}
+	for m := 1; m <= 9; m++ {
+		for n := 1; n <= 9; n++ {
+			a, b := seq(m, 0), seq(n, 0.7)
+			for band := 0; band <= n+1; band++ {
+				want := denseBanded(a, b, AbsDist, band)
+				if want == inf {
+					// Band too narrow to connect the corners; the windowed
+					// path falls back to the unconstrained alignment.
+					want = denseBanded(a, b, AbsDist, -1)
+				}
+				got := AlignBanded(a, b, AbsDist, band)
+				if !approx(got.Distance, want, 1e-12) {
+					t.Fatalf("m=%d n=%d band=%d: distance %v, dense %v", m, n, band, got.Distance, want)
+				}
+				checkPath(t, got.Path, m, n)
+			}
+		}
+	}
+}
+
+// TestMatrixPoolBalanced: every Align/AlignBanded/AlignOpenEnd return path
+// must release its pooled matrix — including the banded fallback recursion
+// and degenerate inputs. Leaks would show as gets outrunning puts.
+func TestMatrixPoolBalanced(t *testing.T) {
+	gets0, puts0 := matrixGets.Load(), matrixPuts.Load()
+	a := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	b := []float64{7, 6, 5, 4, 3, 2, 1, 0}
+	Align(a, b, nil)
+	AlignBanded(a, b, nil, 2)
+	AlignBanded(a, b, nil, 0) // non-integer diagonals: fallback recursion
+	AlignOpenEnd(a[:3], b, nil)
+	AlignOpenEnd(a[:3], nil, nil) // degenerate: no matrix at all
+	Align(nil, b, nil)
+	gets, puts := matrixGets.Load()-gets0, matrixPuts.Load()-puts0
+	if gets != puts {
+		t.Errorf("matrix pool unbalanced: %d gets, %d puts — an Align path leaked its matrix", gets, puts)
+	}
+	if gets == 0 {
+		t.Error("no matrix acquisitions counted — instrumentation broken")
+	}
+}
+
 // TestAlignBandedAllocs: the banded alignment must run on the pooled flat
 // matrix — a handful of allocations for the returned path, not one slice
 // per matrix row.

@@ -44,6 +44,7 @@ type Engine struct {
 	builder *profile.Builder
 	workers int
 	cached  map[epcgen2.EPC]stpp.TagResult
+	reads   int64
 }
 
 // New builds an Engine for the given STPP configuration.
@@ -75,12 +76,17 @@ func (e *Engine) Localizer() *stpp.Localizer { return e.loc }
 // Tags returns the number of distinct tags seen so far.
 func (e *Engine) Tags() int { return e.builder.Tags() }
 
+// Reads returns the total number of reads consumed so far. Like every
+// other Engine method it must be called from the consuming goroutine.
+func (e *Engine) Reads() int64 { return e.reads }
+
 // Consume appends a batch of reads to the per-tag profiles. It is cheap
 // (amortized O(1) per read); all localization work is deferred to the next
 // Snapshot so bursts of reads between snapshots cost one detection per
 // touched tag, not one per read.
 func (e *Engine) Consume(batch []reader.TagRead) {
 	e.builder.AddBatch(batch)
+	e.reads += int64(len(batch))
 }
 
 // Snapshot localizes the stream consumed so far. Tags with new reads since

@@ -41,25 +41,38 @@ func DefaultReferenceConfig(wavelength float64) ReferenceConfig {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Every float field must be finite:
+// the `<= 0` guards alone let NaN through (all NaN comparisons are false),
+// and a NaN or +Inf wavelength would propagate NaN phases through every
+// key downstream — silently scrambling the X order — or hang Reference's
+// sampling loop on an infinite extent.
 func (c ReferenceConfig) Validate() error {
-	if c.Wavelength <= 0 {
-		return fmt.Errorf("profile: wavelength %v <= 0", c.Wavelength)
+	if !(c.Wavelength > 0) || math.IsInf(c.Wavelength, 1) {
+		return fmt.Errorf("profile: wavelength %v not in (0, +Inf)", c.Wavelength)
 	}
-	if c.PerpDist <= 0 {
-		return fmt.Errorf("profile: perpendicular distance %v <= 0", c.PerpDist)
+	if !(c.PerpDist > 0) || math.IsInf(c.PerpDist, 1) {
+		return fmt.Errorf("profile: perpendicular distance %v not in (0, +Inf)", c.PerpDist)
 	}
-	if c.Speed <= 0 {
-		return fmt.Errorf("profile: speed %v <= 0", c.Speed)
+	if !(c.Speed > 0) || math.IsInf(c.Speed, 1) {
+		return fmt.Errorf("profile: speed %v not in (0, +Inf)", c.Speed)
 	}
 	if c.Periods < 1 {
 		return fmt.Errorf("profile: periods %d < 1", c.Periods)
 	}
-	if c.SampleRate <= 0 {
-		return fmt.Errorf("profile: sample rate %v <= 0", c.SampleRate)
+	if !(c.SampleRate > 0) || math.IsInf(c.SampleRate, 1) {
+		return fmt.Errorf("profile: sample rate %v not in (0, +Inf)", c.SampleRate)
+	}
+	if math.IsNaN(c.Mu) || math.IsInf(c.Mu, 0) {
+		return fmt.Errorf("profile: phase offset mu %v not finite", c.Mu)
 	}
 	return nil
 }
+
+// maxReferenceSamples bounds the synthesized reference length. The paper's
+// deployment produces ~4 periods × a few seconds × ~300 reads/s — well
+// under ten thousand samples; the cap only exists to turn degenerate
+// geometry into an error instead of an unbounded sampling loop.
+const maxReferenceSamples = 4 << 20
 
 // Reference synthesizes the reference phase profile and reports the sample
 // index range [vzStart, vzEnd) of its V-zone (the central period, whose
@@ -89,6 +102,15 @@ func Reference(c ReferenceConfig) (*Profile, int, int, error) {
 	dEdge := wrapDist(h)
 	xEdge := math.Sqrt(dEdge*dEdge - c.PerpDist*c.PerpDist)
 	tEdge := xEdge / c.Speed
+
+	// Degenerate-but-finite geometry (a denormal speed, a near-zero
+	// wavelength, an enormous perpendicular distance) can push the extent
+	// to ~1e300 seconds: every value is finite, yet the sampling loop
+	// below would effectively never terminate. Refuse anything beyond a
+	// generous sample budget instead of looping.
+	if samples := 2 * tEdge * c.SampleRate; !(samples < maxReferenceSamples) {
+		return nil, 0, 0, fmt.Errorf("profile: degenerate reference geometry needs %g samples (max %d)", samples, maxReferenceSamples)
+	}
 
 	// First wrap each side bounds the V-zone.
 	dV := wrapDist(1)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/motion"
 	"repro/internal/phys"
 	"repro/internal/reader"
+	"repro/internal/trace"
 )
 
 // ReaderScene is one reader of a multi-reader deployment: a runnable Scene
@@ -119,6 +120,26 @@ func (m *MultiScene) Stream(emit func(batch []reader.TagRead) bool) error {
 		}
 		buf = batch[:0]
 	}
+}
+
+// ReaderMetas renders the deployment geometry as trace-header metadata —
+// the single derivation shared by tracegen, the serve layer tests and the
+// benches. ClockOffset stays 0: Run/Stream re-base every read onto the
+// global clock before emitting, so a replay must not shift shard keys
+// again.
+func (m *MultiScene) ReaderMetas() []trace.ReaderMeta {
+	out := make([]trace.ReaderMeta, 0, len(m.Readers))
+	for i := range m.Readers {
+		rs := &m.Readers[i]
+		out = append(out, trace.ReaderMeta{
+			ID:       rs.ID,
+			XMin:     rs.XMin,
+			XMax:     rs.XMax,
+			PerpDist: rs.Scene.PerpDist,
+			Speed:    rs.Scene.Speed,
+		})
+	}
+	return out
 }
 
 // Tags returns the number of distinct tags across all zones.

@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/reader"
+	"repro/internal/trace"
+)
+
+// CreateResponse answers POST /v1/sessions.
+type CreateResponse struct {
+	ID string `json:"id"`
+}
+
+// IngestResponse answers POST /v1/sessions/{id}/reads.
+type IngestResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// ShardOrder is one zone's slice of an OrderResponse.
+type ShardOrder struct {
+	ReaderID int      `json:"reader_id"`
+	Tags     int      `json:"tags"`
+	XOrder   []string `json:"x_order"`
+	YOrder   []string `json:"y_order"`
+}
+
+// OrderResponse is a published snapshot on the wire: the stitched global
+// orders as hex EPC strings (trace.EncodeEPCs format), per-zone orders,
+// and snapshot provenance.
+type OrderResponse struct {
+	SessionID  string       `json:"session_id"`
+	Final      bool         `json:"final"`
+	Reads      int64        `json:"reads"`
+	Tags       int          `json:"tags"`
+	XOrder     []string     `json:"x_order"`
+	YOrder     []string     `json:"y_order"`
+	Shards     []ShardOrder `json:"shards,omitempty"`
+	SnapshotMs float64      `json:"snapshot_ms"`
+}
+
+// SessionStats answers GET /v1/sessions/{id}.
+type SessionStats struct {
+	SessionID string `json:"session_id"`
+	Enqueued  int64  `json:"enqueued"`
+	Consumed  int64  `json:"consumed"`
+	Queued    int64  `json:"queued"`
+	Stalls    int64  `json:"stalls"`
+	Finished  bool   `json:"finished"`
+	Snapshots bool   `json:"has_snapshot"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/sessions             create a session (body: trace.Header JSON)
+//	POST   /v1/sessions/{id}/reads  ingest NDJSON read lines (trace JSONL format)
+//	GET    /v1/sessions/{id}/order  latest published snapshot (?refresh=1 forces one)
+//	POST   /v1/sessions/{id}/finish drain, final snapshot, close ingest
+//	GET    /v1/sessions/{id}        session counters
+//	DELETE /v1/sessions/{id}        abort and drop the session
+//	GET    /v1/stats                server-wide counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("POST /v1/sessions/{id}/reads", s.handleReads)
+	mux.HandleFunc("GET /v1/sessions/{id}/order", s.handleOrder)
+	mux.HandleFunc("POST /v1/sessions/{id}/finish", s.handleFinish)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStats)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDrop)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	sess, ok := s.Session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+	}
+	return sess, ok
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var h trace.Header
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&h); err != nil {
+		writeError(w, http.StatusBadRequest, "parse header: %v", err)
+		return
+	}
+	sess, err := s.CreateSession(h)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateResponse{ID: sess.ID})
+}
+
+// handleReads streams NDJSON read lines into the session queue in
+// MaxBatch chunks. A malformed line or unknown reader ID aborts the body
+// with 400 — reads on earlier lines are already enqueued, mirroring
+// ShardedEngine.Consume's partial-batch semantics. Blocking on a full
+// queue is deliberate: it is the backpressure path.
+func (s *Server) handleReads(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	accepted := 0
+	batch := make([]reader.TagRead, 0, s.opts.MaxBatch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := sess.Enqueue(batch); err != nil {
+			return err
+		}
+		accepted += len(batch)
+		batch = make([]reader.TagRead, 0, s.opts.MaxBatch)
+		return nil
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		// Scanner-owned bytes, trimmed in place: no per-line copies on
+		// the ingest hot path (UnmarshalRead does not retain the buffer).
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		rd, err := trace.UnmarshalRead(raw)
+		if err != nil {
+			s.abortReads(w, flush, "line %d: %v", line, err)
+			return
+		}
+		if !sess.ValidReader(rd.Reader) {
+			s.abortReads(w, flush, "line %d: unknown reader ID %d", line, rd.Reader)
+			return
+		}
+		batch = append(batch, rd)
+		if len(batch) >= s.opts.MaxBatch {
+			if err := flush(); err != nil {
+				writeError(w, http.StatusConflict, "%v", err)
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if err := flush(); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Accepted: accepted})
+}
+
+// abortReads rejects an ingest body mid-stream, first flushing the valid
+// lines before the offending one (the documented partial-batch
+// semantics). When that salvage flush itself fails — say the session was
+// finished concurrently — the response must say so, or the client would
+// wrongly believe the earlier lines were accepted.
+func (s *Server) abortReads(w http.ResponseWriter, flush func() error, format string, args ...any) {
+	if ferr := flush(); ferr != nil {
+		writeError(w, http.StatusConflict, "%s; earlier reads also rejected: %v",
+			fmt.Sprintf(format, args...), ferr)
+		return
+	}
+	writeError(w, http.StatusBadRequest, format, args...)
+}
+
+func (s *Server) handleOrder(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var snap *Snapshot
+	var err error
+	if r.URL.Query().Get("refresh") != "" {
+		snap, err = sess.Refresh()
+	} else {
+		snap = sess.Latest()
+	}
+	if err != nil {
+		// "No tag profiles yet" on a session that has consumed nothing is
+		// the same benign warming-up state the non-refresh path reports;
+		// only errors with reads behind them are real failures.
+		if sess.Consumed() == 0 {
+			writeJSON(w, http.StatusAccepted, errorResponse{Error: "no reads consumed yet"})
+			return
+		}
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if snap == nil {
+		writeJSON(w, http.StatusAccepted, errorResponse{Error: "no snapshot published yet"})
+		return
+	}
+	writeJSON(w, http.StatusOK, orderResponse(sess.ID, snap))
+}
+
+func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	snap, err := sess.Finish()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, orderResponse(sess.ID, snap))
+}
+
+func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionStats{
+		SessionID: sess.ID,
+		Enqueued:  sess.Enqueued(),
+		Consumed:  sess.Consumed(),
+		Queued:    sess.Queued(),
+		Stalls:    sess.Stalls(),
+		Finished:  sess.finished(),
+		Snapshots: sess.Latest() != nil,
+	})
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.session(w, r); !ok {
+		return
+	}
+	s.DropSession(r.PathValue("id"))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// orderResponse flattens a snapshot for the wire.
+func orderResponse(id string, snap *Snapshot) OrderResponse {
+	resp := OrderResponse{
+		SessionID:  id,
+		Final:      snap.Final,
+		Reads:      snap.Reads,
+		Tags:       len(snap.Result.XOrder),
+		XOrder:     trace.EncodeEPCs(snap.Result.XOrder),
+		YOrder:     trace.EncodeEPCs(snap.Result.YOrder),
+		SnapshotMs: float64(snap.Latency.Nanoseconds()) / 1e6,
+	}
+	for _, sh := range snap.Result.Shards {
+		so := ShardOrder{ReaderID: sh.ReaderID}
+		if sh.Result != nil {
+			so.Tags = len(sh.Result.Tags)
+			so.XOrder = trace.EncodeEPCs(sh.Result.XOrderEPCs())
+			so.YOrder = trace.EncodeEPCs(sh.Result.YOrderEPCs())
+		}
+		resp.Shards = append(resp.Shards, so)
+	}
+	return resp
+}

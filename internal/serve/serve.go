@@ -1,0 +1,237 @@
+// Package serve is the concurrent trace-ingest layer: a long-running
+// daemon core that multiplexes many live read streams into per-session
+// deploy.ShardedEngines.
+//
+// Each session is one deployment's read stream (described by a
+// trace.Header, the same metadata a recorded trace carries). Producers
+// POST NDJSON read lines — the exact JSONL wire format internal/trace
+// archives — which are decoded, validated against the session's reader
+// set, and pushed into a bounded per-session queue. A single consumer
+// goroutine per session owns the sharded engine (Consume and Snapshot are
+// single-goroutine APIs; the engine parallelizes internally), drains the
+// queue, and publishes periodic snapshots — the latest stitched global
+// X/Y order plus per-zone results — for a non-blocking query endpoint.
+//
+// Backpressure is the bounded queue: when a session's consumer falls
+// behind, producer POSTs block in Enqueue until the queue drains, so
+// memory stays bounded at QueueBatches × MaxBatch reads per session no
+// matter how fast clients push. Every stall is counted.
+//
+// The final order of a session fed a recorded trace is byte-identical to
+// the offline replay (cmd/stpp) of the same trace: both run the same
+// deploy.FromHeader configuration derivation and the same engines, and
+// the streaming engines are equivalence-tested against the batch
+// localizer. cmd/loadgen asserts exactly this end to end.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stpp"
+	"repro/internal/trace"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// Config is the base STPP configuration (carrier wavelength, window,
+	// …). Per-session trace headers override the reference geometry via
+	// deploy.FromHeader, exactly like an offline cmd/stpp replay.
+	Config stpp.Config
+	// QueueBatches bounds each session's ingest queue, in batches; an
+	// enqueue into a full queue blocks (backpressure). Default 64.
+	QueueBatches int
+	// MaxBatch caps the reads per queued batch; the ingest path chunks
+	// longer NDJSON bodies. Bounded queue memory per session is
+	// QueueBatches × MaxBatch reads. Default 256.
+	MaxBatch int
+	// PublishEvery takes and publishes a snapshot every N consumed reads.
+	// 0 (the zero value) disables periodic publishing: snapshots then
+	// happen only on explicit refresh and at finish. stppd's -publish
+	// flag defaults to 2000.
+	PublishEvery int
+	// Workers is each session engine's per-tag worker budget
+	// (deploy.Options.Workers); 0 = all cores. Lower it when serving many
+	// concurrent sessions.
+	Workers int
+	// RetainFinished bounds how many finished sessions stay queryable:
+	// creating a session beyond the bound evicts the oldest finished ones
+	// (active sessions are never evicted). Finished sessions already drop
+	// their engine and per-tag profiles; this bounds the residue under
+	// session churn. Default 256.
+	RetainFinished int
+}
+
+func (o *Options) fill() {
+	if o.QueueBatches <= 0 {
+		o.QueueBatches = 64
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.PublishEvery < 0 {
+		o.PublishEvery = 0
+	}
+	if o.RetainFinished <= 0 {
+		o.RetainFinished = 256
+	}
+}
+
+// Metrics is the server-wide counter set, expvar-style: monotonically
+// increasing atomics sampled by the stats endpoint.
+type Metrics struct {
+	SessionsCreated  atomic.Int64
+	SessionsFinished atomic.Int64
+	ReadsIngested    atomic.Int64 // reads accepted into session queues
+	ReadsConsumed    atomic.Int64 // reads consumed by engines
+	Stalls           atomic.Int64 // enqueues that hit a full queue
+	Snapshots        atomic.Int64
+	SnapshotNanos    atomic.Int64 // cumulative snapshot latency
+	start            time.Time
+}
+
+// Stats is one JSON-ready sample of the server counters.
+type Stats struct {
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	SessionsActive   int     `json:"sessions_active"`
+	SessionsCreated  int64   `json:"sessions_created"`
+	SessionsFinished int64   `json:"sessions_finished"`
+	ReadsIngested    int64   `json:"reads_ingested"`
+	ReadsConsumed    int64   `json:"reads_consumed"`
+	ReadsPerSecond   float64 `json:"reads_per_second"`
+	QueueDepthReads  int64   `json:"queue_depth_reads"`
+	Stalls           int64   `json:"stalls"`
+	Snapshots        int64   `json:"snapshots"`
+	AvgSnapshotMs    float64 `json:"avg_snapshot_ms"`
+}
+
+// Server multiplexes concurrent ingest sessions. It is safe for
+// concurrent use by any number of producers and queriers.
+type Server struct {
+	opts    Options
+	metrics Metrics
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	order    []string // session IDs in creation order, for eviction
+	nextID   int64
+}
+
+// New builds a Server. The base configuration must validate.
+func New(opts Options) (*Server, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	opts.fill()
+	return &Server{
+		opts:     opts,
+		sessions: make(map[string]*Session),
+		metrics:  Metrics{start: time.Now()},
+	}, nil
+}
+
+// Metrics exposes the server counters.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// CreateSession opens a new ingest session for the deployment a trace
+// header describes and starts its consumer goroutine.
+func (s *Server) CreateSession(h trace.Header) (*Session, error) {
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s%06d", s.nextID)
+	s.mu.Unlock()
+
+	sess, err := newSession(id, s, h)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.sessions[id] = sess
+	s.order = append(s.order, id)
+	s.evictLocked()
+	s.mu.Unlock()
+	s.metrics.SessionsCreated.Add(1)
+	go sess.loop()
+	return sess, nil
+}
+
+// evictLocked drops the oldest finished sessions while more than
+// RetainFinished of them linger, so a long-running daemon's registry
+// stays bounded under session churn. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	finished := 0
+	for _, sess := range s.sessions {
+		if sess.finished() {
+			finished++
+		}
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		sess, ok := s.sessions[id]
+		if !ok {
+			continue // dropped explicitly
+		}
+		if finished > s.opts.RetainFinished && sess.finished() {
+			delete(s.sessions, id)
+			finished--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Session looks up a live session.
+func (s *Server) Session(id string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+// DropSession aborts a session (unblocking any stalled producers) and
+// removes it from the registry. Dropping an unknown ID is a no-op.
+func (s *Server) DropSession(id string) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if ok {
+		sess.abort()
+	}
+}
+
+// Stats samples the server counters plus the live queue depths.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	active := 0
+	var depth int64
+	for _, sess := range s.sessions {
+		if !sess.finished() {
+			active++
+		}
+		depth += sess.queued.Load()
+	}
+	s.mu.Unlock()
+
+	st := Stats{
+		UptimeSeconds:    time.Since(s.metrics.start).Seconds(),
+		SessionsActive:   active,
+		SessionsCreated:  s.metrics.SessionsCreated.Load(),
+		SessionsFinished: s.metrics.SessionsFinished.Load(),
+		ReadsIngested:    s.metrics.ReadsIngested.Load(),
+		ReadsConsumed:    s.metrics.ReadsConsumed.Load(),
+		QueueDepthReads:  depth,
+		Stalls:           s.metrics.Stalls.Load(),
+		Snapshots:        s.metrics.Snapshots.Load(),
+	}
+	if st.UptimeSeconds > 0 {
+		st.ReadsPerSecond = float64(st.ReadsConsumed) / st.UptimeSeconds
+	}
+	if st.Snapshots > 0 {
+		st.AvgSnapshotMs = float64(s.metrics.SnapshotNanos.Load()) / float64(st.Snapshots) / 1e6
+	}
+	return st
+}

@@ -1,0 +1,490 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/reader"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// aisleTrace builds a small two-reader warehouse-aisle trace plus the
+// offline ground result every daemon replay must reproduce.
+func aisleTrace(t *testing.T, seed int64) (*trace.Trace, *deploy.GlobalResult, Options) {
+	t.Helper()
+	o := scenario.DefaultAisleOpts(seed)
+	o.Tags = 8
+	ms, err := scenario.WarehouseAisle(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{
+		Header: trace.Header{Scenario: "aisle", Seed: seed, Readers: ms.ReaderMetas()},
+		Reads:  reads,
+	}
+	opts := Options{Config: ms.Readers[0].Scene.STPPConfig()}
+
+	se, err := deploy.NewSharded(deploy.FromHeader(tr.Header, opts.Config, false, false), deploy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := se.Localize(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, want, opts
+}
+
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestSessionMatchesOffline: a session fed a recorded trace in batches
+// through Enqueue must land on the byte-identical final global orders the
+// offline sharded replay produces.
+func TestSessionMatchesOffline(t *testing.T) {
+	tr, want, opts := aisleTrace(t, 3)
+	opts.PublishEvery = 700
+	srv := newTestServer(t, opts)
+	sess, err := srv.CreateSession(tr.Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for start := 0; start < len(tr.Reads); start += 97 {
+		end := min(start+97, len(tr.Reads))
+		if err := sess.Enqueue(tr.Reads[start:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := sess.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Final {
+		t.Error("Finish returned a non-final snapshot")
+	}
+	if snap.Reads != int64(len(tr.Reads)) {
+		t.Errorf("consumed %d reads, want %d", snap.Reads, len(tr.Reads))
+	}
+	if !reflect.DeepEqual(snap.Result.XOrder, want.XOrder) {
+		t.Errorf("X order diverged:\n  live    %v\n  offline %v", snap.Result.XOrder, want.XOrder)
+	}
+	if !reflect.DeepEqual(snap.Result.YOrder, want.YOrder) {
+		t.Errorf("Y order diverged:\n  live    %v\n  offline %v", snap.Result.YOrder, want.YOrder)
+	}
+	// Periodic publishing must have produced intermediate snapshots.
+	if got := srv.Metrics().Snapshots.Load(); got < 2 {
+		t.Errorf("only %d snapshots taken; periodic publishing inactive", got)
+	}
+	if err := sess.Enqueue(tr.Reads[:1]); err != ErrSessionClosed {
+		t.Errorf("enqueue after finish: err = %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestConcurrentProducers drives one session's ShardedEngine through the
+// serve queue from many concurrent producers (run under -race in CI): the
+// X order — a pure function of the read multiset — must still match the
+// offline replay, and no read may be lost.
+func TestConcurrentProducers(t *testing.T) {
+	tr, want, opts := aisleTrace(t, 5)
+	opts.PublishEvery = 500
+	opts.QueueBatches = 4 // small queue: producers contend and stall
+	srv := newTestServer(t, opts)
+	sess, err := srv.CreateSession(tr.Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const producers = 8
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// Stripe the trace across producers in 31-read slices.
+			for start := p * 31; start < len(tr.Reads); start += producers * 31 {
+				end := min(start+31, len(tr.Reads))
+				if err := sess.Enqueue(tr.Reads[start:end]); err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+	// Concurrent refreshes exercise the ctrl path against live consumption.
+	var rg sync.WaitGroup
+	for q := 0; q < 3; q++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for i := 0; i < 5; i++ {
+				sess.Refresh() // errors ("no tags yet") are fine; races are not
+			}
+		}()
+	}
+	wg.Wait()
+	rg.Wait()
+	snap, err := sess.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Reads != int64(len(tr.Reads)) {
+		t.Errorf("consumed %d reads, want %d", snap.Reads, len(tr.Reads))
+	}
+	// Producer interleaving permutes first-appearance order (and with it
+	// the Y pivot), but the X order sorts per-tag bottom times — a pure
+	// function of the read multiset — so it must be identical.
+	if !reflect.DeepEqual(snap.Result.XOrder, want.XOrder) {
+		t.Errorf("X order diverged under concurrent producers:\n  live    %v\n  offline %v", snap.Result.XOrder, want.XOrder)
+	}
+	if len(snap.Result.YOrder) != len(want.YOrder) {
+		t.Errorf("Y order lost tags: %d vs %d", len(snap.Result.YOrder), len(want.YOrder))
+	}
+}
+
+// TestConsumeErrorDrainsQueue: the exported Enqueue does not pre-validate
+// reader IDs, so a consumer-side Consume error must surface through
+// Finish — and the loop's shutdown must drain whatever was still queued
+// so no reads stay pinned and the depth gauge returns to zero.
+func TestConsumeErrorDrainsQueue(t *testing.T) {
+	tr, _, opts := aisleTrace(t, 3)
+	srv := newTestServer(t, opts)
+	sess, err := srv.CreateSession(tr.Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []reader.TagRead{{Reader: 99}}
+	if err := sess.Enqueue(bad); err != nil {
+		t.Fatal(err)
+	}
+	// More batches may land behind the poisoned one; they must drain.
+	for start := 0; start < 2000; start += 100 {
+		if err := sess.Enqueue(tr.Reads[start : start+100]); err != nil {
+			break // closed once the consumer errored — fine
+		}
+	}
+	if _, err := sess.Finish(); err == nil {
+		t.Fatal("Finish succeeded after an unconsumable batch")
+	}
+	if q := sess.Queued(); q != 0 {
+		t.Errorf("queue depth %d after shutdown, want 0", q)
+	}
+}
+
+// TestPublishEveryZeroDisablesPeriodic: PublishEvery 0 must mean exactly
+// what the -publish flag documents — no periodic snapshots, only refresh
+// and finish.
+func TestPublishEveryZeroDisablesPeriodic(t *testing.T) {
+	tr, _, opts := aisleTrace(t, 3)
+	opts.PublishEvery = 0
+	srv := newTestServer(t, opts)
+	sess, err := srv.CreateSession(tr.Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Enqueue(tr.Reads); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sess.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Final {
+		t.Error("finish snapshot not final")
+	}
+	if got := srv.Metrics().Snapshots.Load(); got != 1 {
+		t.Errorf("%d snapshots taken with PublishEvery=0, want only the final one", got)
+	}
+}
+
+// TestFinishedSessionsEvictAndSlim: finished sessions drop their engine
+// state (per-tag profiles) and the registry evicts the oldest finished
+// sessions beyond RetainFinished — the daemon must not grow without bound
+// under session churn.
+func TestFinishedSessionsEvictAndSlim(t *testing.T) {
+	tr, _, opts := aisleTrace(t, 3)
+	opts.RetainFinished = 2
+	srv := newTestServer(t, opts)
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		sess, err := srv.CreateSession(tr.Header)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Enqueue(tr.Reads[:2000]); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := sess.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range snap.Result.Shards {
+			if sh.Result == nil {
+				continue
+			}
+			for _, tag := range sh.Result.Tags {
+				if tag.Profile != nil {
+					t.Fatal("final snapshot retained a raw profile")
+				}
+			}
+		}
+		ids = append(ids, sess.ID)
+	}
+	// One more creation triggers eviction of the oldest finished ones.
+	active, err := srv.CreateSession(tr.Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained := 0
+	for _, id := range ids {
+		if _, ok := srv.Session(id); ok {
+			retained++
+		}
+	}
+	if retained > opts.RetainFinished {
+		t.Errorf("%d finished sessions retained, want <= %d", retained, opts.RetainFinished)
+	}
+	if _, ok := srv.Session(active.ID); !ok {
+		t.Error("active session evicted")
+	}
+	srv.DropSession(active.ID)
+}
+
+// TestBackpressureBoundsQueue: with a one-batch queue and a consumer held
+// busy by snapshots, producers must observe stalls while the queue depth
+// never exceeds its bound — the memory guarantee under overload.
+func TestBackpressureBoundsQueue(t *testing.T) {
+	tr, _, opts := aisleTrace(t, 3)
+	opts.QueueBatches = 1
+	opts.PublishEvery = 64 // snapshot constantly: consumer slower than producer
+	srv := newTestServer(t, opts)
+	sess, err := srv.CreateSession(tr.Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := int64(opts.QueueBatches * 64)
+	for start := 0; start < len(tr.Reads); start += 64 {
+		end := min(start+64, len(tr.Reads))
+		if err := sess.Enqueue(tr.Reads[start:end]); err != nil {
+			t.Fatal(err)
+		}
+		if q := sess.Queued(); q > bound {
+			t.Fatalf("queue depth %d exceeds bound %d", q, bound)
+		}
+	}
+	if sess.Stalls() == 0 {
+		t.Error("no stalls observed: backpressure never engaged")
+	}
+	if _, err := sess.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPEndToEnd replays a trace through the full HTTP API — create,
+// NDJSON ingest, intermediate order query, finish — and checks the final
+// wire order against the offline replay.
+func TestHTTPEndToEnd(t *testing.T) {
+	tr, want, opts := aisleTrace(t, 7)
+	opts.PublishEvery = 600
+	srv := newTestServer(t, opts)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	hdr, _ := json.Marshal(tr.Header)
+	var created CreateResponse
+	postJSON(t, ts, "/v1/sessions", hdr, http.StatusCreated, &created)
+
+	// Ingest in two NDJSON bodies, querying the order in between.
+	half := len(tr.Reads) / 2
+	var ing IngestResponse
+	postJSON(t, ts, "/v1/sessions/"+created.ID+"/reads", ndjson(t, tr.Reads[:half]), http.StatusOK, &ing)
+	if ing.Accepted != half {
+		t.Errorf("first body accepted %d, want %d", ing.Accepted, half)
+	}
+	var mid OrderResponse
+	getJSON(t, ts, "/v1/sessions/"+created.ID+"/order?refresh=1", http.StatusOK, &mid)
+	if mid.Final || len(mid.XOrder) == 0 {
+		t.Errorf("mid-stream order: final=%v tags=%d", mid.Final, len(mid.XOrder))
+	}
+	postJSON(t, ts, "/v1/sessions/"+created.ID+"/reads", ndjson(t, tr.Reads[half:]), http.StatusOK, &ing)
+
+	var final OrderResponse
+	postJSON(t, ts, "/v1/sessions/"+created.ID+"/finish", nil, http.StatusOK, &final)
+	if !final.Final {
+		t.Error("finish returned non-final order")
+	}
+	if !reflect.DeepEqual(final.XOrder, trace.EncodeEPCs(want.XOrder)) {
+		t.Errorf("wire X order diverged:\n  live    %v\n  offline %v", final.XOrder, trace.EncodeEPCs(want.XOrder))
+	}
+	if !reflect.DeepEqual(final.YOrder, trace.EncodeEPCs(want.YOrder)) {
+		t.Errorf("wire Y order diverged")
+	}
+	if len(final.Shards) != 2 {
+		t.Errorf("expected 2 shard orders, got %d", len(final.Shards))
+	}
+
+	var stats Stats
+	getJSON(t, ts, "/v1/stats", http.StatusOK, &stats)
+	if stats.ReadsConsumed != int64(len(tr.Reads)) || stats.SessionsFinished != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestHTTPRejectsMalformed: malformed headers, bodies and unknown reader
+// IDs come back as 4xx errors — and never panic or wedge the daemon.
+func TestHTTPRejectsMalformed(t *testing.T) {
+	tr, _, opts := aisleTrace(t, 3)
+	srv := newTestServer(t, opts)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Bad header JSON and malformed deployments.
+	for _, body := range []string{
+		"{",
+		`{"bogus_field": 1}`,
+		`{"readers":[{"id":1},{"id":1}]}`,
+		`{"readers":[{"id":1,"x_min":5,"x_max":1}]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("header %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	hdr, _ := json.Marshal(tr.Header)
+	var created CreateResponse
+	postJSON(t, ts, "/v1/sessions", hdr, http.StatusCreated, &created)
+
+	// Unknown reader ID and broken NDJSON both 400; the session survives.
+	for _, body := range []string{
+		`{"epc":"306400000000000000000001","t":0,"phase":0,"rssi":-60,"ch":6,"rdr":99}`,
+		`{"epc":"xyz","t":0}`,
+		`not json at all`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/sessions/"+created.ID+"/reads", "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	var ing IngestResponse
+	postJSON(t, ts, "/v1/sessions/"+created.ID+"/reads", ndjson(t, tr.Reads[:100]), http.StatusOK, &ing)
+	if ing.Accepted != 100 {
+		t.Errorf("session wedged after rejected bodies: accepted %d", ing.Accepted)
+	}
+
+	// Unknown session IDs 404.
+	resp, err := http.Get(ts.URL + "/v1/sessions/nope/order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDropSessionUnblocksProducers: deleting a session must free a
+// producer stalled on a full queue rather than leaking it.
+func TestDropSessionUnblocksProducers(t *testing.T) {
+	tr, _, opts := aisleTrace(t, 3)
+	opts.QueueBatches = 1
+	opts.PublishEvery = 1 // snapshot per batch: consumer crawls
+	srv := newTestServer(t, opts)
+	sess, err := srv.CreateSession(tr.Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		var err error
+		for start := 0; start < len(tr.Reads) && err == nil; start += 32 {
+			end := min(start+32, len(tr.Reads))
+			err = sess.Enqueue(tr.Reads[start:end])
+		}
+		done <- err
+	}()
+	srv.DropSession(sess.ID)
+	if err := <-done; err != nil && err != ErrSessionClosed {
+		t.Errorf("stalled producer returned %v", err)
+	}
+	if _, ok := srv.Session(sess.ID); ok {
+		t.Error("dropped session still registered")
+	}
+}
+
+func ndjson(t *testing.T, reads []reader.TagRead) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, rd := range reads {
+		line, err := trace.MarshalRead(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body []byte, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d: %s", path, resp.StatusCode, wantStatus, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("POST %s: decode: %v", path, err)
+		}
+	}
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d: %s", path, resp.StatusCode, wantStatus, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+}

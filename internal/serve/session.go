@@ -1,0 +1,342 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/reader"
+	"repro/internal/stpp"
+	"repro/internal/trace"
+)
+
+// ErrSessionClosed is returned by Enqueue after Finish (or an abort) has
+// closed the session's ingest side.
+var ErrSessionClosed = errors.New("serve: session closed to new reads")
+
+// Snapshot is one published localization state of a session: the stitched
+// global result at some point in the consumed stream.
+type Snapshot struct {
+	// Result is the deployment-wide snapshot (global X/Y orders plus
+	// per-zone results). On the final snapshot the per-tag raw profiles
+	// are dropped (Tags[i].Profile == nil): keys and orders remain
+	// queryable while a finished session releases the read data.
+	Result *deploy.GlobalResult
+	// Reads is the number of reads consumed when the snapshot was taken.
+	Reads int64
+	// Final marks the snapshot taken at Finish, over the fully drained
+	// stream.
+	Final bool
+	// At stamps the snapshot; Latency is how long the engine took.
+	At      time.Time
+	Latency time.Duration
+}
+
+// Session is one deployment's live ingest stream. Producers call Enqueue
+// from any number of goroutines; one internal consumer goroutine owns the
+// sharded engine. Readers of Latest never block on the engine.
+type Session struct {
+	ID string
+
+	srv     *Server
+	eng     *deploy.ShardedEngine
+	validID map[int]bool
+
+	queue chan []reader.TagRead
+	ctrl  chan ctrlReq
+	quit  chan struct{} // closed by abort: terminate loop, unblock producers
+	done  chan struct{} // closed when the loop has exited
+
+	qmu      sync.RWMutex // serializes Enqueue sends against closing queue
+	closed   bool
+	stopOnce sync.Once
+
+	latest atomic.Pointer[Snapshot]
+
+	errMu   sync.Mutex
+	failure error
+
+	enqueued atomic.Int64 // reads accepted into the queue
+	consumed atomic.Int64 // reads consumed by the engine
+	queued   atomic.Int64 // reads currently waiting in the queue
+	stalls   atomic.Int64 // enqueues that found the queue full
+}
+
+// newSession builds the session's engine from the trace header via the
+// shared deploy.FromHeader derivation.
+func newSession(id string, srv *Server, h trace.Header) (*Session, error) {
+	d := deploy.FromHeader(h, srv.opts.Config, false, false)
+	eng, err := deploy.NewSharded(d, deploy.Options{Workers: srv.opts.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("serve: session header: %w", err)
+	}
+	valid := make(map[int]bool, len(d.Readers))
+	for _, r := range d.Readers {
+		valid[r.ID] = true
+	}
+	return &Session{
+		ID:      id,
+		srv:     srv,
+		eng:     eng,
+		validID: valid,
+		queue:   make(chan []reader.TagRead, srv.opts.QueueBatches),
+		ctrl:    make(chan ctrlReq),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// ValidReader reports whether a read stamped with this reader ID routes
+// to a shard of this session's deployment.
+func (s *Session) ValidReader(id int) bool { return s.validID[id] }
+
+// Enqueue pushes one batch into the session's bounded queue, blocking
+// while the queue is full — the backpressure that keeps per-session
+// memory bounded. The batch must not be mutated by the caller afterwards.
+// Safe for concurrent producers; reads interleave at batch granularity
+// (per-tag profiles are time-sorted downstream, so the final result does
+// not depend on producer interleaving).
+func (s *Session) Enqueue(batch []reader.TagRead) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	// The depth gauge rises before the send: incrementing after it races
+	// the consumer's decrement and lets the gauge go transiently negative
+	// under a stats query.
+	n := int64(len(batch))
+	s.queued.Add(n)
+	select {
+	case s.queue <- batch:
+	default:
+		s.stalls.Add(1)
+		s.srv.metrics.Stalls.Add(1)
+		select {
+		case s.queue <- batch:
+		case <-s.quit:
+			s.queued.Add(-n)
+			return ErrSessionClosed
+		}
+	}
+	s.enqueued.Add(n)
+	s.srv.metrics.ReadsIngested.Add(n)
+	return nil
+}
+
+// Finish closes the ingest side, waits for the consumer to drain the
+// queue, and returns the final snapshot — identical to an offline replay
+// of the same reads. Subsequent Enqueues fail with ErrSessionClosed;
+// Finish is idempotent.
+func (s *Session) Finish() (*Snapshot, error) {
+	s.qmu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.qmu.Unlock()
+	<-s.done
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	snap := s.latest.Load()
+	if snap == nil || !snap.Final {
+		return nil, fmt.Errorf("serve: session %s finished without a final snapshot", s.ID)
+	}
+	return snap, nil
+}
+
+// stop signals the consumer to terminate and unblocks stalled producers.
+func (s *Session) stop() {
+	s.stopOnce.Do(func() { close(s.quit) })
+}
+
+// shutdownQueue runs as the consumer loop's last act on every exit path:
+// it unblocks stalled producers, closes the ingest side, and drains
+// whatever batches are still queued so no reads stay pinned in the
+// channel and the depth gauge returns to zero. quit must close before
+// taking qmu: a producer stalled on a full queue holds the read lock
+// until the quit signal frees it.
+func (s *Session) shutdownQueue() {
+	s.stop()
+	s.qmu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.qmu.Unlock()
+	for batch := range s.queue {
+		s.queued.Add(-int64(len(batch)))
+	}
+}
+
+// abort terminates the consumer without draining and unblocks stalled
+// producers.
+func (s *Session) abort() {
+	s.stop()
+	<-s.done
+}
+
+// Latest returns the most recently published snapshot without touching
+// the engine; nil until the first snapshot lands.
+func (s *Session) Latest() *Snapshot { return s.latest.Load() }
+
+// Err reports a consumer-side failure (a shard rejecting reads or a
+// failed final snapshot), if any.
+func (s *Session) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.failure
+}
+
+func (s *Session) setErr(err error) {
+	s.errMu.Lock()
+	if s.failure == nil {
+		s.failure = err
+	}
+	s.errMu.Unlock()
+}
+
+func (s *Session) finished() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Enqueued and Consumed report the session's read counters; Queued is the
+// current queue depth in reads.
+func (s *Session) Enqueued() int64 { return s.enqueued.Load() }
+func (s *Session) Consumed() int64 { return s.consumed.Load() }
+func (s *Session) Queued() int64   { return s.queued.Load() }
+
+// Stalls reports how many enqueues found the queue full and had to wait.
+func (s *Session) Stalls() int64 { return s.stalls.Load() }
+
+type ctrlReq struct {
+	reply chan ctrlResp
+}
+
+type ctrlResp struct {
+	snap *Snapshot
+	err  error
+}
+
+// Refresh takes a snapshot of everything consumed so far (on the consumer
+// goroutine) and publishes it. After Finish it returns the final
+// snapshot. It blocks for at most one snapshot's latency behind whatever
+// batch the consumer is currently absorbing.
+func (s *Session) Refresh() (*Snapshot, error) {
+	req := ctrlReq{reply: make(chan ctrlResp, 1)}
+	select {
+	case s.ctrl <- req:
+		resp := <-req.reply
+		return resp.snap, resp.err
+	case <-s.done:
+		if err := s.Err(); err != nil {
+			return nil, err
+		}
+		if snap := s.latest.Load(); snap != nil {
+			return snap, nil
+		}
+		return nil, fmt.Errorf("serve: session %s has no snapshot", s.ID)
+	}
+}
+
+// loop is the session's consumer goroutine: it owns the engine, drains
+// the queue, publishes periodic snapshots, and answers refresh requests.
+func (s *Session) loop() {
+	defer close(s.done)
+	defer s.srv.metrics.SessionsFinished.Add(1)
+	// Only this goroutine touches the engine, so it can drop the
+	// reference on exit: a finished session keeps just its published
+	// snapshot, not the engine's profiles and caches.
+	defer func() { s.eng = nil }()
+	// LIFO: the queue closes and drains first, then the engine drops,
+	// then done closes.
+	defer s.shutdownQueue()
+	sincePublish := 0
+	for {
+		select {
+		case <-s.quit:
+			return
+		case req := <-s.ctrl:
+			snap, err := s.takeSnapshot(false)
+			req.reply <- ctrlResp{snap: snap, err: err}
+		case batch, ok := <-s.queue:
+			if !ok {
+				if _, err := s.takeSnapshot(true); err != nil {
+					s.setErr(err)
+				}
+				return
+			}
+			n := int64(len(batch))
+			s.queued.Add(-n)
+			if err := s.eng.Consume(batch); err != nil {
+				// The HTTP path pre-validates reader IDs but the exported
+				// Enqueue does not; record the failure and stop consuming
+				// so Finish surfaces it (the shutdown drain releases any
+				// batches still queued).
+				s.setErr(err)
+				return
+			}
+			s.consumed.Add(n)
+			s.srv.metrics.ReadsConsumed.Add(n)
+			sincePublish += len(batch)
+			if pe := s.srv.opts.PublishEvery; pe > 0 && sincePublish >= pe {
+				// Periodic publish; failures here just mean "no tags yet".
+				s.takeSnapshot(false)
+				sincePublish = 0
+			}
+		}
+	}
+}
+
+// takeSnapshot runs the engine snapshot on the consumer goroutine and
+// publishes the result.
+func (s *Session) takeSnapshot(final bool) (*Snapshot, error) {
+	t0 := time.Now()
+	res, err := s.eng.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{
+		Result:  res,
+		Reads:   s.consumed.Load(),
+		Final:   final,
+		At:      time.Now(),
+		Latency: time.Since(t0),
+	}
+	if final {
+		// The final snapshot outlives the engine; drop each tag's raw
+		// profile (by far the heaviest state — every read's time/phase/
+		// RSSI) so a finished session retains only keys and orders. The
+		// stripping works on copies of the per-shard Tags slices: a quiet
+		// shard's Result pointer is aliased by earlier published
+		// snapshots, which concurrent queriers may still be reading.
+		for i, sh := range res.Shards {
+			if sh.Result == nil {
+				continue
+			}
+			cp := *sh.Result
+			cp.Tags = make([]stpp.TagResult, len(sh.Result.Tags))
+			copy(cp.Tags, sh.Result.Tags)
+			for j := range cp.Tags {
+				cp.Tags[j].Profile = nil
+			}
+			res.Shards[i].Result = &cp
+		}
+	}
+	s.latest.Store(snap)
+	s.srv.metrics.Snapshots.Add(1)
+	s.srv.metrics.SnapshotNanos.Add(int64(snap.Latency))
+	return snap, nil
+}

@@ -22,6 +22,7 @@ package stpp
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/profile"
 )
@@ -68,7 +69,11 @@ func DefaultConfig(wavelength float64) Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Beyond the structural checks, it
+// rejects non-finite float parameters: a NaN wavelength slips past plain
+// `<= 0` guards (every NaN comparison is false) and then propagates NaN
+// phase keys through XKeyOf, silently scrambling the X order instead of
+// failing loudly at construction.
 func (c Config) Validate() error {
 	if err := c.Reference.Validate(); err != nil {
 		return err
@@ -85,11 +90,11 @@ func (c Config) Validate() error {
 	if c.MedianWidth < 1 {
 		return fmt.Errorf("stpp: median width %d < 1", c.MedianWidth)
 	}
-	if c.DTWStiffness < 0 {
-		return fmt.Errorf("stpp: negative DTW stiffness %v", c.DTWStiffness)
+	if !(c.DTWStiffness >= 0) || math.IsInf(c.DTWStiffness, 1) {
+		return fmt.Errorf("stpp: DTW stiffness %v not in [0, +Inf)", c.DTWStiffness)
 	}
-	if c.YRiseWindow <= 0 {
-		return fmt.Errorf("stpp: Y rise window %v <= 0", c.YRiseWindow)
+	if !(c.YRiseWindow > 0) || math.IsInf(c.YRiseWindow, 1) {
+		return fmt.Errorf("stpp: Y rise window %v not in (0, +Inf)", c.YRiseWindow)
 	}
 	return nil
 }

@@ -1,0 +1,88 @@
+package stpp
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestValidateRejectsNonFinite: NaN slips past plain `<= 0` guards (every
+// NaN comparison is false) and +Inf passes a `> 0` check, so pre-fix a
+// DefaultConfig built on a NaN or +Inf wavelength validated cleanly — NaN
+// then poisoned every phase key (silently scrambling the X order) and +Inf
+// hung profile.Reference's sampling loop on an infinite extent. Validate
+// must reject every non-finite float parameter at construction.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	for _, wl := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := DefaultConfig(wl).Validate(); err == nil {
+			t.Errorf("wavelength %v accepted by Validate", wl)
+		}
+		if _, err := NewLocalizer(DefaultConfig(wl)); err == nil {
+			t.Errorf("wavelength %v accepted by NewLocalizer", wl)
+		}
+	}
+
+	good := DefaultConfig(0.33)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("baseline config rejected: %v", err)
+	}
+	mutate := []struct {
+		name string
+		set  func(*Config, float64)
+	}{
+		{"PerpDist", func(c *Config, v float64) { c.Reference.PerpDist = v }},
+		{"Speed", func(c *Config, v float64) { c.Reference.Speed = v }},
+		{"SampleRate", func(c *Config, v float64) { c.Reference.SampleRate = v }},
+		{"Mu", func(c *Config, v float64) { c.Reference.Mu = v }},
+		{"DTWStiffness", func(c *Config, v float64) { c.DTWStiffness = v }},
+		{"YRiseWindow", func(c *Config, v float64) { c.YRiseWindow = v }},
+	}
+	for _, m := range mutate {
+		for _, v := range []float64{math.NaN(), math.Inf(1)} {
+			cfg := good
+			m.set(&cfg, v)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("%s = %v accepted by Validate", m.name, v)
+			}
+		}
+	}
+	// Zero stays legal where it was legal before (Mu, DTWStiffness).
+	cfg := good
+	cfg.Reference.Mu = 0
+	cfg.DTWStiffness = 0
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("zero Mu/DTWStiffness rejected: %v", err)
+	}
+}
+
+// TestNewLocalizerRejectsDegenerateGeometry: finite-but-degenerate
+// geometry — found by FuzzTraceDeployment — used to hang reference
+// synthesis: a denormal speed passes every sign check yet pushes the
+// reference extent to ~1e300 seconds, so the sampling loop never
+// terminated. Construction must fail fast instead.
+func TestNewLocalizerRejectsDegenerateGeometry(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"denormal speed", func(c *Config) { c.Reference.Speed = 5e-324 }},
+		{"huge perp dist", func(c *Config) { c.Reference.PerpDist = 1e300 }},
+		{"huge sample rate", func(c *Config) { c.Reference.SampleRate = 1e300 }},
+	} {
+		cfg := DefaultConfig(0.33)
+		tc.mutate(&cfg)
+		done := make(chan error, 1)
+		go func() {
+			_, err := NewLocalizer(cfg)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Errorf("%s: accepted", tc.name)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s: NewLocalizer hung (unbounded reference synthesis)", tc.name)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSONL: arbitrary bytes — including corrupted multi-reader
+// headers and read records — must decode to (*Trace, nil) or (nil, error),
+// never panic. Successfully decoded traces must survive a write→read
+// round trip whenever their values are JSON-representable.
+func FuzzReadJSONL(f *testing.F) {
+	f.Add([]byte(`{"scenario":"library","seed":7,"perp_dist":0.3,"speed":0.1}
+{"epc":"306400000000000000000001","t":0.1,"phase":1.5,"rssi":-60,"ch":6}
+{"epc":"306400000000000000000002","t":0.2,"phase":2.5,"rssi":-61,"ch":6}`))
+	f.Add([]byte(`{"scenario":"aisle","readers":[{"id":0,"x_min":0,"x_max":2},{"id":1,"x_min":1.5,"x_max":4,"perp_dist":0.4,"clock_offset":2.5}]}
+{"epc":"306400000000000000000001","t":0.1,"phase":1.5,"rssi":-60,"ch":6,"rdr":1}`))
+	f.Add([]byte(`{"readers":[{"id":1},{"id":1}]}`))
+	f.Add([]byte(`{"readers":[{"id":1,"x_min":5,"x_max":-5}]}`))
+	f.Add([]byte(`{"readers":`))
+	f.Add([]byte(`{}
+{"epc":"xyz","t":0.1}`))
+	f.Add([]byte(`{}
+{"epc":"306400000000000000000001","t":"zero"}`))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"truth_x":["306400000000000000000001","not-hex"]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			if tr != nil {
+				t.Fatalf("error %v with non-nil trace", err)
+			}
+			return
+		}
+		// Decoded traces must round-trip through the writer — unless they
+		// hold JSON-unrepresentable floats (NaN/Inf cannot appear from a
+		// JSON decode anyway, but EPC strings and times must survive).
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, tr); err != nil {
+			t.Fatalf("decoded trace failed to re-encode: %v", err)
+		}
+		back, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if len(back.Reads) != len(tr.Reads) || len(back.Header.Readers) != len(tr.Header.Readers) {
+			t.Fatalf("round trip changed shape: %d/%d reads, %d/%d readers",
+				len(back.Reads), len(tr.Reads), len(back.Header.Readers), len(tr.Header.Readers))
+		}
+		for i := range tr.Reads {
+			if back.Reads[i].EPC != tr.Reads[i].EPC || back.Reads[i].Reader != tr.Reads[i].Reader {
+				t.Fatalf("read %d changed: %+v vs %+v", i, back.Reads[i], tr.Reads[i])
+			}
+		}
+		// Ground truth, when present, must parse or error — not panic.
+		tr.TruthXEPCs()
+		tr.TruthYEPCs()
+	})
+}
+
+// FuzzUnmarshalRead: single wire lines must decode or error, and decoded
+// reads must survive Marshal→Unmarshal exactly.
+func FuzzUnmarshalRead(f *testing.F) {
+	f.Add(`{"epc":"306400000000000000000001","t":0.25,"phase":3.1,"rssi":-58.5,"ch":6,"rdr":2}`)
+	f.Add(`{"epc":"30640000000000000000FFFF","t":-1,"phase":0,"rssi":0,"ch":0}`)
+	f.Add(`{"epc":""}`)
+	f.Add(`{"epc":"306400000000000000000001","t":1e308}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, line string) {
+		rd, err := UnmarshalRead([]byte(line))
+		if err != nil {
+			return
+		}
+		out, err := MarshalRead(rd)
+		if err != nil {
+			// Only JSON-unrepresentable floats may fail to re-encode, and
+			// a JSON decode cannot have produced those.
+			t.Fatalf("decoded read failed to re-encode: %v", err)
+		}
+		back, err := UnmarshalRead(out)
+		if err != nil {
+			t.Fatalf("re-encoded read failed to decode: %v", err)
+		}
+		if back != rd {
+			t.Fatalf("round trip changed read: %+v vs %+v", back, rd)
+		}
+	})
+}
+
+// TestReadJSONLRejectsOversizedLine: a line beyond the scanner budget is
+// an error, not a hang or a silent truncation.
+func TestReadJSONLRejectsOversizedLine(t *testing.T) {
+	huge := `{"scenario":"x"}` + "\n" + `{"epc":"` + strings.Repeat("3", 1<<21) + `"}`
+	if _, err := ReadJSONL(strings.NewReader(huge)); err == nil {
+		t.Error("oversized line accepted")
+	}
+}

@@ -174,6 +174,31 @@ func (j jsonRead) toTagRead() (reader.TagRead, error) {
 	return reader.TagRead{EPC: e, Time: j.Time, Phase: j.Phase, RSSI: j.RSSI, Channel: j.Channel, Reader: j.Reader}, nil
 }
 
+// MarshalRead renders one read as its JSONL wire object (no trailing
+// newline) — the same line format WriteJSONL emits, exported so live
+// producers (the stppd ingest daemon, loadgen) speak the trace format on
+// the wire.
+func MarshalRead(r reader.TagRead) ([]byte, error) {
+	j := jsonRead{
+		EPC:     r.EPC.String(),
+		Time:    r.Time,
+		Phase:   r.Phase,
+		RSSI:    r.RSSI,
+		Channel: r.Channel,
+		Reader:  r.Reader,
+	}
+	return json.Marshal(&j)
+}
+
+// UnmarshalRead parses one JSONL read line (the inverse of MarshalRead).
+func UnmarshalRead(data []byte) (reader.TagRead, error) {
+	var j jsonRead
+	if err := json.Unmarshal(data, &j); err != nil {
+		return reader.TagRead{}, err
+	}
+	return j.toTagRead()
+}
+
 // gobTrace is the on-wire form for the binary codec.
 type gobTrace struct {
 	Header Header

@@ -7,16 +7,16 @@ import (
 	"testing"
 )
 
-// buildCommands compiles the three binaries into a temp dir and returns
-// their paths.
-func buildCommands(t *testing.T) map[string]string {
+// buildCommands compiles the named cmd/ binaries into a temp dir and
+// returns their paths.
+func buildCommands(t *testing.T, cmds ...string) map[string]string {
 	t.Helper()
 	if _, err := exec.LookPath("go"); err != nil {
 		t.Skip("go toolchain not on PATH")
 	}
 	dir := t.TempDir()
 	out := map[string]string{}
-	for _, cmd := range []string{"experiments", "stpp", "tracegen"} {
+	for _, cmd := range cmds {
 		bin := filepath.Join(dir, cmd)
 		o, err := exec.Command("go", "build", "-o", bin, "./cmd/"+cmd).CombinedOutput()
 		if err != nil {
@@ -31,7 +31,7 @@ func buildCommands(t *testing.T) map[string]string {
 // pipeline must run both batch and streaming, agreeing on the final
 // orders. Also smokes experiments -run on one artifact.
 func TestCommandsEndToEnd(t *testing.T) {
-	bins := buildCommands(t)
+	bins := buildCommands(t, "experiments", "stpp", "tracegen")
 	traceFile := filepath.Join(t.TempDir(), "pop.jsonl")
 
 	if o, err := exec.Command(bins["tracegen"],
@@ -76,7 +76,7 @@ func TestCommandsEndToEnd(t *testing.T) {
 // must replay it through the sharded engine, printing per-zone orders and
 // the stitched global order.
 func TestMultiReaderEndToEnd(t *testing.T) {
-	bins := buildCommands(t)
+	bins := buildCommands(t, "stpp", "tracegen")
 	traceFile := filepath.Join(t.TempDir(), "aisle.jsonl")
 
 	if o, err := exec.Command(bins["tracegen"],

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bufio"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDaemonLoadEndToEnd is the tentpole acceptance run: loadgen drives 32
+// concurrent sessions (a multi-reader aisle trace and a single-reader
+// library trace) against a live stppd with a deliberately small queue, and
+// every session's final global order must be byte-identical to the offline
+// replay — with backpressure engaged and queue memory bounded.
+func TestDaemonLoadEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon load test in -short mode")
+	}
+	bins := buildCommands(t, "stppd", "loadgen", "tracegen")
+	dir := t.TempDir()
+	aisle := filepath.Join(dir, "aisle.jsonl")
+	lib := filepath.Join(dir, "lib.jsonl")
+	if o, err := exec.Command(bins["tracegen"],
+		"-scenario", "aisle", "-n", "8", "-seed", "2", "-o", aisle).CombinedOutput(); err != nil {
+		t.Fatalf("tracegen aisle: %v\n%s", err, o)
+	}
+	if o, err := exec.Command(bins["tracegen"],
+		"-scenario", "library", "-seed", "3", "-o", lib).CombinedOutput(); err != nil {
+		t.Fatalf("tracegen library: %v\n%s", err, o)
+	}
+
+	// Small queue so backpressure actually engages under 32 sessions.
+	daemon := exec.Command(bins["stppd"], "-addr", "127.0.0.1:0", "-queue", "4", "-batch", "128", "-publish", "1500")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stderr = daemon.Stdout
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+	// First stdout line announces the bound address.
+	lineCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+	}()
+	var addr string
+	select {
+	case line := <-lineCh:
+		fields := strings.Fields(line) // "stppd listening on HOST:PORT"
+		if len(fields) < 4 {
+			t.Fatalf("unexpected stppd banner: %q", line)
+		}
+		addr = fields[3]
+	case <-time.After(10 * time.Second):
+		t.Fatal("stppd did not announce its address")
+	}
+
+	out, err := exec.Command(bins["loadgen"],
+		"-addr", addr, "-in", aisle+","+lib, "-sessions", "32", "-batch", "128").CombinedOutput()
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "32/32 sessions OK") {
+		t.Errorf("loadgen did not verify all sessions:\n%s", s)
+	}
+	if !strings.Contains(s, "32 sessions finished") {
+		t.Errorf("server stats missing from loadgen output:\n%s", s)
+	}
+}
