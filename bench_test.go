@@ -21,6 +21,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/stpp"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // benchExperiment runs one registered experiment per iteration and renders
@@ -250,6 +251,79 @@ func BenchmarkDaemonIngest(b *testing.B) {
 			b.Fatal(err)
 		}
 		srv.DropSession(sess.ID)
+	}
+	b.ReportMetric(float64(len(reads))*float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+}
+
+// --- durability: the WAL hot path and boot-time recovery ---
+
+// BenchmarkWALAppend measures the journal append — the extra cost every
+// durable ingest batch pays before it becomes visible — at both fsync
+// policies.
+func BenchmarkWALAppend(b *testing.B) {
+	reads, _ := benchReadLog(b)
+	batch := reads[:min(256, len(reads))]
+	for _, pol := range []wal.Policy{wal.SyncNever, wal.SyncAlways} {
+		b.Run("fsync="+pol.String(), func(b *testing.B) {
+			l, err := wal.Create(b.TempDir(), trace.Header{Scenario: "bench"}, wal.Options{Fsync: pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.AppendBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+		})
+	}
+}
+
+// BenchmarkRecovery measures a cold boot over one finished durable
+// session: WAL scan, replay through a fresh sharded engine, and the
+// rebuilt final snapshot — the restart latency a deployment pays per
+// recovered session.
+func BenchmarkRecovery(b *testing.B) {
+	ms, err := scenario.WarehouseAisle(scenario.DefaultAisleOpts(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, err := ms.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := serve.Options{
+		Config:  ms.Readers[0].Scene.STPPConfig(),
+		DataDir: b.TempDir(),
+		Fsync:   wal.SyncNever,
+	}
+	srv, err := serve.New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := srv.CreateSession(trace.Header{Readers: ms.ReaderMetas()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for start := 0; start < len(reads); start += 256 {
+		if err := sess.Enqueue(reads[start:min(start+256, len(reads))]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := sess.Finish(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		booted, err := serve.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := booted.Metrics().ReadsRecovered.Load(); got != int64(len(reads)) {
+			b.Fatalf("recovered %d reads, want %d", got, len(reads))
+		}
 	}
 	b.ReportMetric(float64(len(reads))*float64(b.N)/b.Elapsed().Seconds(), "reads/s")
 }

@@ -9,10 +9,19 @@
 // valid reads body. The final order returned by /finish is byte-identical
 // to an offline `stpp -in trace.jsonl` replay of the same reads.
 //
+// With -data-dir set, sessions are durable: every accepted batch is
+// journaled to a per-session write-ahead log before it becomes visible,
+// and a restarted daemon replays the logs — finished sessions come back
+// at their final snapshot, live ones resume exactly where the journal
+// ends, with torn tails from a crash detected and truncated. The -fsync
+// knob picks the append durability (always = power-loss safe, never =
+// process-crash safe), and segments rotate at -segment-mb.
+//
 // Usage:
 //
 //	stppd -addr :8080
 //	stppd -addr 127.0.0.1:0 -queue 32 -batch 128 -publish 1000
+//	stppd -addr :7080 -data-dir /var/lib/stppd -fsync always
 //
 // Endpoints (see internal/serve):
 //
@@ -39,6 +48,7 @@ import (
 	"repro/internal/phys"
 	"repro/internal/serve"
 	"repro/internal/stpp"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -50,9 +60,16 @@ func main() {
 		batch   = flag.Int("batch", 256, "max reads per queued batch")
 		publish = flag.Int("publish", 2000, "publish a snapshot every N consumed reads (0 = only on refresh/finish)")
 		workers = flag.Int("workers", 0, "per-session engine worker budget (0 = all cores)")
+		dataDir = flag.String("data-dir", "", "write-ahead log directory; empty = in-memory sessions (no durability)")
+		fsync   = flag.String("fsync", "always", "WAL fsync policy: always | never")
+		segMB   = flag.Int("segment-mb", 64, "WAL segment rotation size, MiB")
 	)
 	flag.Parse()
 
+	policy, err := wal.ParsePolicy(*fsync)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := stpp.DefaultConfig(phys.ChinaBand.Wavelength(*ch))
 	cfg.Window = *window
 	srv, err := serve.New(serve.Options{
@@ -61,6 +78,9 @@ func main() {
 		MaxBatch:     *batch,
 		PublishEvery: *publish,
 		Workers:      *workers,
+		DataDir:      *dataDir,
+		Fsync:        policy,
+		SegmentBytes: int64(*segMB) << 20,
 	})
 	if err != nil {
 		fatal(err)
@@ -73,6 +93,12 @@ func main() {
 	// The bound address goes to stdout so scripts (and the e2e test) can
 	// drive an ephemeral-port daemon.
 	fmt.Printf("stppd listening on %s\n", ln.Addr())
+	if *dataDir != "" {
+		m := srv.Metrics()
+		fmt.Printf("stppd recovered %d sessions (%d reads, %d torn tails, %d skipped) from %s, fsync=%s\n",
+			m.SessionsRecovered.Load(), m.ReadsRecovered.Load(),
+			m.WALTornTails.Load(), m.WALSkipped.Load(), *dataDir, policy)
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	done := make(chan error, 1)

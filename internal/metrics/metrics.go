@@ -47,26 +47,35 @@ func OrderingAccuracy(got, want []epcgen2.EPC) (float64, error) {
 
 // KendallTau computes the Kendall rank correlation between the detected
 // and actual orders: +1 for identical order, −1 for fully reversed.
-// Inputs must be permutations of each other.
+// Inputs must be permutations of the same duplicate-free EPC set; fewer
+// than two elements are trivially correlated (τ = 1).
 func KendallTau(got, want []epcgen2.EPC) (float64, error) {
 	n := len(got)
 	if n != len(want) {
 		return 0, fmt.Errorf("metrics: order lengths differ: %d vs %d", n, len(want))
 	}
-	if n < 2 {
-		return 1, nil
-	}
 	pos := make(map[epcgen2.EPC]int, n)
 	for i, e := range want {
+		if _, dup := pos[e]; dup {
+			return 0, fmt.Errorf("metrics: duplicate EPC %v in want", e)
+		}
 		pos[e] = i
 	}
 	ranks := make([]int, n)
+	seen := make(map[epcgen2.EPC]bool, n)
 	for i, e := range got {
 		w, ok := pos[e]
 		if !ok {
 			return 0, fmt.Errorf("metrics: EPC %v not in want", e)
 		}
+		if seen[e] {
+			return 0, fmt.Errorf("metrics: duplicate EPC %v in got", e)
+		}
+		seen[e] = true
 		ranks[i] = w
+	}
+	if n < 2 {
+		return 1, nil
 	}
 	concordant, discordant := 0, 0
 	for i := 0; i < n; i++ {

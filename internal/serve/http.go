@@ -237,10 +237,13 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Consumed samples before Enqueued (effect before cause) so the pair
+	// stays consistent under concurrent ingest — see Server.Stats.
+	consumed := sess.Consumed()
 	writeJSON(w, http.StatusOK, SessionStats{
 		SessionID: sess.ID,
 		Enqueued:  sess.Enqueued(),
-		Consumed:  sess.Consumed(),
+		Consumed:  consumed,
 		Queued:    sess.Queued(),
 		Stalls:    sess.Stalls(),
 		Finished:  sess.finished(),

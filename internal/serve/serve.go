@@ -22,16 +22,31 @@
 // deploy.FromHeader configuration derivation and the same engines, and
 // the streaming engines are equivalence-tested against the batch
 // localizer. cmd/loadgen asserts exactly this end to end.
+//
+// With Options.DataDir set, sessions are durable: every session journals
+// its header and each accepted batch to a per-session write-ahead log
+// (internal/wal) BEFORE the batch becomes visible to the consumer, and
+// New replays all logs found under DataDir on boot — finished sessions
+// are rebuilt through a full replay to their final snapshot, live ones
+// resume accepting reads exactly where the journal ends. A crash at any
+// byte of the log recovers to a final order byte-identical to the offline
+// replay of the journaled prefix; the crash-injection tests enforce this
+// at every record boundary and mid-record.
 package serve
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/par"
 	"repro/internal/stpp"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Options tunes a Server.
@@ -62,6 +77,21 @@ type Options struct {
 	// their engine and per-tag profiles; this bounds the residue under
 	// session churn. Default 256.
 	RetainFinished int
+	// DataDir enables durable sessions: each session journals to a
+	// write-ahead log under DataDir/<session-id>/ and New replays every
+	// log found there, rebuilding the sessions a crash or redeploy
+	// interrupted. Empty (the default) keeps sessions purely in memory.
+	// Dropped and evicted sessions delete their logs, so DataDir stays
+	// bounded by RetainFinished plus the live sessions.
+	DataDir string
+	// Fsync is the WAL append durability policy (wal.SyncAlways fsyncs
+	// every batch; wal.SyncNever leaves batches to the page cache —
+	// durable across process crashes, not power loss). Zero value:
+	// SyncAlways.
+	Fsync wal.Policy
+	// SegmentBytes rotates WAL segment files at this size; 0 = the wal
+	// package default (64 MiB).
+	SegmentBytes int64
 }
 
 func (o *Options) fill() {
@@ -89,7 +119,19 @@ type Metrics struct {
 	Stalls           atomic.Int64 // enqueues that hit a full queue
 	Snapshots        atomic.Int64
 	SnapshotNanos    atomic.Int64 // cumulative snapshot latency
-	start            time.Time
+
+	// Durability counters, all zero when DataDir is unset. Recovered
+	// sessions also count as created (they enter the registry) and their
+	// replayed reads flow through the ingest/consume counters — the two
+	// counters below report how much of that activity came from the logs.
+	SessionsRecovered atomic.Int64 // sessions rebuilt from WALs at boot
+	ReadsRecovered    atomic.Int64 // reads replayed out of those WALs
+	WALTornTails      atomic.Int64 // recoveries that truncated a torn tail
+	WALSkipped        atomic.Int64 // WAL dirs too damaged to rebuild (left on disk)
+	WALAppends        atomic.Int64 // journal appends (batches + finish markers)
+	WALErrors         atomic.Int64 // failed journal appends
+
+	start time.Time
 }
 
 // Stats is one JSON-ready sample of the server counters.
@@ -105,6 +147,16 @@ type Stats struct {
 	Stalls           int64   `json:"stalls"`
 	Snapshots        int64   `json:"snapshots"`
 	AvgSnapshotMs    float64 `json:"avg_snapshot_ms"`
+
+	// Durability: WALEnabled mirrors Options.DataDir; the counters are
+	// this process's recovery and journaling activity.
+	WALEnabled        bool  `json:"wal_enabled"`
+	SessionsRecovered int64 `json:"sessions_recovered"`
+	ReadsRecovered    int64 `json:"reads_recovered"`
+	WALTornTails      int64 `json:"wal_torn_tails"`
+	WALSkipped        int64 `json:"wal_skipped"`
+	WALAppends        int64 `json:"wal_appends"`
+	WALErrors         int64 `json:"wal_errors"`
 }
 
 // Server multiplexes concurrent ingest sessions. It is safe for
@@ -119,17 +171,120 @@ type Server struct {
 	nextID   int64
 }
 
-// New builds a Server. The base configuration must validate.
+// New builds a Server. The base configuration must validate. When
+// Options.DataDir is set, New also replays every write-ahead log found
+// there before returning: the server comes up already holding the
+// sessions a crash interrupted, finished ones at their final snapshot
+// and live ones ready for more reads.
 func New(opts Options) (*Server, error) {
 	if err := opts.Config.Validate(); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	opts.fill()
-	return &Server{
+	s := &Server{
 		opts:     opts,
 		sessions: make(map[string]*Session),
 		metrics:  Metrics{start: time.Now()},
-	}, nil
+	}
+	if opts.DataDir != "" {
+		if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: data dir: %w", err)
+		}
+		if err := s.recoverAll(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Server) walOpts() wal.Options {
+	return wal.Options{Fsync: s.opts.Fsync, SegmentBytes: s.opts.SegmentBytes}
+}
+
+// recoverAll sweeps DataDir and rebuilds one session per recoverable WAL.
+// Each log replays through a fresh engine on the session's own consumer
+// goroutine — the identical code path live ingest runs, so the recovered
+// state is byte-identical to an offline replay of the journaled prefix.
+// Unrecoverable directories (no intact header record) are counted and
+// left on disk for inspection, never deleted.
+//
+// The sweep is two-phase: log scanning and registration run sequentially
+// in name order (deterministic IDs and eviction order), then the replays
+// — the dominant boot cost, independent per session — fan out on the
+// shared pool so restart latency does not grow as the sum of every
+// retained session's full replay.
+func (s *Server) recoverAll() error {
+	names, err := wal.Sessions(s.opts.DataDir)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	type pending struct {
+		sess *Session
+		rec  *wal.Recovered
+		log  *wal.Log
+	}
+	var replays []pending
+	for _, name := range names {
+		dir := filepath.Join(s.opts.DataDir, name)
+		// Every session directory reserves its number — including damaged
+		// ones that stay on disk unrecovered — so fresh sessions never
+		// collide with a directory already there. (New runs before any
+		// producer can reach the server, so nextID needs no lock here.)
+		var n int64
+		if _, err := fmt.Sscanf(name, "s%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		rec, log, err := wal.Recover(dir, s.walOpts())
+		if err != nil {
+			s.metrics.WALSkipped.Add(1)
+			continue
+		}
+		if rec.Torn {
+			s.metrics.WALTornTails.Add(1)
+		}
+		sess, err := newSession(name, s, rec.Header)
+		if err != nil {
+			// A header that no longer builds an engine (config drift since
+			// the log was written): skip, keep the log.
+			if log != nil {
+				log.Close()
+			}
+			s.metrics.WALSkipped.Add(1)
+			continue
+		}
+		sess.walDir = dir
+		s.mu.Lock()
+		s.sessions[name] = sess
+		s.order = append(s.order, name)
+		s.mu.Unlock()
+		// A recovered session enters the registry like a created one (so
+		// SessionsCreated ≥ SessionsFinished always holds); its replayed
+		// reads flow through the ingest counters again — ReadsRecovered
+		// reports how much of that traffic came from the logs.
+		s.metrics.SessionsCreated.Add(1)
+		s.metrics.SessionsRecovered.Add(1)
+		s.metrics.ReadsRecovered.Add(int64(rec.Reads))
+		go sess.loop()
+		replays = append(replays, pending{sess: sess, rec: rec, log: log})
+	}
+	par.For(runtime.GOMAXPROCS(0), len(replays), func(i int) {
+		p := replays[i]
+		for _, batch := range p.rec.Batches {
+			if err := p.sess.Enqueue(batch); err != nil {
+				break // consumer failure; surfaces via sess.Err like live ingest
+			}
+		}
+		if p.rec.Finished {
+			// Drain and rebuild the final snapshot. An error (e.g. a
+			// session finished before any reads) parks in sess.Err exactly
+			// as it did in the process that wrote the log.
+			p.sess.Finish()
+		} else if p.log != nil {
+			// Live session: journal future batches onto the repaired log.
+			p.sess.attachWAL(p.log)
+		}
+	})
+	return nil
 }
 
 // Metrics exposes the server counters.
@@ -147,26 +302,46 @@ func (s *Server) CreateSession(h trace.Header) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.opts.DataDir != "" {
+		// The header record is journaled (and fsynced) before the session
+		// is visible: a session that handed out its ID survives a crash.
+		dir := filepath.Join(s.opts.DataDir, id)
+		log, err := wal.Create(dir, h, s.walOpts())
+		if err != nil {
+			return nil, fmt.Errorf("serve: wal: %w", err)
+		}
+		sess.walDir = dir
+		sess.attachWAL(log)
+	}
+	// Created counts before the session is reachable: once it is in the
+	// registry another goroutine can finish or drop it, and the finished
+	// counter must never lead the created one.
+	s.metrics.SessionsCreated.Add(1)
 	s.mu.Lock()
 	s.sessions[id] = sess
 	s.order = append(s.order, id)
-	s.evictLocked()
+	victims := s.evictLocked()
 	s.mu.Unlock()
-	s.metrics.SessionsCreated.Add(1)
+	for _, v := range victims {
+		v.discardWAL()
+	}
 	go sess.loop()
 	return sess, nil
 }
 
 // evictLocked drops the oldest finished sessions while more than
 // RetainFinished of them linger, so a long-running daemon's registry
-// stays bounded under session churn. Callers hold s.mu.
-func (s *Server) evictLocked() {
+// stays bounded under session churn. Callers hold s.mu and must call
+// discardWAL on the returned victims after unlocking — an evicted
+// session's journal is deleted with it, so DataDir stays bounded too.
+func (s *Server) evictLocked() []*Session {
 	finished := 0
 	for _, sess := range s.sessions {
 		if sess.finished() {
 			finished++
 		}
 	}
+	var victims []*Session
 	kept := s.order[:0]
 	for _, id := range s.order {
 		sess, ok := s.sessions[id]
@@ -175,12 +350,14 @@ func (s *Server) evictLocked() {
 		}
 		if finished > s.opts.RetainFinished && sess.finished() {
 			delete(s.sessions, id)
+			victims = append(victims, sess)
 			finished--
 			continue
 		}
 		kept = append(kept, id)
 	}
 	s.order = kept
+	return victims
 }
 
 // Session looks up a live session.
@@ -191,8 +368,10 @@ func (s *Server) Session(id string) (*Session, bool) {
 	return sess, ok
 }
 
-// DropSession aborts a session (unblocking any stalled producers) and
-// removes it from the registry. Dropping an unknown ID is a no-op.
+// DropSession aborts a session (unblocking any stalled producers),
+// removes it from the registry and deletes its journal — an explicitly
+// dropped session must not resurrect at the next boot. Dropping an
+// unknown ID is a no-op.
 func (s *Server) DropSession(id string) {
 	s.mu.Lock()
 	sess, ok := s.sessions[id]
@@ -200,6 +379,7 @@ func (s *Server) DropSession(id string) {
 	s.mu.Unlock()
 	if ok {
 		sess.abort()
+		sess.discardWAL()
 	}
 }
 
@@ -216,16 +396,34 @@ func (s *Server) Stats() Stats {
 	}
 	s.mu.Unlock()
 
+	// Causally-paired counters sample effect before cause (finished
+	// before created, consumed before ingested): the writers maintain
+	// cause ≥ effect at every instant, so sampling in this order keeps
+	// the pair consistent in the snapshot too — a concurrent sample never
+	// shows more finished sessions than created ones or more consumed
+	// reads than ingested ones.
+	finished := s.metrics.SessionsFinished.Load()
+	created := s.metrics.SessionsCreated.Load()
+	consumed := s.metrics.ReadsConsumed.Load()
+	ingested := s.metrics.ReadsIngested.Load()
 	st := Stats{
 		UptimeSeconds:    time.Since(s.metrics.start).Seconds(),
 		SessionsActive:   active,
-		SessionsCreated:  s.metrics.SessionsCreated.Load(),
-		SessionsFinished: s.metrics.SessionsFinished.Load(),
-		ReadsIngested:    s.metrics.ReadsIngested.Load(),
-		ReadsConsumed:    s.metrics.ReadsConsumed.Load(),
+		SessionsCreated:  created,
+		SessionsFinished: finished,
+		ReadsIngested:    ingested,
+		ReadsConsumed:    consumed,
 		QueueDepthReads:  depth,
 		Stalls:           s.metrics.Stalls.Load(),
 		Snapshots:        s.metrics.Snapshots.Load(),
+
+		WALEnabled:        s.opts.DataDir != "",
+		SessionsRecovered: s.metrics.SessionsRecovered.Load(),
+		ReadsRecovered:    s.metrics.ReadsRecovered.Load(),
+		WALTornTails:      s.metrics.WALTornTails.Load(),
+		WALSkipped:        s.metrics.WALSkipped.Load(),
+		WALAppends:        s.metrics.WALAppends.Load(),
+		WALErrors:         s.metrics.WALErrors.Load(),
 	}
 	if st.UptimeSeconds > 0 {
 		st.ReadsPerSecond = float64(st.ReadsConsumed) / st.UptimeSeconds

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/reader"
 	"repro/internal/stpp"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // ErrSessionClosed is returned by Enqueue after Finish (or an abort) has
@@ -53,6 +55,14 @@ type Session struct {
 	qmu      sync.RWMutex // serializes Enqueue sends against closing queue
 	closed   bool
 	stopOnce sync.Once
+
+	// wal, when non-nil, journals every accepted batch before it becomes
+	// visible to the consumer; walDir is the journal's directory, kept
+	// even after the log closes so eviction/drop can delete it. Lock
+	// order: qmu before walMu (Enqueue holds qmu.RLock while journaling).
+	walMu  sync.Mutex
+	wal    *wal.Log
+	walDir string
 
 	latest atomic.Pointer[Snapshot]
 
@@ -108,11 +118,23 @@ func (s *Session) Enqueue(batch []reader.TagRead) error {
 	if s.closed {
 		return ErrSessionClosed
 	}
-	// The depth gauge rises before the send: incrementing after it races
-	// the consumer's decrement and lets the gauge go transiently negative
-	// under a stats query.
+	// Journal-before-visible: the batch reaches the WAL before the queue,
+	// so everything a producer was ever acked for is on disk. A journal
+	// failure rejects the batch outright — the log and the engine never
+	// disagree about what was accepted. (The converse — journaled but
+	// rejected — can only happen to a producer stalled on a full queue
+	// when the session aborts, and aborted sessions delete their log.)
+	if err := s.journal(batch); err != nil {
+		return err
+	}
+	// All gauges and counters rise before the send and roll back on the
+	// abort path: incrementing after the send races the consumer — the
+	// depth gauge could go transiently negative and ReadsConsumed could
+	// overtake ReadsIngested under a stats query.
 	n := int64(len(batch))
 	s.queued.Add(n)
+	s.enqueued.Add(n)
+	s.srv.metrics.ReadsIngested.Add(n)
 	select {
 	case s.queue <- batch:
 	default:
@@ -122,11 +144,11 @@ func (s *Session) Enqueue(batch []reader.TagRead) error {
 		case s.queue <- batch:
 		case <-s.quit:
 			s.queued.Add(-n)
+			s.enqueued.Add(-n)
+			s.srv.metrics.ReadsIngested.Add(-n)
 			return ErrSessionClosed
 		}
 	}
-	s.enqueued.Add(n)
-	s.srv.metrics.ReadsIngested.Add(n)
 	return nil
 }
 
@@ -138,10 +160,16 @@ func (s *Session) Finish() (*Snapshot, error) {
 	s.qmu.Lock()
 	if !s.closed {
 		s.closed = true
+		// The finish marker lands after every journaled batch (qmu is held
+		// exclusively, so no Enqueue is mid-append) and is fsynced: once a
+		// client sees Finish succeed, recovery rebuilds the session as
+		// finished.
+		s.journalFinish()
 		close(s.queue)
 	}
 	s.qmu.Unlock()
 	<-s.done
+	s.closeWAL()
 	if err := s.Err(); err != nil {
 		return nil, err
 	}
@@ -181,6 +209,71 @@ func (s *Session) shutdownQueue() {
 func (s *Session) abort() {
 	s.stop()
 	<-s.done
+	s.closeWAL()
+}
+
+// attachWAL hands the session its journal. Called before the session is
+// reachable by producers (session creation and boot recovery).
+func (s *Session) attachWAL(l *wal.Log) {
+	s.walMu.Lock()
+	s.wal = l
+	s.walMu.Unlock()
+}
+
+// journal appends one accepted batch to the WAL; a nil log (in-memory
+// sessions, boot-recovery replay) is a no-op.
+func (s *Session) journal(batch []reader.TagRead) error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.AppendBatch(batch); err != nil {
+		s.srv.metrics.WALErrors.Add(1)
+		return fmt.Errorf("serve: wal append: %w", err)
+	}
+	s.srv.metrics.WALAppends.Add(1)
+	return nil
+}
+
+// journalFinish appends the finish marker. A failed append degrades to
+// at-least-once: the caller still gets its final snapshot, and the next
+// boot recovers the session live instead of finished.
+func (s *Session) journalFinish() {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal == nil {
+		return
+	}
+	if err := s.wal.AppendFinish(); err != nil {
+		s.srv.metrics.WALErrors.Add(1)
+		return
+	}
+	s.srv.metrics.WALAppends.Add(1)
+}
+
+// closeWAL seals the journal file; the directory (and walDir) remain for
+// recovery or a later discard.
+func (s *Session) closeWAL() {
+	s.walMu.Lock()
+	if s.wal != nil {
+		s.wal.Close()
+		s.wal = nil
+	}
+	s.walMu.Unlock()
+}
+
+// discardWAL closes the journal and deletes it from disk — dropped and
+// evicted sessions must not resurrect at the next boot.
+func (s *Session) discardWAL() {
+	s.closeWAL()
+	s.walMu.Lock()
+	dir := s.walDir
+	s.walDir = ""
+	s.walMu.Unlock()
+	if dir != "" {
+		os.RemoveAll(dir)
+	}
 }
 
 // Latest returns the most recently published snapshot without touching

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// TestSoakConcurrentSessions churns the daemon core the way a long-lived
+// deployment does — many goroutines concurrently creating, ingesting,
+// querying, finishing and dropping durable sessions under eviction
+// pressure — and then audits the server counters for consistency. The CI
+// race job runs this under -race; the assertions catch lost or
+// double-counted reads, stuck queue depth, and sessions that leak past
+// the retention bound.
+func TestSoakConcurrentSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	tr, _, opts := aisleTrace(t, 9)
+	opts.RetainFinished = 2 // constant eviction pressure
+	opts.PublishEvery = 900
+	opts.QueueBatches = 4
+	opts.DataDir = t.TempDir()
+	opts.Fsync = wal.SyncNever
+	srv := newTestServer(t, opts)
+
+	const (
+		workers   = 6
+		perWorker = 3
+		fullReads = 3000
+		chunk     = 250
+	)
+	var (
+		accepted atomic.Int64
+		finished atomic.Int64
+		dropped  atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perWorker; k++ {
+				sess, err := srv.CreateSession(tr.Header)
+				if err != nil {
+					t.Errorf("worker %d: create: %v", w, err)
+					return
+				}
+				limit := fullReads
+				if (w+k)%3 == 0 {
+					limit = fullReads / 2 // some sessions die young
+				}
+				for start := 0; start < limit; start += chunk {
+					end := min(start+chunk, limit)
+					if err := sess.Enqueue(tr.Reads[start:end]); err != nil {
+						t.Errorf("worker %d: enqueue: %v", w, err)
+						return
+					}
+					accepted.Add(int64(end - start))
+					if start%(4*chunk) == 0 {
+						sess.Refresh() // "no tags yet" is fine; races are not
+						sess.Latest()
+					}
+				}
+				if (w+k)%4 == 1 {
+					srv.DropSession(sess.ID)
+					dropped.Add(1)
+					continue
+				}
+				snap, err := sess.Finish()
+				if err != nil {
+					t.Errorf("worker %d: finish: %v", w, err)
+					return
+				}
+				if snap.Reads != int64(limit) {
+					t.Errorf("worker %d: session consumed %d reads, enqueued %d", w, snap.Reads, limit)
+				}
+				finished.Add(1)
+			}
+		}(w)
+	}
+
+	// A stats poller hammers the aggregate endpoint while the churn runs:
+	// every sample must be internally consistent even mid-flight.
+	pollDone := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-pollDone:
+				return
+			default:
+			}
+			st := srv.Stats()
+			if st.QueueDepthReads < 0 {
+				t.Errorf("negative queue depth %d", st.QueueDepthReads)
+			}
+			if st.ReadsConsumed > st.ReadsIngested {
+				t.Errorf("consumed %d > ingested %d", st.ReadsConsumed, st.ReadsIngested)
+			}
+			if st.SessionsFinished > st.SessionsCreated {
+				t.Errorf("finished %d > created %d", st.SessionsFinished, st.SessionsCreated)
+			}
+			if st.WALErrors > 0 {
+				t.Errorf("WAL errors under soak: %d", st.WALErrors)
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(pollDone)
+	pollWG.Wait()
+
+	st := srv.Stats()
+	total := int64(workers * perWorker)
+	if st.SessionsCreated != total {
+		t.Errorf("SessionsCreated = %d, want %d", st.SessionsCreated, total)
+	}
+	// Every session's consumer loop has exited: finished + dropped all
+	// count as finished in the metrics.
+	if st.SessionsFinished != total {
+		t.Errorf("SessionsFinished = %d, want %d", st.SessionsFinished, total)
+	}
+	if st.SessionsActive != 0 {
+		t.Errorf("SessionsActive = %d after all sessions closed", st.SessionsActive)
+	}
+	if st.ReadsIngested != accepted.Load() {
+		t.Errorf("ReadsIngested = %d, producers were acked for %d", st.ReadsIngested, accepted.Load())
+	}
+	if st.ReadsConsumed > st.ReadsIngested {
+		t.Errorf("ReadsConsumed = %d > ReadsIngested = %d", st.ReadsConsumed, st.ReadsIngested)
+	}
+	if st.QueueDepthReads != 0 {
+		t.Errorf("queue depth %d after shutdown, want 0", st.QueueDepthReads)
+	}
+	if st.Snapshots < finished.Load() {
+		t.Errorf("%d snapshots for %d finished sessions", st.Snapshots, finished.Load())
+	}
+	if !st.WALEnabled || st.WALAppends == 0 {
+		t.Errorf("durable soak journaled nothing: %+v", st)
+	}
+	if st.WALErrors != 0 {
+		t.Errorf("WALErrors = %d", st.WALErrors)
+	}
+	// Retention: at most RetainFinished finished sessions may linger (the
+	// final creations may not have triggered an eviction pass since).
+	srv.mu.Lock()
+	lingering := len(srv.sessions)
+	srv.mu.Unlock()
+	if lingering > opts.RetainFinished+workers {
+		t.Errorf("%d sessions linger, retention bound %d", lingering, opts.RetainFinished)
+	}
+	if dropped.Load()+finished.Load() != total {
+		t.Errorf("accounting hole: %d dropped + %d finished != %d", dropped.Load(), finished.Load(), total)
+	}
+}

@@ -7,6 +7,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
@@ -197,6 +198,49 @@ func UnmarshalRead(data []byte) (reader.TagRead, error) {
 		return reader.TagRead{}, err
 	}
 	return j.toTagRead()
+}
+
+// MarshalReads renders a batch as NDJSON wire lines — one MarshalRead
+// line per read, each newline-terminated. It is the payload format the
+// stppd write-ahead log journals and loadgen replays.
+func MarshalReads(reads []reader.TagRead) ([]byte, error) {
+	var buf bytes.Buffer
+	for i := range reads {
+		line, err := MarshalRead(reads[i])
+		if err != nil {
+			return nil, fmt.Errorf("trace: read %d: %w", i, err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalReads parses an NDJSON batch strictly: every non-empty line
+// must decode or the whole batch is rejected, so callers never see a
+// partial batch. Empty input decodes to an empty batch.
+func UnmarshalReads(data []byte) ([]reader.TagRead, error) {
+	var out []reader.TagRead
+	line := 0
+	for len(data) > 0 {
+		line++
+		raw := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			raw, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		raw = bytes.TrimSpace(raw)
+		if len(raw) == 0 {
+			continue
+		}
+		rd, err := UnmarshalRead(raw)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rd)
+	}
+	return out, nil
 }
 
 // gobTrace is the on-wire form for the binary codec.

@@ -1,0 +1,274 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/reader"
+	"repro/internal/trace"
+)
+
+// ErrNoLog marks a directory with no segment files; ErrNoHeader a log
+// whose first record is missing or unreadable — nothing of the session
+// survives, so it cannot be rebuilt.
+var (
+	ErrNoLog    = errors.New("wal: no log segments")
+	ErrNoHeader = errors.New("wal: no valid session header record")
+)
+
+// Recovered is what a log replays to: the session header, the journaled
+// batches in append order, and how the log ended.
+type Recovered struct {
+	// Header is the session's trace.Header, from the first record.
+	Header trace.Header
+	// Batches are the journaled read batches in append order.
+	Batches [][]reader.TagRead
+	// Reads is the total read count across Batches.
+	Reads int
+	// Finished reports a finish marker: the session completed cleanly and
+	// recovery should rebuild its final snapshot.
+	Finished bool
+	// Torn reports that the log ended in a corrupt or incomplete tail
+	// that Recover truncated away; TornCause says why.
+	Torn      bool
+	TornCause error
+	// Segments and Bytes describe the repaired log: segment count and
+	// total valid record bytes retained.
+	Segments int
+	Bytes    int64
+}
+
+// Recover scans a session log, truncates any torn tail (a partially
+// written or corrupted record, plus anything after it) back to the last
+// good record boundary, and replays the surviving records. For a live
+// log (no finish marker) it also reopens the repaired log for append and
+// returns it; for a finished log the returned *Log is nil.
+//
+// Recover never panics on corrupt input and never returns a partial
+// batch: a batch record either decodes completely or marks the torn
+// tail. It is idempotent — recovering an already-repaired log returns
+// the identical Recovered with Torn unset.
+func Recover(dir string, opts Options) (*Recovered, *Log, error) {
+	opts.fill()
+	segs, err := SegmentFiles(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(segs) == 0 {
+		return nil, nil, fmt.Errorf("%w in %s", ErrNoLog, dir)
+	}
+
+	rec := &Recovered{}
+	sawHeader := false
+	// torn marks where scanning stopped: segment index into segs and the
+	// byte offset of the first bad record in it.
+	tornSeg, tornOff := -1, int64(0)
+scan:
+	for si, path := range segs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+		off := int64(0)
+		for off < int64(len(data)) {
+			typ, payload, n, err := decodeFrame(data[off:])
+			if err != nil {
+				rec.Torn, rec.TornCause = true, fmt.Errorf("%s@%d: %w", filepath.Base(path), off, err)
+				tornSeg, tornOff = si, off
+				break scan
+			}
+			bad := func(cause error) {
+				rec.Torn, rec.TornCause = true, fmt.Errorf("%s@%d: %w", filepath.Base(path), off, cause)
+				tornSeg, tornOff = si, off
+			}
+			switch {
+			case !sawHeader:
+				if typ != recHeader {
+					bad(fmt.Errorf("first record type %d, want header", typ))
+					break scan
+				}
+				if err := json.Unmarshal(payload, &rec.Header); err != nil {
+					bad(fmt.Errorf("decode header: %w", err))
+					break scan
+				}
+				sawHeader = true
+			case rec.Finished:
+				// Nothing may follow the finish marker.
+				bad(errors.New("record after finish marker"))
+				break scan
+			case typ == recBatch:
+				batch, err := trace.UnmarshalReads(payload)
+				if err != nil {
+					// CRC-valid but undecodable: tampering or a writer bug.
+					// All-or-nothing — drop the whole record, never a prefix
+					// of its reads.
+					bad(err)
+					break scan
+				}
+				if len(batch) > 0 {
+					rec.Batches = append(rec.Batches, batch)
+					rec.Reads += len(batch)
+				}
+			case typ == recFinish:
+				rec.Finished = true
+			default: // a second header record
+				bad(errors.New("duplicate header record"))
+				break scan
+			}
+			off += n
+			rec.Bytes += n
+		}
+	}
+	if !sawHeader {
+		return nil, nil, fmt.Errorf("%w in %s", ErrNoHeader, dir)
+	}
+
+	// Repair: truncate the torn segment to its last good offset and drop
+	// every later segment, so appends resume from a clean boundary and a
+	// re-run recovers the identical prefix.
+	keep := len(segs)
+	if rec.Torn {
+		if err := os.Truncate(segs[tornSeg], tornOff); err != nil {
+			return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		keep = tornSeg + 1
+		if tornOff == 0 && tornSeg > 0 {
+			keep = tornSeg // the torn segment is now empty and not the first
+		}
+		for _, path := range segs[keep:] {
+			if err := os.Remove(path); err != nil {
+				return nil, nil, fmt.Errorf("wal: drop torn segment: %w", err)
+			}
+		}
+		syncDir(dir)
+	}
+	rec.Segments = keep
+
+	if rec.Finished {
+		return rec, nil, nil
+	}
+	// Reopen the last surviving segment for append.
+	last := segs[keep-1]
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: reopen: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: reopen: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, f: f, w: bufio.NewWriter(f), seg: keep, size: st.Size()}
+	return rec, l, nil
+}
+
+// decodeFrame parses one record frame at the start of data, returning its
+// type, payload and total encoded length. Any structural defect — short
+// frame, oversized or short payload, unknown type, CRC mismatch — is an
+// error, the caller's torn-tail signal.
+func decodeFrame(data []byte) (typ byte, payload []byte, n int64, err error) {
+	if len(data) < frameLen {
+		return 0, nil, 0, fmt.Errorf("wal: truncated frame header (%d bytes)", len(data))
+	}
+	typ = data[0]
+	if typ != recHeader && typ != recBatch && typ != recFinish {
+		return 0, nil, 0, fmt.Errorf("wal: unknown record type %d", typ)
+	}
+	size := binary.LittleEndian.Uint32(data[1:5])
+	if size > MaxRecord {
+		return 0, nil, 0, fmt.Errorf("wal: record length %d exceeds %d", size, MaxRecord)
+	}
+	if int64(len(data)-frameLen) < int64(size) {
+		return 0, nil, 0, fmt.Errorf("wal: truncated record payload (%d of %d bytes)", len(data)-frameLen, size)
+	}
+	payload = data[frameLen : frameLen+int(size)]
+	if got, want := frameCRC(typ, payload), binary.LittleEndian.Uint32(data[5:9]); got != want {
+		return 0, nil, 0, fmt.Errorf("wal: CRC mismatch (%08x vs %08x)", got, want)
+	}
+	return typ, payload, frameLen + int64(size), nil
+}
+
+// SegmentFiles lists the log's segment files in index order, stopping at
+// the first gap in the numbering (segments after a gap are unreachable by
+// a sequential writer and are ignored).
+func SegmentFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	byIdx := map[int]string{}
+	for _, e := range entries {
+		var idx int
+		// Sscanf ignores trailing characters, so require the exact
+		// round-trip: a stray wal-00000001.seg.bak must never shadow the
+		// real segment.
+		if _, err := fmt.Sscanf(e.Name(), segPattern, &idx); err != nil || idx <= 0 ||
+			e.Name() != fmt.Sprintf(segPattern, idx) {
+			continue
+		}
+		byIdx[idx] = filepath.Join(dir, e.Name())
+	}
+	var out []string
+	for i := 1; ; i++ {
+		path, ok := byIdx[i]
+		if !ok {
+			break
+		}
+		out = append(out, path)
+	}
+	return out, nil
+}
+
+// RecordInfo locates one structurally valid record inside a segment, for
+// inspection tooling and the crash-injection tests.
+type RecordInfo struct {
+	Type   byte
+	Offset int64 // frame start within the segment
+	End    int64 // first byte past the record
+}
+
+// InspectSegment scans one segment file and returns the records up to the
+// first structural defect (which a Recover would truncate away).
+func InspectSegment(path string) ([]RecordInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var out []RecordInfo
+	off := int64(0)
+	for off < int64(len(data)) {
+		typ, _, n, err := decodeFrame(data[off:])
+		if err != nil {
+			break
+		}
+		out = append(out, RecordInfo{Type: typ, Offset: off, End: off + n})
+		off += n
+	}
+	return out, nil
+}
+
+// Sessions lists the session directories under a data dir in name order —
+// the boot-time recovery sweep.
+func Sessions(dataDir string) ([]string, error) {
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	// os.ReadDir returns entries sorted by filename, so the listing is
+	// already in name order.
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	return out, nil
+}

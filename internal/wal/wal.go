@@ -1,0 +1,304 @@
+// Package wal is the per-session write-ahead log behind stppd's durable
+// sessions. A log lives in one directory per session and holds a sequence
+// of length/CRC-framed records across numbered segment files: first the
+// session's trace.Header, then one record per accepted read batch (the
+// batch payload is the exact NDJSON trace wire format — the same lines a
+// recorded trace archives), and finally an optional finish marker.
+//
+// Frame layout, little-endian:
+//
+//	[1 byte type][4 bytes payload length][4 bytes CRC-32C of type+payload][payload]
+//
+// Appends are atomic at record granularity: a crash can only produce a
+// torn record at the tail of the last segment, and Recover detects it
+// (short frame, oversized length, unknown type, CRC mismatch or an
+// undecodable CRC-valid payload), truncates the log back to the last good
+// record and replays everything before it. Replaying a recovered log
+// through a fresh engine therefore yields a final order byte-identical to
+// an offline replay of the journaled prefix — the property the
+// crash-injection tests in internal/serve enforce at every record
+// boundary and mid-record.
+//
+// The fsync policy is a knob: SyncAlways fsyncs every append (a crashed
+// *machine* loses at most the torn tail), SyncNever leaves batch appends
+// to the page cache (a crashed *process* still loses nothing, since the
+// kernel holds the writes). Header and finish records and segment
+// rotations are always fsynced — session existence and completion are
+// cheap one-time barriers.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/reader"
+	"repro/internal/trace"
+)
+
+// Record types.
+const (
+	recHeader byte = 1 // payload: trace.Header JSON
+	recBatch  byte = 2 // payload: NDJSON read lines (trace.MarshalReads)
+	recFinish byte = 3 // payload: empty; the session finished cleanly
+)
+
+const (
+	// frameLen is the fixed frame prefix: type, payload length, CRC.
+	frameLen = 9
+	// MaxRecord caps a record payload; a decoded length beyond it marks a
+	// corrupt frame rather than an allocation request.
+	MaxRecord = 16 << 20
+	// segPattern names segment files; the index starts at 1.
+	segPattern = "wal-%08d.seg"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func frameCRC(typ byte, payload []byte) uint32 {
+	crc := crc32.Update(0, castagnoli, []byte{typ})
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// Policy selects when appends reach stable storage.
+type Policy int
+
+const (
+	// SyncAlways fsyncs after every append: power loss costs at most the
+	// torn tail record.
+	SyncAlways Policy = iota
+	// SyncNever flushes batch appends to the OS but never fsyncs them:
+	// durable across process crashes, not across power loss. Header,
+	// finish and rotation barriers still sync.
+	SyncNever
+)
+
+// ParsePolicy maps the -fsync flag values onto a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always|never)", s)
+}
+
+func (p Policy) String() string {
+	if p == SyncNever {
+		return "never"
+	}
+	return "always"
+}
+
+// Options tunes a Log.
+type Options struct {
+	// Fsync is the append durability policy. The zero value is SyncAlways.
+	Fsync Policy
+	// SegmentBytes rotates to a fresh segment file once the current one
+	// reaches this size (records never split across segments). Default
+	// 64 MiB.
+	SegmentBytes int64
+}
+
+func (o *Options) fill() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+}
+
+// Log is an append-only session journal. It is safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	f    *os.File
+	w    *bufio.Writer
+	seg  int   // current segment index (1-based)
+	size int64 // bytes in the current segment
+
+	appends int64 // records appended by this process
+	bytes   int64 // bytes appended by this process
+	closed  bool
+}
+
+// Create opens a fresh log in dir (created if missing) and journals the
+// session header as its first record, fsynced regardless of policy so the
+// session's existence is durable once Create returns. It refuses a
+// directory that already holds segments — recover those with Recover.
+func Create(dir string, h trace.Header, opts Options) (*Log, error) {
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	first := filepath.Join(dir, fmt.Sprintf(segPattern, 1))
+	if _, err := os.Stat(first); err == nil {
+		return nil, fmt.Errorf("wal: %s already holds a log (use Recover)", dir)
+	}
+	l := &Log{dir: dir, opts: opts}
+	if err := l.openSegment(1); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(h)
+	if err != nil {
+		l.Close()
+		return nil, fmt.Errorf("wal: encode header: %w", err)
+	}
+	if err := l.append(recHeader, payload); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// openSegment creates segment seg and makes it current, fsyncing the
+// directory so the new name survives a crash. Callers hold l.mu or own
+// the log exclusively.
+func (l *Log) openSegment(seg int) error {
+	path := filepath.Join(l.dir, fmt.Sprintf(segPattern, seg))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f, l.w, l.seg, l.size = f, bufio.NewWriter(f), seg, 0
+	syncDir(l.dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so renames/creates inside it are durable;
+// best-effort on filesystems that reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// AppendBatch journals one accepted read batch. The append is flushed to
+// the OS before returning and fsynced under SyncAlways.
+func (l *Log) AppendBatch(batch []reader.TagRead) error {
+	payload, err := trace.MarshalReads(batch)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.append(recBatch, payload)
+}
+
+// AppendFinish journals the finish marker, fsynced regardless of policy:
+// once it returns, recovery will rebuild this session as finished.
+func (l *Log) AppendFinish() error {
+	return l.append(recFinish, nil)
+}
+
+func (l *Log) append(typ byte, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("wal: record payload %d exceeds %d bytes", len(payload), MaxRecord)
+	}
+	n := int64(frameLen + len(payload))
+	if l.size > 0 && l.size+n > l.opts.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	var hdr [frameLen]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], frameCRC(typ, payload))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if l.opts.Fsync == SyncAlways || typ != recBatch {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	l.size += n
+	l.bytes += n
+	l.appends++
+	return nil
+}
+
+// rotate seals the current segment (always fsynced) and opens the next.
+func (l *Log) rotate() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.openSegment(l.seg + 1)
+}
+
+// Sync flushes and fsyncs the current segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.f.Sync()
+}
+
+// Close flushes, fsyncs and closes the log. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.w != nil {
+		l.w.Flush()
+	}
+	if l.f != nil {
+		l.f.Sync()
+		return l.f.Close()
+	}
+	return nil
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Appends and Bytes report what this process appended (recovered records
+// are not counted); Segments is the current segment index.
+func (l *Log) Appends() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends
+}
+
+func (l *Log) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seg
+}

@@ -9,6 +9,45 @@ import (
 	"time"
 )
 
+// startStppd launches a daemon binary, waits for its "listening" banner
+// and returns the process, the bound address, and a line channel carrying
+// the rest of its output (the recovery banner, in particular).
+func startStppd(t *testing.T, bin string, args ...string) (*exec.Cmd, string, chan string) {
+	t.Helper()
+	daemon := exec.Command(bin, args...)
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stderr = daemon.Stdout
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	})
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	select {
+	case line := <-lines:
+		fields := strings.Fields(line) // "stppd listening on HOST:PORT"
+		if len(fields) < 4 {
+			t.Fatalf("unexpected stppd banner: %q", line)
+		}
+		return daemon, fields[3], lines
+	case <-time.After(10 * time.Second):
+		t.Fatal("stppd did not announce its address")
+		return nil, "", nil
+	}
+}
+
 // TestDaemonLoadEndToEnd is the tentpole acceptance run: loadgen drives 32
 // concurrent sessions (a multi-reader aisle trace and a single-reader
 // library trace) against a live stppd with a deliberately small queue, and
@@ -32,39 +71,7 @@ func TestDaemonLoadEndToEnd(t *testing.T) {
 	}
 
 	// Small queue so backpressure actually engages under 32 sessions.
-	daemon := exec.Command(bins["stppd"], "-addr", "127.0.0.1:0", "-queue", "4", "-batch", "128", "-publish", "1500")
-	stdout, err := daemon.StdoutPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	daemon.Stderr = daemon.Stdout
-	if err := daemon.Start(); err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		daemon.Process.Kill()
-		daemon.Wait()
-	}()
-	// First stdout line announces the bound address.
-	lineCh := make(chan string, 1)
-	go func() {
-		sc := bufio.NewScanner(stdout)
-		if sc.Scan() {
-			lineCh <- sc.Text()
-		}
-		close(lineCh)
-	}()
-	var addr string
-	select {
-	case line := <-lineCh:
-		fields := strings.Fields(line) // "stppd listening on HOST:PORT"
-		if len(fields) < 4 {
-			t.Fatalf("unexpected stppd banner: %q", line)
-		}
-		addr = fields[3]
-	case <-time.After(10 * time.Second):
-		t.Fatal("stppd did not announce its address")
-	}
+	_, addr, _ := startStppd(t, bins["stppd"], "-addr", "127.0.0.1:0", "-queue", "4", "-batch", "128", "-publish", "1500")
 
 	out, err := exec.Command(bins["loadgen"],
 		"-addr", addr, "-in", aisle+","+lib, "-sessions", "32", "-batch", "128").CombinedOutput()
@@ -78,4 +85,79 @@ func TestDaemonLoadEndToEnd(t *testing.T) {
 	if !strings.Contains(s, "32 sessions finished") {
 		t.Errorf("server stats missing from loadgen output:\n%s", s)
 	}
+}
+
+// TestDaemonCrashRecoveryEndToEnd is the kill-and-restart walkthrough the
+// README documents, run for real: a durable stppd takes half of every
+// session's reads, dies by SIGKILL, restarts over the same -data-dir, and
+// loadgen resumes each recovered session and verifies its final order is
+// byte-identical to the offline replay of the whole trace — reads sent
+// before the kill included.
+func TestDaemonCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon crash-recovery test in -short mode")
+	}
+	bins := buildCommands(t, "stppd", "loadgen", "tracegen")
+	dir := t.TempDir()
+	aisle := filepath.Join(dir, "aisle.jsonl")
+	pop := filepath.Join(dir, "pop.jsonl")
+	if o, err := exec.Command(bins["tracegen"],
+		"-scenario", "aisle", "-n", "6", "-seed", "5", "-o", aisle).CombinedOutput(); err != nil {
+		t.Fatalf("tracegen aisle: %v\n%s", err, o)
+	}
+	if o, err := exec.Command(bins["tracegen"],
+		"-scenario", "population", "-n", "5", "-seed", "6", "-o", pop).CombinedOutput(); err != nil {
+		t.Fatalf("tracegen population: %v\n%s", err, o)
+	}
+	dataDir := filepath.Join(dir, "wal")
+	state := filepath.Join(dir, "replay.json")
+
+	daemon1, addr1, _ := startStppd(t, bins["stppd"],
+		"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-fsync", "always", "-batch", "128")
+	out, err := exec.Command(bins["loadgen"],
+		"-addr", addr1, "-in", aisle+","+pop, "-sessions", "6", "-batch", "128",
+		"-state", state, "-stop-after", "3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("loadgen pause run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "paused 6 sessions") {
+		t.Fatalf("pause run did not pause all sessions:\n%s", out)
+	}
+
+	// The crash: SIGKILL, no drain, no shutdown hooks.
+	daemon1.Process.Kill()
+	daemon1.Wait()
+
+	daemon2, addr2, lines := startStppd(t, bins["stppd"],
+		"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-fsync", "always", "-batch", "128")
+	select {
+	case banner := <-lines:
+		if !strings.Contains(banner, "recovered 6 sessions") {
+			t.Fatalf("recovery banner wrong: %q", banner)
+		}
+		if !strings.Contains(banner, "0 torn tails, 0 skipped") {
+			// SIGKILL between acked batches must not tear the log.
+			t.Errorf("unexpected WAL damage after SIGKILL: %q", banner)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no recovery banner from the restarted daemon")
+	}
+
+	// No -batch on the resume run: the state file pins the pause run's
+	// chunking, so the recorded batch offsets stay meaningful.
+	out, err = exec.Command(bins["loadgen"],
+		"-addr", addr2, "-in", aisle+","+pop,
+		"-state", state).CombinedOutput()
+	if err != nil {
+		t.Fatalf("loadgen resume run: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "6/6 resumed sessions OK") {
+		t.Errorf("resume run failed to verify all sessions:\n%s", s)
+	}
+	if !strings.Contains(s, "recovered 6 sessions") {
+		t.Errorf("resume run stats missing recovery counters:\n%s", s)
+	}
+	daemon2.Process.Kill()
+	daemon2.Wait()
 }
