@@ -1,0 +1,35 @@
+# The repository's tier-1 gates (mirrors .github/workflows/ci.yml) plus
+# the recorded benchmark step that tracks the performance trajectory.
+
+PR := 5
+
+# The key hot-path benchmarks recorded per PR: the snapshot-cadence
+# tentpole evidence, streaming vs batch, the daemon ingest path, the
+# segment-DTW kernel, and the WAL append path.
+BENCH_PATTERN := BenchmarkSnapshotCadence|BenchmarkStreamingVsBatch|BenchmarkDaemonIngest|BenchmarkShardedAisle|BenchmarkSegmentedAlign|BenchmarkWALAppend|BenchmarkRecovery
+
+.PHONY: test build bench fmt vet
+
+build:
+	go build ./...
+
+test: build
+	go vet ./...
+	go test ./...
+
+fmt:
+	gofmt -l .
+
+vet:
+	go vet ./...
+
+# bench runs the key benchmarks once with -benchmem, archives the raw
+# benchstat-compatible text as BENCH_$(PR).txt, and merges it with the
+# committed pre-change baseline (bench/baseline_$(PR).txt) into
+# BENCH_$(PR).json — the machine-readable before/after record for this
+# PR. CI uploads both as artifacts.
+bench:
+	go test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count 1 . | tee BENCH_$(PR).txt
+	go run ./cmd/bench2json -pr $(PR) -baseline bench/baseline_$(PR).txt -current BENCH_$(PR).txt \
+		-note "baseline = pre-PR-$(PR) tree (batch re-detection per snapshot); current = incremental re-detection" \
+		> BENCH_$(PR).json

@@ -127,6 +127,7 @@ func BenchmarkSegmentedAlign(b *testing.B) {
 	ref, _, _ := det.Reference()
 	rs := ref.Segmentize(5)
 	qs := p.Segmentize(5)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dtw.AlignSegmentsOpenEndOpt(rs, qs, dtw.SegmentAlignOpts{Stiffness: 0.5})
@@ -188,6 +189,38 @@ func BenchmarkStreamingVsBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSnapshotCadence is the tentpole evidence for incremental
+// re-detection: one fixed population stream consumed in full, but with the
+// read log split into `snapshots` equal slices and a snapshot taken after
+// each. Before incremental detection every snapshot re-ran segmentation and
+// segment DTW from sample 0 for every dirty tag — total work O(snapshots ×
+// profile); with resumable per-tag detection each snapshot pays only for
+// the reads that arrived since the previous one, so the whole-stream cost
+// is nearly flat in the snapshot count.
+func BenchmarkSnapshotCadence(b *testing.B) {
+	reads, cfg := benchReadLog(b)
+	loc, err := stpp.NewLocalizer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, snapshots := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("snapshots=%d", snapshots), func(b *testing.B) {
+			chunk := (len(reads) + snapshots - 1) / snapshots
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := pipeline.NewFromLocalizer(loc, pipeline.Options{})
+				for start := 0; start < len(reads); start += chunk {
+					eng.Consume(reads[start:min(start+chunk, len(reads))])
+					if _, err := eng.Snapshot(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(reads))*float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+		})
+	}
 }
 
 // BenchmarkShardedAisle runs the two-reader warehouse aisle log through
@@ -270,6 +303,7 @@ func BenchmarkWALAppend(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer l.Close()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := l.AppendBatch(batch); err != nil {

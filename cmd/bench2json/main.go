@@ -1,0 +1,141 @@
+// bench2json converts `go test -bench` output into a machine-readable
+// JSON record so the repository can track its performance trajectory
+// across PRs: `make bench` runs the key benchmarks, archives the raw
+// benchstat-compatible text, and merges it here with the committed
+// pre-change baseline into BENCH_<pr>.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	// Name is the benchmark name including sub-benchmark path, with the
+	// trailing -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every "value unit" pair on the line:
+	// ns/op, B/op, allocs/op, plus custom metrics like reads/s.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Run is one benchmark invocation: the environment header plus results.
+type Run struct {
+	Goos    string  `json:"goos,omitempty"`
+	Goarch  string  `json:"goarch,omitempty"`
+	CPU     string  `json:"cpu,omitempty"`
+	Benches []Bench `json:"benches"`
+}
+
+// Record is the emitted document.
+type Record struct {
+	PR       int    `json:"pr"`
+	Note     string `json:"note,omitempty"`
+	Baseline *Run   `json:"baseline,omitempty"`
+	Current  *Run   `json:"current,omitempty"`
+}
+
+func parseFile(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	run := &Run{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			run.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				return nil, fmt.Errorf("%s: unparseable benchmark line: %q", path, line)
+			}
+			run.Benches = append(run.Benches, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(run.Benches) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return run, nil
+}
+
+func parseBenchLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Bench{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix go test appends to parallel-capable
+	// benchmarks (the digits after the final dash).
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}
+
+func main() {
+	pr := flag.Int("pr", 0, "PR number stamped into the record")
+	baseline := flag.String("baseline", "", "pre-change benchmark text (optional)")
+	current := flag.String("current", "", "post-change benchmark text")
+	note := flag.String("note", "", "free-form note stored in the record")
+	flag.Parse()
+
+	rec := Record{PR: *pr, Note: *note}
+	if *baseline != "" {
+		run, err := parseFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		rec.Baseline = run
+	}
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "bench2json: -current is required")
+		os.Exit(1)
+	}
+	run, err := parseFile(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	rec.Current = run
+
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	if err := out.Encode(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}

@@ -303,6 +303,16 @@ func (se *ShardedEngine) Snapshot() (*GlobalResult, error) {
 			errs[i] = err
 			return
 		}
+		// The shard engine owns the snapshot's Tags scratch and overwrites
+		// it on its next snapshot; this cache outlives that (it is kept for
+		// quiet shards and published to concurrent stppd queriers), so take
+		// our own copy — which the clock re-basing below may then mutate
+		// freely. XOrder/YOrder are freshly allocated per snapshot.
+		res = &stpp.Result{
+			Tags:   append([]stpp.TagResult(nil), res.Tags...),
+			XOrder: res.XOrder,
+			YOrder: res.YOrder,
+		}
 		if off := sh.spec.ClockOffset; off != 0 {
 			for j := range res.Tags {
 				res.Tags[j].X = res.Tags[j].X.Shifted(off)

@@ -1,0 +1,189 @@
+package deploy
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/epcgen2"
+	"repro/internal/reader"
+	"repro/internal/scenario"
+	"repro/internal/stpp"
+)
+
+// perturb delays a fraction of reads past a few successors — out-of-order
+// arrivals that force shard engines to re-sort profiles and rebuild their
+// resumable detection state. Swaps stay within a window smaller than any
+// realistic batch, so per-reader routing order is preserved enough for the
+// fresh-replay comparison to remain well-defined (profiles are re-sorted
+// by time on both sides).
+func perturb(rng *rand.Rand, reads []reader.TagRead, frac float64) []reader.TagRead {
+	out := append([]reader.TagRead(nil), reads...)
+	for i := 0; i+1 < len(out); i++ {
+		if rng.Float64() < frac {
+			j := i + 1 + rng.Intn(4)
+			if j >= len(out) {
+				j = len(out) - 1
+			}
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return out
+}
+
+// TestShardedSnapshotEquivalenceProperty is the deployment-level version of
+// the pipeline equivalence property: random batch sizes × random snapshot
+// cadences × out-of-order reads through a live two-reader ShardedEngine,
+// asserting every intermediate snapshot is byte-identical to a fresh
+// sharded batch replay over the same prefix — per-shard orders, stitched
+// global orders, and per-tag fields alike.
+func TestShardedSnapshotEquivalenceProperty(t *testing.T) {
+	ms, err := scenario.WarehouseAisle(scenario.DefaultAisleOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Of(ms)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 3; trial++ {
+		reads := base
+		if trial > 0 {
+			reads = perturb(rng, base, 0.05)
+		}
+		live, err := NewSharded(d, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos, snaps := 0, 0
+		for pos < len(reads) {
+			n := 1 + rng.Intn(120)
+			if pos+n > len(reads) {
+				n = len(reads) - pos
+			}
+			if err := live.Consume(reads[pos : pos+n]); err != nil {
+				t.Fatal(err)
+			}
+			pos += n
+			if rng.Float64() < 0.2 || pos == len(reads) {
+				got, err := live.Snapshot()
+				if err != nil {
+					t.Fatalf("trial %d pos %d: %v", trial, pos, err)
+				}
+				fresh, err := NewSharded(d, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := fresh.Localize(reads[:pos])
+				if err != nil {
+					t.Fatalf("trial %d pos %d: batch replay: %v", trial, pos, err)
+				}
+				sameGlobal(t, want, got)
+				if t.Failed() {
+					t.Fatalf("trial %d: snapshot at %d/%d reads diverged from fresh replay",
+						trial, pos, len(reads))
+				}
+				snaps++
+			}
+		}
+		if snaps < 2 {
+			t.Fatalf("trial %d exercised only %d snapshots", trial, snaps)
+		}
+	}
+}
+
+// sameGlobal asserts two deployment-wide snapshots are byte-identical:
+// stitched orders plus every shard's own result.
+func sameGlobal(t *testing.T, want, got *GlobalResult) {
+	t.Helper()
+	if !reflect.DeepEqual(want.XOrder, got.XOrder) {
+		t.Errorf("global X order diverged:\n  fresh %v\n  live  %v", want.XOrder, got.XOrder)
+	}
+	if !reflect.DeepEqual(want.YOrder, got.YOrder) {
+		t.Errorf("global Y order diverged:\n  fresh %v\n  live  %v", want.YOrder, got.YOrder)
+	}
+	if len(want.Shards) != len(got.Shards) {
+		t.Fatalf("shard count %d vs %d", len(got.Shards), len(want.Shards))
+	}
+	for i := range want.Shards {
+		w, g := want.Shards[i], got.Shards[i]
+		if w.ReaderID != g.ReaderID || w.Zone != g.Zone {
+			t.Errorf("shard %d identity diverged", i)
+		}
+		if (w.Result == nil) != (g.Result == nil) {
+			t.Errorf("shard %d: one side has no result", i)
+			continue
+		}
+		if w.Result != nil {
+			sameResult(t, w.Result, g.Result)
+		}
+	}
+}
+
+// TestShardedSnapshotsRetained: snapshots published earlier must not be
+// mutated by later ones — the shard caches copy out of the engines'
+// reusable scratch (the stppd publish path serves old snapshots to
+// concurrent queriers while new ones are computed).
+func TestShardedSnapshotsRetained(t *testing.T) {
+	ms, err := scenario.WarehouseAisle(scenario.DefaultAisleOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewSharded(Of(ms), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Consume(reads[:len(reads)/2]); err != nil {
+		t.Fatal(err)
+	}
+	early, err := se.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep-copy what the early snapshot claims now, mutate the engine, and
+	// verify the early snapshot still claims it.
+	wantX := append([]string(nil), encode(early.XOrder)...)
+	var wantTags []stpp.TagResult
+	for _, sh := range early.Shards {
+		if sh.Result != nil {
+			wantTags = append(wantTags, sh.Result.Tags...)
+		}
+	}
+	wantTags = append([]stpp.TagResult(nil), wantTags...)
+
+	if err := se.Consume(reads[len(reads)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(encode(early.XOrder), wantX) {
+		t.Error("later snapshot mutated an earlier snapshot's X order")
+	}
+	var gotTags []stpp.TagResult
+	for _, sh := range early.Shards {
+		if sh.Result != nil {
+			gotTags = append(gotTags, sh.Result.Tags...)
+		}
+	}
+	for i := range wantTags {
+		if wantTags[i].VZone != gotTags[i].VZone || !xKeyEqual(wantTags[i].X, gotTags[i].X) {
+			t.Fatalf("tag %d of the earlier snapshot changed under the later one", i)
+		}
+	}
+}
+
+func encode(epcs []epcgen2.EPC) []string {
+	out := make([]string, len(epcs))
+	for i, e := range epcs {
+		out[i] = e.String()
+	}
+	return out
+}

@@ -32,14 +32,34 @@ func MovingAverage(xs []float64, width int) []float64 {
 // MedianFilter applies a centered median filter of the given odd width,
 // truncated at the edges. Useful for knocking out impulsive phase outliers
 // from multipath self-interference before fitting.
+//
+// The V-zone refinement runs this over whole profiles on every detection,
+// so the per-window sort matters: typical widths (5) use a stack-allocated
+// insertion sort instead of sort.Float64s — the order statistics, and
+// therefore the output, are identical for the finite inputs profiles
+// carry.
 func MedianFilter(xs []float64, width int) []float64 {
-	out := make([]float64, len(xs))
+	return MedianFilterTo(nil, xs, width)
+}
+
+// MedianFilterTo is MedianFilter writing into dst, which is grown only
+// when its capacity is insufficient — hot callers (V-zone refinement runs
+// once per tag per snapshot) reuse one output buffer across calls. The
+// returned slice aliases dst's backing array when capacity allows; dst
+// must not alias xs (windows read xs after earlier outputs are written,
+// so filtering in place would corrupt the result).
+func MedianFilterTo(dst, xs []float64, width int) []float64 {
+	if cap(dst) < len(xs) {
+		dst = make([]float64, len(xs))
+	}
+	out := dst[:len(xs)]
 	if width <= 1 {
 		copy(out, xs)
 		return out
 	}
 	half := width / 2
-	buf := make([]float64, 0, width)
+	var small [16]float64
+	var big []float64 // only for windows wider than the stack buffer
 	for i := range xs {
 		lo := i - half
 		if lo < 0 {
@@ -49,10 +69,26 @@ func MedianFilter(xs []float64, width int) []float64 {
 		if hi >= len(xs) {
 			hi = len(xs) - 1
 		}
-		buf = buf[:0]
-		buf = append(buf, xs[lo:hi+1]...)
-		sort.Float64s(buf)
-		m := len(buf)
+		m := hi + 1 - lo
+		var buf []float64
+		if m <= len(small) {
+			buf = small[:m]
+		} else {
+			if cap(big) < m {
+				big = make([]float64, m)
+			}
+			buf = big[:m]
+		}
+		copy(buf, xs[lo:hi+1])
+		for a := 1; a < m; a++ {
+			v := buf[a]
+			b := a - 1
+			for b >= 0 && buf[b] > v {
+				buf[b+1] = buf[b]
+				b--
+			}
+			buf[b+1] = v
+		}
 		if m%2 == 1 {
 			out[i] = buf[m/2]
 		} else {

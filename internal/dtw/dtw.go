@@ -243,7 +243,7 @@ func AlignOpenEnd(p, q []float64, d Dist) (Result, int, int) {
 
 // traceback reconstructs the optimal path for a standard DTW cost matrix.
 func traceback(cm *costMatrix, i, j int) Path {
-	var rev Path
+	rev := make(Path, 0, i+j+1)
 	for {
 		rev = append(rev, Step{I: i, J: j})
 		if i == 0 && j == 0 {
@@ -275,7 +275,7 @@ func traceback(cm *costMatrix, i, j int) Path {
 // it stops as soon as the pattern row reaches 0 (any q column is a valid
 // start).
 func tracebackOpen(cm *costMatrix, i, j int) Path {
-	var rev Path
+	rev := make(Path, 0, i+j+1)
 	for {
 		rev = append(rev, Step{I: i, J: j})
 		if i == 0 {

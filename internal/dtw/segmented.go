@@ -1,6 +1,9 @@
 package dtw
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Segment is the coarse representation of one chunk of a phase profile, as
 // defined in Section 3.1.2 of the paper: the [min, max] phase range within
@@ -31,6 +34,12 @@ func SegDist(a, b Segment) float64 {
 	}
 }
 
+// segCost is the per-cell matching cost of the coarse DTW recurrence:
+// the segment-range distance weighted by the shorter time interval.
+func segCost(a, b Segment) float64 {
+	return math.Min(a.Interval, b.Interval) * SegDist(a, b)
+}
+
 // SegmentAlignOpts tunes segment-level DTW.
 type SegmentAlignOpts struct {
 	// Stiffness penalizes non-diagonal warping steps, in radians: a
@@ -45,6 +54,38 @@ type SegmentAlignOpts struct {
 	// match can collapse the whole reference onto a single segment.
 	Stiffness float64
 }
+
+// segMatrix is a segment-DTW cost matrix backed by one flat slice, stored
+// column-major (cell (i, j) lives at j*m+i) so the resumable aligner can
+// extend it one query column at a time with a plain append. The batch
+// alignment entry points draw matrices from a pool, so the hot detection
+// path allocates nothing per call beyond the returned Path.
+type segMatrix struct {
+	m     int // rows: reference segments
+	cells []float64
+}
+
+func (cm *segMatrix) at(i, j int) float64     { return cm.cells[j*cm.m+i] }
+func (cm *segMatrix) set(i, j int, v float64) { cm.cells[j*cm.m+i] = v }
+
+var segMatrixPool sync.Pool
+
+// newSegMatrix sizes a pooled matrix for an m×n alignment. Every cell is
+// written by the recurrence before it is read, so cells are not cleared.
+func newSegMatrix(m, n int) *segMatrix {
+	cm, _ := segMatrixPool.Get().(*segMatrix)
+	if cm == nil {
+		cm = &segMatrix{}
+	}
+	cm.m = m
+	if cap(cm.cells) < m*n {
+		cm.cells = make([]float64, m*n)
+	}
+	cm.cells = cm.cells[:m*n]
+	return cm
+}
+
+func (cm *segMatrix) release() { segMatrixPool.Put(cm) }
 
 // AlignSegments runs the paper's coarse DTW over two segmented profiles.
 // The cost of matching segments i and j is
@@ -63,30 +104,28 @@ func AlignSegmentsOpt(p, q []Segment, opts SegmentAlignOpts) Result {
 	if m == 0 || n == 0 {
 		return Result{}
 	}
-	cost := make([][]float64, m)
-	for i := range cost {
-		cost[i] = make([]float64, n)
-	}
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			c := math.Min(p[i].Interval, q[j].Interval) * SegDist(p[i], q[j])
+	cm := newSegMatrix(m, n)
+	defer cm.release()
+	for j := 0; j < n; j++ {
+		horiz := opts.Stiffness * q[j].Interval
+		for i := 0; i < m; i++ {
+			c := segCost(p[i], q[j])
 			vert := opts.Stiffness * p[i].Interval
-			horiz := opts.Stiffness * q[j].Interval
 			switch {
 			case i == 0 && j == 0:
-				cost[i][j] = c
+				cm.set(i, j, c)
 			case i == 0:
-				cost[i][j] = c + cost[i][j-1] + horiz
+				cm.set(i, j, c+cm.at(i, j-1)+horiz)
 			case j == 0:
-				cost[i][j] = c + cost[i-1][j] + vert
+				cm.set(i, j, c+cm.at(i-1, j)+vert)
 			default:
-				cost[i][j] = c + min3(cost[i-1][j]+vert, cost[i][j-1]+horiz, cost[i-1][j-1])
+				cm.set(i, j, c+min3(cm.at(i-1, j)+vert, cm.at(i, j-1)+horiz, cm.at(i-1, j-1)))
 			}
 		}
 	}
 	return Result{
-		Distance: cost[m-1][n-1],
-		Path:     tracebackStiff(cost, p, q, opts, m-1, n-1, false),
+		Distance: cm.at(m-1, n-1),
+		Path:     tracebackStiff(cm, p, q, opts, m-1, n-1, false),
 	}
 }
 
@@ -98,52 +137,196 @@ func AlignSegmentsOpenEnd(p, q []Segment) (Result, int, int) {
 	return AlignSegmentsOpenEndOpt(p, q, SegmentAlignOpts{})
 }
 
-// AlignSegmentsOpenEndOpt is AlignSegmentsOpenEnd with options.
+var alignerPool sync.Pool
+
+// AlignSegmentsOpenEndOpt is AlignSegmentsOpenEnd with options. It runs a
+// pooled SegmentAligner over the full query in one shot, so the batch path
+// is the exact code the resumable incremental path extends — the two are
+// byte-identical by construction — and the DP matrix is reused across
+// calls instead of being reallocated per alignment.
 func AlignSegmentsOpenEndOpt(p, q []Segment, opts SegmentAlignOpts) (Result, int, int) {
-	m, n := len(p), len(q)
-	if m == 0 || n == 0 {
+	if len(p) == 0 || len(q) == 0 {
 		return Result{}, 0, 0
 	}
-	cost := make([][]float64, m)
-	for i := range cost {
-		cost[i] = make([]float64, n)
+	a, _ := alignerPool.Get().(*SegmentAligner)
+	if a == nil {
+		a = &SegmentAligner{}
 	}
-	segCost := func(i, j int) float64 {
-		return math.Min(p[i].Interval, q[j].Interval) * SegDist(p[i], q[j])
+	a.setReference(p, opts)
+	a.q = a.q[:0]
+	a.cm.cells = a.cm.cells[:0]
+	res, s, e := a.Align(q)
+	a.p = nil
+	alignerPool.Put(a)
+	return res, s, e
+}
+
+// SegmentAligner is the resumable form of AlignSegmentsOpenEndOpt: the
+// reference is fixed at construction and the aligner holds the DP state of
+// the open-end recurrence column-by-column over query segments. Re-aligning
+// after k segments were appended to the query extends the DP in O(m·k)
+// instead of recomputing the full O(m·n) matrix — the property that makes
+// periodic snapshots over an append-only profile pay for new reads only.
+//
+// Align compares the new query against the columns already held and keeps
+// the longest unchanged prefix, so a query whose tail was rewritten (a
+// re-segmentation after an out-of-order read) transparently degrades to
+// recomputing from the first changed segment. The held state grows with the
+// query: O(m·n) cells, the same footprint one batch alignment allocates
+// transiently. A SegmentAligner is not safe for concurrent use.
+type SegmentAligner struct {
+	p    []Segment // reference, fixed
+	opts SegmentAlignOpts
+	q    []Segment // query segments the DP currently covers
+	cm   segMatrix
+
+	// Flat per-row operands derived from p, so the column fill — the single
+	// hottest loop in detection — reads three parallel float streams
+	// instead of gathering 40-byte Segment structs: the reference range
+	// bounds and the precomputed vertical-step penalty Stiffness×interval.
+	pLo, pHi, pInt, pVert []float64
+}
+
+// NewSegmentAligner builds an aligner for a fixed reference.
+func NewSegmentAligner(p []Segment, opts SegmentAlignOpts) *SegmentAligner {
+	a := &SegmentAligner{}
+	a.setReference(p, opts)
+	return a
+}
+
+// setReference (re)binds the aligner to a reference, deriving the flat
+// per-row operand arrays. The pooled batch entry point calls it per
+// alignment — O(m) against the O(m·n) fill.
+func (a *SegmentAligner) setReference(p []Segment, opts SegmentAlignOpts) {
+	a.p, a.opts = p, opts
+	m := len(p)
+	if cap(a.pLo) < m {
+		a.pLo = make([]float64, m)
+		a.pHi = make([]float64, m)
+		a.pInt = make([]float64, m)
+		a.pVert = make([]float64, m)
 	}
-	for j := 0; j < n; j++ {
-		cost[0][j] = segCost(0, j)
+	a.pLo, a.pHi, a.pInt, a.pVert = a.pLo[:m], a.pHi[:m], a.pInt[:m], a.pVert[:m]
+	for i := range p {
+		a.pLo[i] = p[i].Lo
+		a.pHi[i] = p[i].Hi
+		a.pInt[i] = p[i].Interval
+		a.pVert[i] = opts.Stiffness * p[i].Interval
 	}
-	for i := 1; i < m; i++ {
-		vert := opts.Stiffness * p[i].Interval
-		for j := 0; j < n; j++ {
-			c := segCost(i, j)
-			if j == 0 {
-				cost[i][j] = c + cost[i-1][j] + vert
-				continue
-			}
-			horiz := opts.Stiffness * q[j].Interval
-			cost[i][j] = c + min3(cost[i-1][j]+vert, cost[i][j-1]+horiz, cost[i-1][j-1])
+}
+
+// Cols reports how many query columns of DP state are held — the next
+// Align pays only for columns beyond the common prefix (exposed for tests).
+func (a *SegmentAligner) Cols() int { return len(a.q) }
+
+// Align answers the open-end subsequence query over q, byte-identical to
+// AlignSegmentsOpenEndOpt(reference, q, opts): the whole reference must be
+// consumed, q may match any contiguous run, ties prefer the latest end.
+// Columns shared with the previous call are reused; only new or changed
+// query segments are computed.
+func (a *SegmentAligner) Align(q []Segment) (Result, int, int) {
+	m := len(a.p)
+	if m == 0 || len(q) == 0 {
+		return Result{}, 0, 0
+	}
+	a.cm.m = m
+	// Keep the longest prefix of held columns whose segments are unchanged.
+	cp := 0
+	for cp < len(a.q) && cp < len(q) && a.q[cp] == q[cp] {
+		cp++
+	}
+	a.q = append(a.q[:cp], q[cp:]...)
+	// Reserve all columns this call needs up front (with doubling headroom
+	// so a stream of small extensions reallocates O(log n) times, not once
+	// per snapshot): the extend loop then only reslices.
+	if need := m * len(q); cap(a.cm.cells) < need {
+		if c := 2 * cap(a.cm.cells); need < c {
+			need = c
 		}
+		grown := make([]float64, cp*m, need)
+		copy(grown, a.cm.cells[:cp*m])
+		a.cm.cells = grown
+	} else {
+		a.cm.cells = a.cm.cells[:cp*m]
 	}
-	// Ties prefer the latest end (see AlignOpenEnd).
+	for j := cp; j < len(q); j++ {
+		a.extendColumn(j)
+	}
+	// Free end: pick the cheapest cell in the last reference row. Ties
+	// prefer the latest end so zero-cost plateaus match the whole pattern
+	// region rather than a truncated prefix (see AlignOpenEnd).
+	n := len(q)
 	endJ := 0
-	best := cost[m-1][0]
+	best := a.cm.at(m-1, 0)
 	for j := 1; j < n; j++ {
-		if cost[m-1][j] <= best {
-			best = cost[m-1][j]
-			endJ = j
+		if c := a.cm.at(m-1, j); c <= best {
+			best, endJ = c, j
 		}
 	}
-	path := tracebackStiff(cost, p, q, opts, m-1, endJ, true)
+	path := tracebackStiff(&a.cm, a.p, a.q, a.opts, m-1, endJ, true)
 	return Result{Distance: best, Path: path}, path[0].J, endJ
+}
+
+// extendColumn computes DP column j from column j-1, filling the exact
+// cell values the one-shot recurrence produces: the cost formula below is
+// segCost/SegDist with the reference operands read from the flat arrays
+// (same comparison order, same Min semantics — intervals are finite and
+// non-negative, so the branch equals math.Min bit-for-bit).
+func (a *SegmentAligner) extendColumn(j int) {
+	m := len(a.p)
+	base := j * m
+	a.cm.cells = a.cm.cells[:base+m] // capacity reserved by Align
+	col := a.cm.cells[base : base+m]
+	pLo, pHi, pInt, pVert := a.pLo, a.pHi, a.pInt, a.pVert
+	qj := a.q[j]
+	qLo, qHi, qInt := qj.Lo, qj.Hi, qj.Interval
+	cell := func(i int) float64 {
+		var d float64
+		switch {
+		case pLo[i] > qHi:
+			d = pLo[i] - qHi
+		case qLo > pHi[i]:
+			d = qLo - pHi[i]
+		}
+		t := pInt[i]
+		if qInt < t {
+			t = qInt
+		}
+		return t * d
+	}
+	// Row 0 is a free start: the first reference segment may match any
+	// query column at just its pointwise cost.
+	col[0] = cell(0)
+	if j == 0 {
+		for i := 1; i < m; i++ {
+			col[i] = cell(i) + col[i-1] + pVert[i]
+		}
+		return
+	}
+	prev := a.cm.cells[base-m : base]
+	horiz := a.opts.Stiffness * qInt
+	for i := 1; i < m; i++ {
+		up := col[i-1] + pVert[i]
+		left := prev[i] + horiz
+		diag := prev[i-1]
+		best := up
+		if left < best {
+			best = left
+		}
+		if diag < best {
+			best = diag
+		}
+		col[i] = cell(i) + best
+	}
 }
 
 // tracebackStiff reconstructs the optimal path of a stiffness-weighted
 // segment alignment. With open true, the path may start at any column of
 // the first row (subsequence matching).
-func tracebackStiff(cost [][]float64, p, q []Segment, opts SegmentAlignOpts, i, j int, open bool) Path {
-	var rev Path
+func tracebackStiff(cm *segMatrix, p, q []Segment, opts SegmentAlignOpts, i, j int, open bool) Path {
+	// A warping path from (i, j) back to row 0 takes at most i+j+1 steps:
+	// one exact-capacity allocation instead of append doublings.
+	rev := make(Path, 0, i+j+1)
 	for {
 		rev = append(rev, Step{I: i, J: j})
 		if i == 0 && (open || j == 0) {
@@ -157,9 +340,9 @@ func tracebackStiff(cost [][]float64, p, q []Segment, opts SegmentAlignOpts, i, 
 			i--
 			continue
 		}
-		vert := cost[i-1][j] + opts.Stiffness*p[i].Interval
-		horiz := cost[i][j-1] + opts.Stiffness*q[j].Interval
-		diag := cost[i-1][j-1]
+		vert := cm.at(i-1, j) + opts.Stiffness*p[i].Interval
+		horiz := cm.at(i, j-1) + opts.Stiffness*q[j].Interval
+		diag := cm.at(i-1, j-1)
 		if diag <= vert && diag <= horiz {
 			i--
 			j--

@@ -7,8 +7,11 @@
 // per-tag stage — V-zone detection by segmented DTW plus quadratic
 // X-keying — out to a bounded worker pool. Snapshots may be taken at any
 // point during the stream; only tags that gained reads since the previous
-// snapshot are re-detected, and the global (cheap) X/Y ordering is
-// re-assembled over cached per-tag results.
+// snapshot are re-detected — and re-detection is resumable: each tag keeps
+// its segment cache and open-end DTW columns (stpp.DetectState), so a
+// snapshot pays O(new reads) per dirty tag rather than O(profile), with a
+// transparent rebuild when an out-of-order read re-sorts a profile. The
+// global (cheap) X/Y ordering is re-assembled over cached per-tag results.
 //
 // Both paths share the exact same per-tag and assembly code
 // (stpp.Localizer.LocalizeTag and Assemble), so the final snapshot over a
@@ -44,7 +47,26 @@ type Engine struct {
 	builder *profile.Builder
 	workers int
 	cached  map[epcgen2.EPC]stpp.TagResult
+	states  map[epcgen2.EPC]*tagState
 	reads   int64
+
+	// Snapshot-path scratch, reused across snapshots (the engine is
+	// single-goroutine by contract): the assembled tag slice plus the
+	// recompute fan-out slices. Without these, every snapshot of a
+	// high-cadence stream allocated four slices sized by the population.
+	tags    []stpp.TagResult
+	ps      []*profile.Profile
+	sts     []*stpp.DetectState
+	results []stpp.TagResult
+}
+
+// tagState is one tag's resumable detection state plus the profile
+// generation it was built against — a generation bump means the builder
+// re-sorted the profile after an out-of-order read, so the state must
+// rebuild rather than resume.
+type tagState struct {
+	det *stpp.DetectState
+	gen uint64
 }
 
 // New builds an Engine for the given STPP configuration.
@@ -67,6 +89,7 @@ func NewFromLocalizer(loc *stpp.Localizer, opts Options) *Engine {
 		builder: profile.NewBuilder(),
 		workers: w,
 		cached:  make(map[epcgen2.EPC]stpp.TagResult),
+		states:  make(map[epcgen2.EPC]*tagState),
 	}
 }
 
@@ -90,34 +113,58 @@ func (e *Engine) Consume(batch []reader.TagRead) {
 }
 
 // Snapshot localizes the stream consumed so far. Tags with new reads since
-// the previous snapshot are re-detected on the worker pool; unchanged tags
-// reuse their cached per-tag result. The returned Result matches what the
-// batch Localizer would produce over the same prefix of the read log.
+// the previous snapshot are re-detected on the worker pool — resuming each
+// tag's segmentation and DTW state, so a snapshot pays for the reads that
+// arrived since the previous one, not for the whole profile. Unchanged
+// tags reuse their cached per-tag result. The returned Result matches what
+// the batch Localizer would produce over the same prefix of the read log.
+//
+// The Result's Tags slice is engine-owned scratch, overwritten by the next
+// Snapshot on this engine: callers that retain a snapshot across engine
+// calls (deploy.ShardedEngine caches per-shard results, stppd publishes
+// them to concurrent queriers) must copy Tags first. XOrder/YOrder are
+// freshly allocated and safe to keep.
 func (e *Engine) Snapshot() (*stpp.Result, error) {
 	epcs := e.builder.EPCs()
 	if len(epcs) == 0 {
 		return nil, fmt.Errorf("pipeline: no tag profiles in stream")
 	}
 	e.recompute(e.builder.TakeDirty())
-	tags := make([]stpp.TagResult, len(epcs))
-	for i, epc := range epcs {
-		tags[i] = e.cached[epc]
+	e.tags = e.tags[:0]
+	for _, epc := range epcs {
+		e.tags = append(e.tags, e.cached[epc])
 	}
-	return e.loc.Assemble(tags), nil
+	return e.loc.Assemble(e.tags), nil
 }
 
 // recompute refreshes the cached per-tag results for the given tags,
 // fanning out across the worker pool.
 func (e *Engine) recompute(dirty []epcgen2.EPC) {
 	// The builder is read from worker goroutines: force any lazy re-sort to
-	// happen here, serially, so workers see quiescent profiles.
-	ps := make([]*profile.Profile, len(dirty))
-	for i, epc := range dirty {
-		ps[i] = e.builder.Profile(epc)
+	// happen here, serially, so workers see quiescent profiles — and pick
+	// up each tag's resumable state, rebuilding it when the sort changed
+	// history (generation bump).
+	e.ps, e.sts = e.ps[:0], e.sts[:0]
+	for _, epc := range dirty {
+		e.ps = append(e.ps, e.builder.Profile(epc))
+		gen := e.builder.Generation(epc)
+		ts := e.states[epc]
+		if ts == nil {
+			ts = &tagState{det: e.loc.NewDetectState(), gen: gen}
+			e.states[epc] = ts
+		} else if ts.gen != gen {
+			ts.det.Reset()
+			ts.gen = gen
+		}
+		e.sts = append(e.sts, ts.det)
 	}
-	results := make([]stpp.TagResult, len(dirty))
+	if cap(e.results) < len(dirty) {
+		e.results = make([]stpp.TagResult, len(dirty))
+	}
+	e.results = e.results[:len(dirty)]
+	results := e.results
 	par.For(e.workers, len(dirty), func(i int) {
-		results[i] = e.loc.LocalizeTag(ps[i])
+		results[i] = e.loc.LocalizeTagIncremental(e.sts[i], e.ps[i])
 	})
 	for i, epc := range dirty {
 		e.cached[epc] = results[i]

@@ -21,6 +21,7 @@ type builderEntry struct {
 	p      *Profile
 	sorted bool // times have arrived in nondecreasing order so far
 	dirty  bool
+	gen    uint64 // bumped every time the profile is re-sorted
 }
 
 // NewBuilder returns an empty Builder.
@@ -75,8 +76,23 @@ func (b *Builder) Profile(e epcgen2.EPC) *Profile {
 	if !ent.sorted {
 		sortProfile(ent.p)
 		ent.sorted = true
+		ent.gen++
 	}
 	return ent.p
+}
+
+// Generation counts how many times a tag's profile has been re-sorted; it
+// only moves when an out-of-order read forced Profile to re-order history.
+// Consumers holding incremental state derived from the profile (segment
+// caches, DTW aligners) compare generations after Profile to learn whether
+// the profile grew append-only (same generation — resume) or was reshuffled
+// (new generation — rebuild). Returns 0 for an unseen tag.
+func (b *Builder) Generation(e epcgen2.EPC) uint64 {
+	ent, ok := b.byEPC[e]
+	if !ok {
+		return 0
+	}
+	return ent.gen
 }
 
 // Profiles returns all profiles in first-appearance order, each sorted by

@@ -110,9 +110,15 @@ func (p *Profile) Segmentize(w int) []dtw.Segment {
 	if w < 1 {
 		w = 1
 	}
-	var segs []dtw.Segment
+	return p.appendSegments(nil, 0, w)
+}
+
+// appendSegments runs the segmentation scan from sample `start` to the end
+// of the profile, appending to dst. Segment boundaries are a pure forward
+// function of the starting index and the samples at or after it, which is
+// what makes the scan resumable (see SegmentCache).
+func (p *Profile) appendSegments(dst []dtw.Segment, start, w int) []dtw.Segment {
 	n := p.Len()
-	start := 0
 	for start < n {
 		end := start + w
 		if end > n {
@@ -126,10 +132,10 @@ func (p *Profile) Segmentize(w int) []dtw.Segment {
 				break
 			}
 		}
-		segs = append(segs, p.segment(start, cut))
+		dst = append(dst, p.segment(start, cut))
 		start = cut
 	}
-	return segs
+	return dst
 }
 
 // segment builds one dtw.Segment over samples [i, j).

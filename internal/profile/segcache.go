@@ -1,0 +1,71 @@
+package profile
+
+import "repro/internal/dtw"
+
+// SegmentCache makes Segmentize resumable for an append-only profile: it
+// caches the segment list and, when the profile has only grown since the
+// last call, re-runs the segmentation scan from the start of the final
+// cached segment instead of from sample 0.
+//
+// Correctness rests on the scan's locality: a segment's cut position is a
+// pure forward function of its starting index and the samples from there on
+// — a chunk is cut either at its first phase wrap or at `w` samples, and
+// appending samples can move neither for any segment that did not end at
+// the old profile tail. Only the last segment (which always ends at the
+// profile tail) is provisional, so it alone is dropped and rescanned; the
+// result is element-for-element identical to a fresh Segmentize, which the
+// profile tests assert over randomized growth patterns.
+//
+// The cache trusts callers about append-onlyness: a profile that was
+// re-sorted (an out-of-order read landed and Builder re-ordered the
+// samples) changes history the cache cannot see, so the owner must call
+// Invalidate first — pipeline.Engine does this off Builder.Generation. A
+// profile that shrank is detected and rebuilt defensively. A SegmentCache
+// is not safe for concurrent use.
+type SegmentCache struct {
+	w    int
+	segs []dtw.Segment
+	n    int // samples covered by segs
+}
+
+// NewSegmentCache builds a cache for segment width w (clamped to 1 like
+// Segmentize).
+func NewSegmentCache(w int) *SegmentCache {
+	if w < 1 {
+		w = 1
+	}
+	return &SegmentCache{w: w}
+}
+
+// Invalidate drops the cached segmentation; the next Segments call rebuilds
+// from sample 0. Call it whenever the profile changed other than by
+// appending (e.g. it was re-sorted after an out-of-order read).
+func (c *SegmentCache) Invalidate() {
+	c.segs = c.segs[:0]
+	c.n = 0
+}
+
+// Segments returns p.Segmentize(w), reusing every cached segment that
+// appended samples cannot have changed. The returned slice is owned by the
+// cache and is overwritten by the next call — callers needing a stable view
+// must copy (the V-zone detector consumes it within one detection pass).
+func (c *SegmentCache) Segments(p *Profile) []dtw.Segment {
+	n := p.Len()
+	if n < c.n {
+		c.Invalidate()
+	}
+	if n == c.n {
+		return c.segs
+	}
+	start := 0
+	if k := len(c.segs); k > 0 {
+		// The last cached segment ends at the old profile tail: its cut may
+		// move now that more samples follow, so rescan from its start. All
+		// earlier segments ended at a wrap or a full w-chunk and are final.
+		start = c.segs[k-1].Start
+		c.segs = c.segs[:k-1]
+	}
+	c.segs = p.appendSegments(c.segs, start, c.w)
+	c.n = n
+	return c.segs
+}

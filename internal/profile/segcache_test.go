@@ -1,0 +1,99 @@
+package profile
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/epcgen2"
+	"repro/internal/reader"
+)
+
+// randWrappedPhases synthesizes a phase walk with genuine 0↔2π wraps so
+// the segmenter's wrap-splitting path is exercised.
+func randWrappedProfile(rng *rand.Rand, n int) *Profile {
+	p := &Profile{}
+	t, ph := 0.0, rng.Float64()*2*math.Pi
+	for i := 0; i < n; i++ {
+		t += 0.01 + rng.Float64()*0.05
+		ph = math.Mod(ph+rng.NormFloat64()*0.9+2*math.Pi, 2*math.Pi)
+		p.Times = append(p.Times, t)
+		p.Phases = append(p.Phases, ph)
+	}
+	return p
+}
+
+// TestSegmentCacheMatchesSegmentize grows profiles in random increments and
+// asserts the cache's resumable scan is element-for-element identical to a
+// fresh Segmentize at every step.
+func TestSegmentCacheMatchesSegmentize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		w := 1 + rng.Intn(8)
+		full := randWrappedProfile(rng, 40+rng.Intn(300))
+		c := NewSegmentCache(w)
+		n := 0
+		for n < full.Len() {
+			n += 1 + rng.Intn(25)
+			if n > full.Len() {
+				n = full.Len()
+			}
+			prefix := full.Slice(0, n)
+			got := c.Segments(prefix)
+			want := prefix.Segmentize(w)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("trial %d (w=%d, n=%d): cache diverged\n got %v\nwant %v",
+					trial, w, n, got, want)
+			}
+		}
+	}
+}
+
+// TestSegmentCacheInvalidate rebuilds from scratch after history changed.
+func TestSegmentCacheInvalidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randWrappedProfile(rng, 120)
+	b := randWrappedProfile(rng, 90)
+	c := NewSegmentCache(5)
+	c.Segments(a)
+
+	// A different (shorter) profile without Invalidate: the shrink is
+	// detected defensively.
+	if got, want := c.Segments(b), b.Segmentize(5); !reflect.DeepEqual(want, got) {
+		t.Fatal("shrunken profile not rebuilt")
+	}
+
+	// Same length, different content: the cache cannot see this — the owner
+	// must invalidate, after which the result is correct again.
+	c.Invalidate()
+	if got, want := c.Segments(a.Slice(0, 90)), a.Slice(0, 90).Segmentize(5); !reflect.DeepEqual(want, got) {
+		t.Fatal("invalidated cache did not rebuild")
+	}
+}
+
+// TestBuilderGeneration: the generation is stable across append-only growth
+// and bumps exactly when an out-of-order read forces a re-sort.
+func TestBuilderGeneration(t *testing.T) {
+	epc := epcgen2.EPC{1}
+	b := NewBuilder()
+	if b.Generation(epc) != 0 {
+		t.Fatal("unseen tag has nonzero generation")
+	}
+	b.Add(reader.TagRead{EPC: epc, Time: 1, Phase: 1})
+	b.Add(reader.TagRead{EPC: epc, Time: 2, Phase: 2})
+	b.Profile(epc)
+	if g := b.Generation(epc); g != 0 {
+		t.Fatalf("in-order appends bumped generation to %d", g)
+	}
+	b.Add(reader.TagRead{EPC: epc, Time: 1.5, Phase: 3}) // out of order
+	b.Profile(epc)                                       // triggers the lazy sort
+	if g := b.Generation(epc); g != 1 {
+		t.Fatalf("re-sort generation = %d, want 1", g)
+	}
+	b.Add(reader.TagRead{EPC: epc, Time: 9, Phase: 1})
+	b.Profile(epc)
+	if g := b.Generation(epc); g != 1 {
+		t.Fatalf("append after sort bumped generation to %d", g)
+	}
+}

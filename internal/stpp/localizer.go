@@ -124,6 +124,35 @@ func (l *Localizer) LocalizeTag(p *profile.Profile) TagResult {
 	return tr
 }
 
+// LocalizeTagIncremental is LocalizeTag resuming from per-tag state: the
+// V-zone detection extends the state's segment cache and DTW columns
+// instead of recomputing them from sample 0, so a snapshot pays for the
+// reads that arrived since the previous one. The result is byte-identical
+// to LocalizeTag over the same profile. The profile must have grown
+// append-only since the state's last use (call st.Reset after a re-sort);
+// a nil state degrades to LocalizeTag. Like LocalizeTag it is safe to call
+// concurrently for different tags — each tag owns its state.
+func (l *Localizer) LocalizeTagIncremental(st *DetectState, p *profile.Profile) TagResult {
+	tr := TagResult{EPC: p.EPC, Profile: p}
+	vz, err := l.det.DetectIncremental(st, p)
+	if err != nil {
+		tr.Err = err
+		return tr
+	}
+	tr.VZone = vz
+	xk, err := l.cfg.XKeyOf(p, vz)
+	if err != nil {
+		tr.Err = err
+		return tr
+	}
+	tr.X = xk
+	return tr
+}
+
+// NewDetectState allocates the resumable per-tag detection state used by
+// LocalizeTagIncremental.
+func (l *Localizer) NewDetectState() *DetectState { return l.det.NewDetectState() }
+
 // Assemble runs the global portion of the pipeline over per-tag results:
 // the X order over bottom times (failed tags sort last via NaN handling)
 // and the pivot-based Y keys and order. It takes ownership of tags, filling

@@ -3,6 +3,7 @@ package stpp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dsp"
 	"repro/internal/dtw"
@@ -81,6 +82,64 @@ func (d *Detector) Detect(p *profile.Profile) (VZone, error) {
 	}
 	res, _, _ := dtw.AlignSegmentsOpenEndOpt(d.refSegs, segs,
 		dtw.SegmentAlignOpts{Stiffness: d.cfg.DTWStiffness})
+	return d.vzoneFromAlignment(p, segs, res)
+}
+
+// DetectState is the resumable per-tag state behind DetectIncremental: the
+// tag's segment cache plus the open-end DTW aligner holding the DP columns
+// computed so far. A state belongs to one (detector, tag) pair and is not
+// safe for concurrent use.
+type DetectState struct {
+	segs *profile.SegmentCache
+	al   *dtw.SegmentAligner
+}
+
+// NewDetectState allocates the incremental detection state for one tag.
+func (d *Detector) NewDetectState() *DetectState {
+	return &DetectState{
+		segs: profile.NewSegmentCache(d.cfg.Window),
+		al: dtw.NewSegmentAligner(d.refSegs,
+			dtw.SegmentAlignOpts{Stiffness: d.cfg.DTWStiffness}),
+	}
+}
+
+// Reset invalidates the state after the tag's profile changed other than
+// by appending (an out-of-order read forced a re-sort): the segment cache
+// rebuilds from sample 0 and the aligner recomputes from the first changed
+// segment on the next DetectIncremental.
+func (s *DetectState) Reset() {
+	s.segs.Invalidate()
+}
+
+// DetectIncremental is Detect resuming from a previous call's state: the
+// profile is re-segmented only from the last window boundary and the
+// segment DTW extends its held DP columns, so a detection after k new reads
+// costs O(refSegs·k/w) instead of O(refSegs·len(p)/w²). The result is
+// byte-identical to Detect over the same profile — the segment cache
+// reproduces Segmentize exactly on append-only growth, and the batch
+// alignment is itself a one-shot run of the same SegmentAligner code. The
+// profile must extend the one from the previous call by appends only,
+// unless Reset was called in between. A nil state degrades to Detect.
+func (d *Detector) DetectIncremental(st *DetectState, p *profile.Profile) (VZone, error) {
+	if st == nil {
+		return d.Detect(p)
+	}
+	if p.Len() < d.cfg.MinVZoneSamples {
+		return VZone{}, fmt.Errorf("stpp: profile has %d samples, need >= %d",
+			p.Len(), d.cfg.MinVZoneSamples)
+	}
+	segs := st.segs.Segments(p)
+	if len(segs) == 0 {
+		return VZone{}, fmt.Errorf("stpp: empty segmentation")
+	}
+	res, _, _ := st.al.Align(segs)
+	return d.vzoneFromAlignment(p, segs, res)
+}
+
+// vzoneFromAlignment maps an open-end alignment of the reference against
+// the measured segmentation onto the measured profile and refines the
+// candidate — the shared back half of Detect and DetectIncremental.
+func (d *Detector) vzoneFromAlignment(p *profile.Profile, segs []dtw.Segment, res dtw.Result) (VZone, error) {
 	if len(res.Path) == 0 {
 		return VZone{}, fmt.Errorf("stpp: alignment produced no path")
 	}
@@ -117,22 +176,26 @@ func (d *Detector) Detect(p *profile.Profile) (VZone, error) {
 	return VZone{Start: start, End: end, Cost: res.Distance}, nil
 }
 
-// refineVZone snaps a candidate V-zone region to the enclosing
-// single-period valley of the profile's circular-unwrapped phase.
-func refineVZone(p *profile.Profile, candStart, candEnd int) (int, int) {
-	n := p.Len()
-	if n == 0 {
-		return candStart, candEnd
+// unwrapScratch pools the profile-length temporaries of the V-zone
+// refinement and valley windowing — both run once per tag per snapshot
+// over the whole profile, so per-call allocation of these was a top GC
+// cost in the snapshot-cadence benchmark.
+type unwrapScratch struct{ u, um []float64 }
+
+var unwrapPool = sync.Pool{New: func() any { return new(unwrapScratch) }}
+
+// circularUnwrapInto fills dst (reused when capacity allows) with the
+// profile's circular unwrap: the cumulative sum of wrapped differences
+// folded into (-π, π].
+func circularUnwrapInto(dst []float64, phases []float64) []float64 {
+	n := len(phases)
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
-	// Circular unwrap over the whole profile: cumulative sum of wrapped
-	// differences folded into (-π, π]. Immune to representation wraps; only
-	// genuinely fast phase motion between consecutive reads (>π) aliases,
-	// and that happens far from the V-zone where it cannot move the local
-	// minimum.
-	u := make([]float64, n)
-	u[0] = p.Phases[0]
+	u := dst[:n]
+	u[0] = phases[0]
 	for i := 1; i < n; i++ {
-		d := p.Phases[i] - p.Phases[i-1]
+		d := phases[i] - phases[i-1]
 		if d > math.Pi {
 			d -= 2 * math.Pi
 		} else if d <= -math.Pi {
@@ -140,10 +203,29 @@ func refineVZone(p *profile.Profile, candStart, candEnd int) (int, int) {
 		}
 		u[i] = u[i-1] + d
 	}
+	return u
+}
+
+// refineVZone snaps a candidate V-zone region to the enclosing
+// single-period valley of the profile's circular-unwrapped phase.
+func refineVZone(p *profile.Profile, candStart, candEnd int) (int, int) {
+	n := p.Len()
+	if n == 0 {
+		return candStart, candEnd
+	}
+	// Circular unwrap over the whole profile: immune to representation
+	// wraps; only genuinely fast phase motion between consecutive reads
+	// (>π) aliases, and that happens far from the V-zone where it cannot
+	// move the local minimum.
+	sc := unwrapPool.Get().(*unwrapScratch)
+	defer unwrapPool.Put(sc)
+	sc.u = circularUnwrapInto(sc.u, p.Phases)
+	u := sc.u
 
 	// Median-filter the unwrapped curve so noise outliers do not fake a
 	// bottom or trip the rise thresholds.
-	um := dsp.MedianFilter(u, 5)
+	sc.um = dsp.MedianFilterTo(sc.um, u, 5)
+	um := sc.um
 
 	// Search the candidate region (with half-width margin) for the minimum.
 	margin := (candEnd - candStart) / 2
@@ -239,19 +321,14 @@ func ValleyWindow(p *profile.Profile, vz VZone, rise float64) (times, phases []f
 	if n == 0 || vz.End <= vz.Start {
 		return nil, nil
 	}
-	// Circular unwrap of the whole profile.
-	u := make([]float64, n)
-	u[0] = p.Phases[0]
-	for i := 1; i < n; i++ {
-		d := p.Phases[i] - p.Phases[i-1]
-		if d > math.Pi {
-			d -= 2 * math.Pi
-		} else if d <= -math.Pi {
-			d += 2 * math.Pi
-		}
-		u[i] = u[i-1] + d
-	}
-	um := dsp.MedianFilter(u, 5)
+	// Circular unwrap of the whole profile (pooled scratch; the returned
+	// phases below are an owned allocation).
+	sc := unwrapPool.Get().(*unwrapScratch)
+	defer unwrapPool.Put(sc)
+	sc.u = circularUnwrapInto(sc.u, p.Phases)
+	u := sc.u
+	sc.um = dsp.MedianFilterTo(sc.um, u, 5)
+	um := sc.um
 	bottom := vz.Start
 	for i := vz.Start; i < vz.End && i < n; i++ {
 		if um[i] < um[bottom] {

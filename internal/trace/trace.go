@@ -180,7 +180,15 @@ func (j jsonRead) toTagRead() (reader.TagRead, error) {
 // producers (the stppd ingest daemon, loadgen) speak the trace format on
 // the wire.
 func MarshalRead(r reader.TagRead) ([]byte, error) {
-	j := jsonRead{
+	j := toJSONRead(r)
+	return json.Marshal(&j)
+}
+
+// toJSONRead is the single TagRead→wire-object mapping shared by
+// MarshalRead and AppendReads, so the journaled and line formats cannot
+// drift apart field by field.
+func toJSONRead(r reader.TagRead) jsonRead {
+	return jsonRead{
 		EPC:     r.EPC.String(),
 		Time:    r.Time,
 		Phase:   r.Phase,
@@ -188,7 +196,6 @@ func MarshalRead(r reader.TagRead) ([]byte, error) {
 		Channel: r.Channel,
 		Reader:  r.Reader,
 	}
-	return json.Marshal(&j)
 }
 
 // UnmarshalRead parses one JSONL read line (the inverse of MarshalRead).
@@ -204,14 +211,25 @@ func UnmarshalRead(data []byte) (reader.TagRead, error) {
 // line per read, each newline-terminated. It is the payload format the
 // stppd write-ahead log journals and loadgen replays.
 func MarshalReads(reads []reader.TagRead) ([]byte, error) {
-	var buf bytes.Buffer
+	return AppendReads(nil, reads)
+}
+
+// AppendReads is MarshalReads into a caller-supplied buffer: the NDJSON
+// batch encoding is appended to dst (which may be nil or a recycled buffer
+// with its length reset) and the extended slice returned, so hot append
+// paths — the stppd write-ahead log journals one batch per accepted
+// Enqueue — can reuse one marshal buffer instead of allocating the
+// encoding per batch. The bytes produced are identical to MarshalReads.
+func AppendReads(dst []byte, reads []reader.TagRead) ([]byte, error) {
+	buf := bytes.NewBuffer(dst)
+	enc := json.NewEncoder(buf)
 	for i := range reads {
-		line, err := MarshalRead(reads[i])
-		if err != nil {
+		j := toJSONRead(reads[i])
+		// Encode writes the same bytes json.Marshal produces, plus the
+		// batch format's newline terminator, without a per-line allocation.
+		if err := enc.Encode(&j); err != nil {
 			return nil, fmt.Errorf("trace: read %d: %w", i, err)
 		}
-		buf.Write(line)
-		buf.WriteByte('\n')
 	}
 	return buf.Bytes(), nil
 }

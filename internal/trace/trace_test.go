@@ -152,3 +152,55 @@ func TestTruthDecodeErrors(t *testing.T) {
 		t.Error("empty truth should decode to empty")
 	}
 }
+
+// TestAppendReadsMatchesMarshalReads: the buffer-reusing encoder must emit
+// exactly the bytes MarshalReads does — the WAL journals with AppendReads
+// and recovery/loadgen decode the MarshalReads wire format.
+func TestAppendReadsMatchesMarshalReads(t *testing.T) {
+	reads := sampleTrace().Reads
+	want, err := MarshalReads(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh buffer, recycled buffer, and a recycled buffer with stale
+	// capacity from a larger previous batch.
+	got, err := AppendReads(nil, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("AppendReads(nil) = %q, want %q", got, want)
+	}
+	recycled, err := AppendReads(got[:0], reads[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOne, _ := MarshalReads(reads[:1])
+	if !bytes.Equal(wantOne, recycled) {
+		t.Errorf("recycled AppendReads = %q, want %q", recycled, wantOne)
+	}
+
+	// Prefix preservation: appending extends, never clobbers.
+	prefixed, err := AppendReads([]byte("x\n"), reads[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(prefixed) != "x\n"+string(wantOne) {
+		t.Errorf("prefixed AppendReads = %q", prefixed)
+	}
+
+	// Round trip through the strict batch decoder.
+	back, err := UnmarshalReads(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reads) {
+		t.Fatalf("round trip lost reads: %d vs %d", len(back), len(reads))
+	}
+	for i := range back {
+		if back[i] != reads[i] {
+			t.Errorf("read %d: %+v vs %+v", i, back[i], reads[i])
+		}
+	}
+}

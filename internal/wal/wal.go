@@ -126,6 +126,11 @@ type Log struct {
 	appends int64 // records appended by this process
 	bytes   int64 // bytes appended by this process
 	closed  bool
+
+	// marshalBuf is the reused NDJSON encoding buffer for AppendBatch — one
+	// marshal buffer per log (guarded by mu, so it is never contended)
+	// instead of one allocation per journaled batch.
+	marshalBuf []byte
 }
 
 // Create opens a fresh log in dir (created if missing) and journals the
@@ -181,13 +186,19 @@ func syncDir(dir string) {
 }
 
 // AppendBatch journals one accepted read batch. The append is flushed to
-// the OS before returning and fsynced under SyncAlways.
+// the OS before returning and fsynced under SyncAlways. The NDJSON
+// encoding lands in a log-owned buffer reused across batches (it lives
+// only until the frame is written out), so the journal hot path allocates
+// nothing per batch.
 func (l *Log) AppendBatch(batch []reader.TagRead) error {
-	payload, err := trace.MarshalReads(batch)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	payload, err := trace.AppendReads(l.marshalBuf[:0], batch)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	return l.append(recBatch, payload)
+	l.marshalBuf = payload
+	return l.appendLocked(recBatch, payload)
 }
 
 // AppendFinish journals the finish marker, fsynced regardless of policy:
@@ -199,6 +210,10 @@ func (l *Log) AppendFinish() error {
 func (l *Log) append(typ byte, payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendLocked(typ, payload)
+}
+
+func (l *Log) appendLocked(typ byte, payload []byte) error {
 	if l.closed {
 		return fmt.Errorf("wal: log closed")
 	}
