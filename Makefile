@@ -1,12 +1,13 @@
 # The repository's tier-1 gates (mirrors .github/workflows/ci.yml) plus
 # the recorded benchmark step that tracks the performance trajectory.
 
-PR := 5
+PR := 6
 
 # The key hot-path benchmarks recorded per PR: the snapshot-cadence
-# tentpole evidence, streaming vs batch, the daemon ingest path, the
-# segment-DTW kernel, and the WAL append path.
-BENCH_PATTERN := BenchmarkSnapshotCadence|BenchmarkStreamingVsBatch|BenchmarkDaemonIngest|BenchmarkShardedAisle|BenchmarkSegmentedAlign|BenchmarkWALAppend|BenchmarkRecovery
+# evidence, streaming vs batch, the daemon ingest path, the segment-DTW
+# kernel (whole alignment and isolated column fill), and the WAL
+# append/recovery paths.
+BENCH_PATTERN := BenchmarkSnapshotCadence|BenchmarkStreamingVsBatch|BenchmarkDaemonIngest|BenchmarkShardedAisle|BenchmarkSegmentedAlign|BenchmarkSegmentFill|BenchmarkWALAppend|BenchmarkRecovery
 
 .PHONY: test build bench fmt vet
 
@@ -31,5 +32,5 @@ vet:
 bench:
 	go test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count 1 . | tee BENCH_$(PR).txt
 	go run ./cmd/bench2json -pr $(PR) -baseline bench/baseline_$(PR).txt -current BENCH_$(PR).txt \
-		-note "baseline = pre-PR-$(PR) tree (batch re-detection per snapshot); current = incremental re-detection" \
+		-note "baseline = pre-PR-$(PR) tree (per-engine pools, branchy DTW fill); current = global work-stealing scheduler + two-pass fill kernel" \
 		> BENCH_$(PR).json

@@ -1,0 +1,61 @@
+// Allocation guards for the two hot paths whose per-op allocation counts
+// the optimization work drove down: a regression that re-introduces
+// per-call garbage shows up here as a test failure, not as a slow drift
+// in benchmark numbers nobody compares.
+package main
+
+import (
+	"testing"
+
+	"repro/internal/dtw"
+	"repro/internal/trace"
+	"repro/internal/wal"
+)
+
+// TestSegmentedAlignAllocs pins the steady-state batch alignment at one
+// allocation per call: the caller-owned Path copy. The DP matrix, the flat
+// operand arrays, and the traceback scratch all recycle through the pooled
+// aligner — any new per-call allocation in the fill or traceback doubles
+// this count.
+func TestSegmentedAlignAllocs(t *testing.T) {
+	det, p := benchProfilePair(t)
+	ref, _, _ := det.Reference()
+	rs := ref.Segmentize(5)
+	qs := p.Segmentize(5)
+	opts := dtw.SegmentAlignOpts{Stiffness: 0.5}
+	// Warm the aligner pool and the cell free-list to steady state.
+	for i := 0; i < 4; i++ {
+		dtw.AlignSegmentsOpenEndOpt(rs, qs, opts)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		dtw.AlignSegmentsOpenEndOpt(rs, qs, opts)
+	})
+	if allocs > 1 {
+		t.Fatalf("AlignSegmentsOpenEndOpt allocates %.1f/op, want <= 1", allocs)
+	}
+}
+
+// TestWALAppendAllocs bounds the journal append for a 256-read batch —
+// the extra work every durable ingest batch pays — at the count the
+// committed baseline measured (771/op: the NDJSON marshal of each read
+// plus the record frame).
+func TestWALAppendAllocs(t *testing.T) {
+	reads, _ := benchReadLog(t)
+	batch := reads[:min(256, len(reads))]
+	l, err := wal.Create(t.TempDir(), trace.Header{Scenario: "alloc-guard"}, wal.Options{Fsync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := l.AppendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 771 {
+		t.Fatalf("AppendBatch allocates %.1f/op for %d reads, want <= 771", allocs, len(batch))
+	}
+}

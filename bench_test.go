@@ -81,7 +81,7 @@ func BenchmarkAblationPivot(b *testing.B)   { benchExperiment(b, "ablation-pivot
 
 // --- component micro-benches: the O(MN) vs O(MN/w²) claim in isolation ---
 
-func benchProfilePair(b *testing.B) (*stpp.Detector, *profile.Profile) {
+func benchProfilePair(b testing.TB) (*stpp.Detector, *profile.Profile) {
 	b.Helper()
 	s, err := scenario.Whiteboard(scenario.WhiteboardOpts{
 		Positions: []geom.Vec2{{X: 1.0, Y: 0}},
@@ -134,10 +134,35 @@ func BenchmarkSegmentedAlign(b *testing.B) {
 	}
 }
 
+// BenchmarkSegmentFill isolates the DP column fill — the innermost kernel
+// of segmented detection — from segmentation, traceback allocation, and
+// pooling: a warmed resumable aligner alternates between two queries whose
+// first segment differs, so every Align recomputes all n columns into
+// already-sized arrays. The cells/s metric is the kernel's throughput
+// ceiling; ingest can't beat cells/s × cells-per-read.
+func BenchmarkSegmentFill(b *testing.B) {
+	det, p := benchProfilePair(b)
+	ref, _, _ := det.Reference()
+	rs := ref.Segmentize(5)
+	qa := p.Segmentize(5)
+	qb := append([]dtw.Segment(nil), qa...)
+	qb[0].Lo += 1e-9 // distinct column 0: no reusable prefix, full refill
+	al := dtw.NewSegmentAligner(rs, dtw.SegmentAlignOpts{Stiffness: 0.5})
+	al.Align(qa)
+	qs := [2][]dtw.Segment{qa, qb}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al.Align(qs[i&1])
+	}
+	cells := float64(len(rs)) * float64(len(qa))
+	b.ReportMetric(cells*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
 // --- streaming engine vs batch localizer ---
 
 // benchReadLog produces a 20-tag population read log plus its STPP config.
-func benchReadLog(b *testing.B) ([]reader.TagRead, stpp.Config) {
+func benchReadLog(b testing.TB) ([]reader.TagRead, stpp.Config) {
 	b.Helper()
 	s, err := scenario.Population(20, true, 0.3, 1)
 	if err != nil {

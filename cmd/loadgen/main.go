@@ -37,6 +37,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strings"
 	"sync"
@@ -88,10 +90,36 @@ func main() {
 		verbose   = flag.Bool("v", false, "per-session progress")
 		stateFile = flag.String("state", "", "kill/restart state file: missing = pause run (needs -stop-after), present = resume run")
 		stopAfter = flag.Int("stop-after", 0, "with -state: batches per session to send before pausing")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the client side to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile after the run to this file")
 	)
 	flag.Parse()
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	cfg := stpp.DefaultConfig(phys.ChinaBand.Wavelength(*ch))

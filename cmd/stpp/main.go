@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 
@@ -44,8 +46,35 @@ func main() {
 		stream  = flag.Bool("stream", false, "replay the trace through the streaming engine, printing incremental snapshots")
 		every   = flag.Float64("every", 1, "streaming snapshot interval in trace seconds")
 		workers = flag.Int("workers", 0, "streaming per-tag worker pool (0 = all cores)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile after the replay to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	r := os.Stdin
 	if *in != "-" {

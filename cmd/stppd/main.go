@@ -22,6 +22,7 @@
 //	stppd -addr :8080
 //	stppd -addr 127.0.0.1:0 -queue 32 -batch 128 -publish 1000
 //	stppd -addr :7080 -data-dir /var/lib/stppd -fsync always
+//	stppd -addr :7080 -pprof    # net/http/pprof under /debug/pprof/
 //
 // Endpoints (see internal/serve):
 //
@@ -40,6 +41,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,6 +65,7 @@ func main() {
 		dataDir = flag.String("data-dir", "", "write-ahead log directory; empty = in-memory sessions (no durability)")
 		fsync   = flag.String("fsync", "always", "WAL fsync policy: always | never")
 		segMB   = flag.Int("segment-mb", 64, "WAL segment rotation size, MiB")
+		pp      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the same listener")
 	)
 	flag.Parse()
 
@@ -100,7 +103,21 @@ func main() {
 			m.WALTornTails.Load(), m.WALSkipped.Load(), *dataDir, policy)
 	}
 
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pp {
+		// Profiling rides the service listener behind an explicit opt-in:
+		// a production daemon doesn't leak pprof by default, and a bench
+		// run gets CPU/heap/goroutine profiles without a second port.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	hs := &http.Server{Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 

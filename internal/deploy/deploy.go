@@ -6,7 +6,7 @@
 // A Deployment describes the readers — each with its coverage zone, STPP
 // configuration and clock offset. A ShardedEngine routes incoming TagRead
 // batches by reader ID to one pipeline.Engine per reader, snapshots the
-// dirty shards concurrently on the shared par pool (caching per-shard
+// dirty shards concurrently on the global scheduler (caching per-shard
 // results so quiet zones cost nothing), and stitches the per-zone relative
 // orders into one global order: overlap tags read by adjacent readers
 // anchor the merge, and when a zone boundary has no overlap the stitch
@@ -29,6 +29,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/reader"
 	"repro/internal/scenario"
+	"repro/internal/sched"
 	"repro/internal/stpp"
 	"repro/internal/trace"
 )
@@ -145,12 +146,16 @@ func Of(m *scenario.MultiScene) Deployment {
 
 // Options tunes a ShardedEngine.
 type Options struct {
-	// Workers bounds the deployment's total per-tag worker budget; 0
-	// means runtime.GOMAXPROCS. The budget is divided across the shards
-	// (each gets at least one worker) because dirty shards snapshot
-	// concurrently — giving every shard the full budget would run
-	// shards×Workers goroutines.
+	// Workers bounds how many scheduler workers may serve this
+	// deployment's per-tag fan-out at once; 0 means runtime.GOMAXPROCS.
+	// Every shard gets the full bound: all work runs on the process-global
+	// scheduler, whose fixed pool width caps real concurrency, so shards
+	// no longer split a goroutine budget between them and a lone dirty
+	// shard can use the whole machine.
 	Workers int
+	// Group tags the deployment's scheduler work for fairness accounting.
+	// Nil uses the scheduler's default group.
+	Group *sched.Group
 }
 
 // shard is one reader's slice of the engine.
@@ -170,8 +175,10 @@ type shard struct {
 // pipeline.Engine it is not safe for concurrent use — Consume and Snapshot
 // must come from one goroutine; the engine parallelizes internally.
 type ShardedEngine struct {
-	shards []*shard // zone order: ascending Zone.XMin, ties by ID
-	byID   map[int]*shard
+	shards  []*shard // zone order: ascending Zone.XMin, ties by ID
+	byID    map[int]*shard
+	workers int
+	group   *sched.Group
 }
 
 // NewSharded builds a ShardedEngine for the deployment.
@@ -183,10 +190,9 @@ func NewSharded(d Deployment, opts Options) (*ShardedEngine, error) {
 	if total <= 0 {
 		total = runtime.GOMAXPROCS(0)
 	}
-	perShard := (total + len(d.Readers) - 1) / len(d.Readers)
-	se := &ShardedEngine{byID: make(map[int]*shard, len(d.Readers))}
+	se := &ShardedEngine{workers: total, group: opts.Group, byID: make(map[int]*shard, len(d.Readers))}
 	for _, spec := range d.Readers {
-		eng, err := pipeline.New(spec.Config, pipeline.Options{Workers: perShard})
+		eng, err := pipeline.New(spec.Config, pipeline.Options{Workers: total, Group: opts.Group})
 		if err != nil {
 			return nil, fmt.Errorf("deploy: reader %d: %w", spec.ID, err)
 		}
@@ -296,7 +302,7 @@ func (se *ShardedEngine) Snapshot() (*GlobalResult, error) {
 	}
 	results := make([]*stpp.Result, len(refresh))
 	errs := make([]error, len(refresh))
-	par.For(len(refresh), len(refresh), func(i int) {
+	snapOne := func(i int) {
 		sh := refresh[i]
 		res, err := sh.snap()
 		if err != nil {
@@ -319,7 +325,12 @@ func (se *ShardedEngine) Snapshot() (*GlobalResult, error) {
 			}
 		}
 		results[i] = res
-	})
+	}
+	if se.group != nil {
+		se.group.For(len(refresh), len(refresh), snapOne)
+	} else {
+		par.For(len(refresh), len(refresh), snapOne)
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("deploy: reader %d: %w", refresh[i].spec.ID, err)
@@ -349,6 +360,16 @@ func (se *ShardedEngine) Snapshot() (*GlobalResult, error) {
 	gr.XOrder = MergeOrders(xOrders)
 	gr.YOrder = MergeOrders(yOrders)
 	return gr, nil
+}
+
+// Release returns every shard engine's pooled holdings (per-tag DTW
+// matrices) to their shared free-lists — call when the deployment's
+// session is over so the next session reuses them instead of
+// re-allocating. The engine remains usable.
+func (se *ShardedEngine) Release() {
+	for _, sh := range se.shards {
+		sh.eng.Release()
+	}
 }
 
 // Localize runs the engine over a complete read log in one call.

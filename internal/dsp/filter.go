@@ -98,6 +98,74 @@ func MedianFilterTo(dst, xs []float64, width int) []float64 {
 	return out
 }
 
+// MedianFilterRangeTo extends a previous MedianFilterTo result after xs
+// grew by appends: dst[:from] is taken as already filtered and only
+// out[from:] is computed. A window of width w centered at i reads
+// xs[i−w/2 .. i+w/2], so when xs grows from n0 to n samples the first
+// index whose (edge-truncated) window changed is n0 − w/2; passing that
+// as from reproduces MedianFilterTo(dst, xs, width) bit-for-bit while
+// paying only for the new tail. dst is grown geometrically when its
+// capacity is insufficient, preserving the filtered prefix; like
+// MedianFilterTo, dst must not alias xs.
+func MedianFilterRangeTo(dst, xs []float64, width, from int) []float64 {
+	if from < 0 {
+		from = 0
+	}
+	if cap(dst) < len(xs) {
+		c := 2 * cap(dst)
+		if c < len(xs) {
+			c = len(xs)
+		}
+		grown := make([]float64, len(xs), c)
+		copy(grown, dst[:from])
+		dst = grown
+	}
+	out := dst[:len(xs)]
+	if width <= 1 {
+		copy(out[from:], xs[from:])
+		return out
+	}
+	half := width / 2
+	var small [16]float64
+	var big []float64
+	for i := from; i < len(xs); i++ {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		m := hi + 1 - lo
+		var buf []float64
+		if m <= len(small) {
+			buf = small[:m]
+		} else {
+			if cap(big) < m {
+				big = make([]float64, m)
+			}
+			buf = big[:m]
+		}
+		copy(buf, xs[lo:hi+1])
+		for a := 1; a < m; a++ {
+			v := buf[a]
+			b := a - 1
+			for b >= 0 && buf[b] > v {
+				buf[b+1] = buf[b]
+				b--
+			}
+			buf[b+1] = v
+		}
+		if m%2 == 1 {
+			out[i] = buf[m/2]
+		} else {
+			out[i] = (buf[m/2-1] + buf[m/2]) / 2
+		}
+	}
+	return out
+}
+
 // Interp1 linearly interpolates the function defined by (xs, ys) at x.
 // xs must be strictly increasing. Values outside the domain are clamped to
 // the boundary values.

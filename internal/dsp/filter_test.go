@@ -163,6 +163,40 @@ func TestQuickMedianFilterBounds(t *testing.T) {
 	}
 }
 
+// Property: resuming the median filter across arbitrary append-only growth
+// steps reproduces the one-shot filter bit-for-bit — the contract the
+// incremental V-zone refinement relies on.
+func TestQuickMedianFilterRangeResume(t *testing.T) {
+	const width = 5
+	f := func(raw []int8, cuts []uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		var got []float64
+		n0 := 0
+		for _, c := range cuts {
+			n := n0 + int(c)%7 + 1
+			if n > len(xs) {
+				n = len(xs)
+			}
+			got = MedianFilterRangeTo(got[:n0], xs[:n], width, n0-width/2)
+			n0 = n
+		}
+		got = MedianFilterRangeTo(got[:n0], xs, width, n0-width/2)
+		want := MedianFilter(xs, width)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return len(got) == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: Interp1 at knots returns the knot values.
 func TestQuickInterpAtKnots(t *testing.T) {
 	xs := []float64{0, 1, 2, 5, 9}

@@ -2,6 +2,7 @@ package dtw
 
 import (
 	"math"
+	"math/bits"
 	"sync"
 )
 
@@ -70,6 +71,75 @@ func (cm *segMatrix) set(i, j int, v float64) { cm.cells[j*cm.m+i] = v }
 
 var segMatrixPool sync.Pool
 
+// cellFree recycles matrix backing arrays by power-of-two capacity
+// class. Every resumable aligner (one per tracked tag) grows its matrix
+// through doublings as its query extends, and a fresh make() pays the
+// runtime's zeroing of the entire new capacity — which profiled as a
+// quarter of daemon ingest. Cells are always written before read, so
+// recycled arrays skip that cost entirely.
+//
+// This is an explicit byte-capped free-list rather than a sync.Pool:
+// session churn allocates enough to trigger collections between one
+// session's teardown and the next one's ramp-up, and sync.Pool's GC
+// victim policy dropped the buffers exactly then — profiles showed the
+// whole doubling ladder re-allocated (and re-zeroed) for every fresh
+// session. A wide population runs one aligner per tag, all climbing the
+// same size ladder together, so the list is capped by total retained
+// bytes (cellFreeMaxBytes) rather than per-class counts — a per-class cap
+// of a few arrays served a few tags and dropped the rest. float64 arrays
+// are pointer-free, so retaining them adds no GC scan work, and the lock
+// is uncontended in practice — arrays move only on capacity growth, which
+// doubling makes logarithmic.
+var (
+	cellMu        sync.Mutex
+	cellFree      [48][][]float64
+	cellFreeBytes int
+)
+
+// cellFreeMaxBytes bounds the retained cell-array bytes (~a couple of
+// sessions' worth of DP matrices for a wide population).
+const cellFreeMaxBytes = 32 << 20
+
+// getCells returns a zero-length slice with capacity ≥ need, recycled
+// when possible. Capacities are exact powers of two so arrays re-enter
+// their class on release. A request may be served from a few classes
+// above its own: after one session warms the list, a fresh tag starts on
+// a session-final-sized array and skips its whole regrowth ladder.
+func getCells(need int) []float64 {
+	if need < 1 {
+		need = 1
+	}
+	k := bits.Len(uint(need - 1))
+	cellMu.Lock()
+	for j := k; j < k+6 && j < len(cellFree); j++ {
+		if cl := cellFree[j]; len(cl) > 0 {
+			c := cl[len(cl)-1]
+			cl[len(cl)-1] = nil
+			cellFree[j] = cl[:len(cl)-1]
+			cellFreeBytes -= 8 << j
+			cellMu.Unlock()
+			return c
+		}
+	}
+	cellMu.Unlock()
+	return make([]float64, 0, 1<<k)
+}
+
+// putCells recycles a backing array obtained from getCells.
+func putCells(c []float64) {
+	n := cap(c)
+	if n == 0 || n&(n-1) != 0 {
+		return // not one of ours; let the GC have it
+	}
+	k := bits.Len(uint(n - 1))
+	cellMu.Lock()
+	if cellFreeBytes+8*n <= cellFreeMaxBytes {
+		cellFree[k] = append(cellFree[k], c[:0])
+		cellFreeBytes += 8 * n
+	}
+	cellMu.Unlock()
+}
+
 // newSegMatrix sizes a pooled matrix for an m×n alignment. Every cell is
 // written by the recurrence before it is read, so cells are not cleared.
 func newSegMatrix(m, n int) *segMatrix {
@@ -79,7 +149,8 @@ func newSegMatrix(m, n int) *segMatrix {
 	}
 	cm.m = m
 	if cap(cm.cells) < m*n {
-		cm.cells = make([]float64, m*n)
+		putCells(cm.cells)
+		cm.cells = getCells(m * n)
 	}
 	cm.cells = cm.cells[:m*n]
 	return cm
@@ -125,7 +196,7 @@ func AlignSegmentsOpt(p, q []Segment, opts SegmentAlignOpts) Result {
 	}
 	return Result{
 		Distance: cm.at(m-1, n-1),
-		Path:     tracebackStiff(cm, p, q, opts, m-1, n-1, false),
+		Path:     tracebackStiff(cm, p, q, opts, m-1, n-1, false, nil),
 	}
 }
 
@@ -156,6 +227,9 @@ func AlignSegmentsOpenEndOpt(p, q []Segment, opts SegmentAlignOpts) (Result, int
 	a.q = a.q[:0]
 	a.cm.cells = a.cm.cells[:0]
 	res, s, e := a.Align(q)
+	// Align's Path aliases the aligner's scratch; detach it before the
+	// aligner goes back to the pool so the caller owns the result.
+	res.Path = append(Path(nil), res.Path...)
 	a.p = nil
 	alignerPool.Put(a)
 	return res, s, e
@@ -185,6 +259,18 @@ type SegmentAligner struct {
 	// instead of gathering 40-byte Segment structs: the reference range
 	// bounds and the precomputed vertical-step penalty Stiffness×interval.
 	pLo, pHi, pInt, pVert []float64
+	// cost is the per-column scratch of the fill's first pass: the
+	// pointwise matching costs, computed branch-light over the flat
+	// operand arrays before the sequential DP pass consumes them.
+	cost []float64
+	// lastRow mirrors row m−1 of the matrix contiguously (lastRow[j] =
+	// cells[(j+1)m−1]): the free-end scan reads every column's final cell
+	// on every Align, and walking the column-major matrix at stride m
+	// missed cache on each step.
+	lastRow []float64
+	// path is the traceback scratch reused across Aligns; the Result
+	// returned by Align aliases it (see the Align doc).
+	path Path
 }
 
 // NewSegmentAligner builds an aligner for a fixed reference.
@@ -205,8 +291,10 @@ func (a *SegmentAligner) setReference(p []Segment, opts SegmentAlignOpts) {
 		a.pHi = make([]float64, m)
 		a.pInt = make([]float64, m)
 		a.pVert = make([]float64, m)
+		a.cost = make([]float64, m)
 	}
 	a.pLo, a.pHi, a.pInt, a.pVert = a.pLo[:m], a.pHi[:m], a.pInt[:m], a.pVert[:m]
+	a.cost = a.cost[:m]
 	for i := range p {
 		a.pLo[i] = p[i].Lo
 		a.pHi[i] = p[i].Hi
@@ -219,11 +307,27 @@ func (a *SegmentAligner) setReference(p []Segment, opts SegmentAlignOpts) {
 // Align pays only for columns beyond the common prefix (exposed for tests).
 func (a *SegmentAligner) Cols() int { return len(a.q) }
 
+// Release returns the aligner's DP matrix to the shared free-list and
+// clears its held columns. An aligner's matrix is its largest holding —
+// the final-size array a tag grew into over a whole session — and without
+// an explicit release it dies with the session while the free-list only
+// ever sees the outgrown smaller rungs. The aligner remains usable; the
+// next Align simply recomputes from scratch.
+func (a *SegmentAligner) Release() {
+	putCells(a.cm.cells)
+	a.cm.cells = nil
+	a.q = a.q[:0]
+}
+
 // Align answers the open-end subsequence query over q, byte-identical to
 // AlignSegmentsOpenEndOpt(reference, q, opts): the whole reference must be
 // consumed, q may match any contiguous run, ties prefer the latest end.
 // Columns shared with the previous call are reused; only new or changed
 // query segments are computed.
+//
+// The returned Result's Path is aligner-owned scratch, overwritten by the
+// next Align on this aligner: callers that retain it across calls must
+// copy it first.
 func (a *SegmentAligner) Align(q []Segment) (Result, int, int) {
 	m := len(a.p)
 	if m == 0 || len(q) == 0 {
@@ -237,96 +341,144 @@ func (a *SegmentAligner) Align(q []Segment) (Result, int, int) {
 	}
 	a.q = append(a.q[:cp], q[cp:]...)
 	// Reserve all columns this call needs up front (with doubling headroom
-	// so a stream of small extensions reallocates O(log n) times, not once
-	// per snapshot): the extend loop then only reslices.
+	// so a stream of small extensions regrows O(log n) times, not once per
+	// snapshot): the extend loop then only reslices. Growth moves to a
+	// recycled pooled array — a fresh make() would zero the whole new
+	// capacity, and that memclr dominated ingest profiles.
 	if need := m * len(q); cap(a.cm.cells) < need {
 		if c := 2 * cap(a.cm.cells); need < c {
 			need = c
 		}
-		grown := make([]float64, cp*m, need)
-		copy(grown, a.cm.cells[:cp*m])
+		grown := append(getCells(need), a.cm.cells[:cp*m]...)
+		putCells(a.cm.cells)
 		a.cm.cells = grown
 	} else {
 		a.cm.cells = a.cm.cells[:cp*m]
 	}
+	if cap(a.lastRow) < len(q) {
+		nl := make([]float64, len(q), 2*len(q))
+		copy(nl, a.lastRow[:cp])
+		a.lastRow = nl
+	} else {
+		a.lastRow = a.lastRow[:len(q)]
+	}
 	for j := cp; j < len(q); j++ {
 		a.extendColumn(j)
 	}
-	// Free end: pick the cheapest cell in the last reference row. Ties
-	// prefer the latest end so zero-cost plateaus match the whole pattern
-	// region rather than a truncated prefix (see AlignOpenEnd).
+	// Free end: pick the cheapest cell in the last reference row — read
+	// from the contiguous mirror, not the strided matrix. Ties prefer the
+	// latest end so zero-cost plateaus match the whole pattern region
+	// rather than a truncated prefix (see AlignOpenEnd).
 	n := len(q)
 	endJ := 0
-	best := a.cm.at(m-1, 0)
+	last := a.lastRow[:n]
+	best := last[0]
 	for j := 1; j < n; j++ {
-		if c := a.cm.at(m-1, j); c <= best {
+		if c := last[j]; c <= best {
 			best, endJ = c, j
 		}
 	}
-	path := tracebackStiff(&a.cm, a.p, a.q, a.opts, m-1, endJ, true)
+	path := tracebackStiff(&a.cm, a.p, a.q, a.opts, m-1, endJ, true, a.path)
+	a.path = path
 	return Result{Distance: best, Path: path}, path[0].J, endJ
 }
 
-// extendColumn computes DP column j from column j-1, filling the exact
-// cell values the one-shot recurrence produces: the cost formula below is
-// segCost/SegDist with the reference operands read from the flat arrays
-// (same comparison order, same Min semantics — intervals are finite and
-// non-negative, so the branch equals math.Min bit-for-bit).
+// extendColumn computes DP column j from column j-1 in two passes,
+// filling the exact cell values the one-shot recurrence produces.
+//
+// Pass 1 is the pointwise matching cost — segCost/SegDist with the
+// reference operands read from the flat arrays. It is written as
+// independent straight-line iterations over four contiguous float
+// streams with no cross-iteration dependency: the shape the compiler can
+// keep in registers and unroll, and the shape a vectorizing backend
+// could lift wholesale. The max(0, lo−hi, lo−hi) form equals the
+// original comparison chain exactly — segment ranges are proper
+// intervals, so at most one of the two gaps is positive — and the
+// interval branch equals math.Min bit-for-bit on these finite
+// non-negative operands.
+//
+// Pass 2 is the sequential min-of-three DP, which carries the col[i-1]
+// dependency and stays scalar; splitting the cost out of it roughly
+// halves the work on that critical path.
 func (a *SegmentAligner) extendColumn(j int) {
 	m := len(a.p)
 	base := j * m
 	a.cm.cells = a.cm.cells[:base+m] // capacity reserved by Align
-	col := a.cm.cells[base : base+m]
-	pLo, pHi, pInt, pVert := a.pLo, a.pHi, a.pInt, a.pVert
+	col := a.cm.cells[base : base+m : base+m]
 	qj := a.q[j]
 	qLo, qHi, qInt := qj.Lo, qj.Hi, qj.Interval
-	cell := func(i int) float64 {
-		var d float64
-		switch {
-		case pLo[i] > qHi:
-			d = pLo[i] - qHi
-		case qLo > pHi[i]:
-			d = qLo - pHi[i]
+
+	cost := a.cost[:m]
+	pLo := a.pLo[:m]
+	pHi := a.pHi[:m]
+	pInt := a.pInt[:m]
+	for i := range cost {
+		d := 0.0
+		if v := pLo[i] - qHi; v > d {
+			d = v
+		}
+		if v := qLo - pHi[i]; v > d {
+			d = v
 		}
 		t := pInt[i]
 		if qInt < t {
 			t = qInt
 		}
-		return t * d
+		cost[i] = t * d
 	}
+
 	// Row 0 is a free start: the first reference segment may match any
-	// query column at just its pointwise cost.
-	col[0] = cell(0)
+	// query column at just its pointwise cost. acc carries col[i−1] in a
+	// register through the sequential pass — it is the loop dependency, so
+	// reloading it from memory each iteration lengthens the critical path.
+	acc := cost[0]
+	col[0] = acc
+	pVert := a.pVert[:m]
 	if j == 0 {
 		for i := 1; i < m; i++ {
-			col[i] = cell(i) + col[i-1] + pVert[i]
+			// Same association as the one-shot recurrence
+			// ((cost + col[i−1]) + pVert) — float addition rounds per
+			// operation, so regrouping would break bit-identity.
+			acc = cost[i] + acc + pVert[i]
+			col[i] = acc
 		}
+		a.lastRow[0] = acc
 		return
 	}
-	prev := a.cm.cells[base-m : base]
+	prev := a.cm.cells[base-m : base : base]
 	horiz := a.opts.Stiffness * qInt
+	diag := prev[0]
 	for i := 1; i < m; i++ {
-		up := col[i-1] + pVert[i]
-		left := prev[i] + horiz
-		diag := prev[i-1]
-		best := up
-		if left < best {
+		best := acc + pVert[i]
+		if left := prev[i] + horiz; left < best {
 			best = left
 		}
 		if diag < best {
 			best = diag
 		}
-		col[i] = cell(i) + best
+		diag = prev[i]
+		acc = cost[i] + best
+		col[i] = acc
 	}
+	a.lastRow[j] = acc
 }
 
 // tracebackStiff reconstructs the optimal path of a stiffness-weighted
 // segment alignment. With open true, the path may start at any column of
 // the first row (subsequence matching).
-func tracebackStiff(cm *segMatrix, p, q []Segment, opts SegmentAlignOpts, i, j int, open bool) Path {
+func tracebackStiff(cm *segMatrix, p, q []Segment, opts SegmentAlignOpts, i, j int, open bool, dst Path) Path {
 	// A warping path from (i, j) back to row 0 takes at most i+j+1 steps:
-	// one exact-capacity allocation instead of append doublings.
-	rev := make(Path, 0, i+j+1)
+	// one exact-capacity allocation instead of append doublings — skipped
+	// entirely when the caller hands back a big-enough scratch. A scratch
+	// that must grow doubles, so a steadily lengthening query (the
+	// incremental ingest pattern) reallocates O(log n) times, not per call.
+	rev := dst[:0]
+	if need := i + j + 1; cap(rev) < need {
+		if c := 2 * cap(rev); c > need {
+			need = c
+		}
+		rev = make(Path, 0, need)
+	}
 	for {
 		rev = append(rev, Step{I: i, J: j})
 		if i == 0 && (open || j == 0) {

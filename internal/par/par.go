@@ -1,42 +1,45 @@
-// Package par holds the one bounded parallel-for harness shared by the
+// Package par holds the bounded parallel-for harness shared by the
 // streaming engine's per-tag fan-out and the experiment runner's
-// repetition pool.
+// repetition pool. Since the scheduler landed it is a thin veneer over
+// sched.Default(): instead of spawning `workers` fresh goroutines per
+// call (which the engine did once per snapshot), indices run on the
+// process-global work-stealing pool, with the caller participating.
 package par
 
 import (
-	"sync"
-	"sync/atomic"
+	"repro/internal/sched"
 )
 
-// For runs fn(i) for every i in [0, n) across at most workers concurrent
-// goroutines and returns once all calls have finished. workers <= 1 (or
-// n <= 1) degrades to a plain serial loop. Indices are claimed in order,
-// so when results are written to slot i the output order is deterministic
-// regardless of scheduling.
+// For runs fn(i) for every i in [0, n) with at most workers concurrent
+// executors and returns once all calls have finished. workers <= 1 (or
+// n <= 1) degrades to a plain serial loop that never touches the pool.
+// Indices are claimed in order, so when results are written to slot i the
+// output order is deterministic regardless of scheduling.
 func For(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
+	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
+	sched.Default().For(nil, workers, n, fn)
+}
+
+// ForBlocked is For with indices claimed in contiguous blocks of the
+// given size — per-tag detection runs in cache-blocked batches instead of
+// bouncing single indices between workers.
+func ForBlocked(workers, n, block int, fn func(i int)) {
+	if workers > n {
+		workers = n
 	}
-	wg.Wait()
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	sched.Default().ForBlocked(nil, workers, n, block, fn)
 }

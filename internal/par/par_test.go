@@ -1,0 +1,47 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 100} {
+		for _, n := range []int{0, 1, 5, 257} {
+			out := make([]int32, n)
+			For(workers, n, func(i int) { atomic.AddInt32(&out[i], 1) })
+			for i, v := range out {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestForBlockedCoversAllIndices(t *testing.T) {
+	for _, block := range []int{1, 3, 64} {
+		out := make([]int32, 100)
+		ForBlocked(4, len(out), block, func(i int) { atomic.AddInt32(&out[i], 1) })
+		for i, v := range out {
+			if v != 1 {
+				t.Fatalf("block=%d: index %d ran %d times", block, i, v)
+			}
+		}
+	}
+}
+
+// TestForNoGoroutinesPerCall pins the PR-6 fix: For used to spawn
+// `workers` goroutines on every call; now repeated calls ride the shared
+// scheduler pool and goroutine count stays flat.
+func TestForNoGoroutinesPerCall(t *testing.T) {
+	For(4, 16, func(int) {}) // warm the shared pool
+	before := runtime.NumGoroutine()
+	for k := 0; k < 1000; k++ {
+		For(4, 16, func(int) {})
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines grew %d -> %d across 1000 For calls", before, after)
+	}
+}

@@ -30,14 +30,27 @@ import (
 	"repro/internal/par"
 	"repro/internal/profile"
 	"repro/internal/reader"
+	"repro/internal/sched"
 	"repro/internal/stpp"
 )
 
 // Options tunes an Engine.
 type Options struct {
-	// Workers bounds the per-tag worker pool; 0 means runtime.GOMAXPROCS.
+	// Workers bounds how many scheduler workers may run this engine's
+	// per-tag fan-out at once; 0 means runtime.GOMAXPROCS. Work runs on
+	// the process-global scheduler, so this is a cap, not a pool size.
 	Workers int
+	// Group tags this engine's scheduler work for fairness accounting
+	// (one group per ingest session, say). Nil uses the scheduler's
+	// default group.
+	Group *sched.Group
 }
+
+// detectBlock is how many tags one scheduler claim takes: per-tag
+// detection resumes segmentation state that lives close together in the
+// builder, so contiguous runs keep the caches warm and cut the atomic
+// claim traffic on wide populations.
+const detectBlock = 8
 
 // Engine is the streaming localization engine. It is not safe for
 // concurrent use — Consume and Snapshot must come from one goroutine; the
@@ -46,6 +59,7 @@ type Engine struct {
 	loc     *stpp.Localizer
 	builder *profile.Builder
 	workers int
+	group   *sched.Group
 	cached  map[epcgen2.EPC]stpp.TagResult
 	states  map[epcgen2.EPC]*tagState
 	reads   int64
@@ -55,6 +69,7 @@ type Engine struct {
 	// recompute fan-out slices. Without these, every snapshot of a
 	// high-cadence stream allocated four slices sized by the population.
 	tags    []stpp.TagResult
+	yst     []*stpp.DetectState
 	ps      []*profile.Profile
 	sts     []*stpp.DetectState
 	results []stpp.TagResult
@@ -88,6 +103,7 @@ func NewFromLocalizer(loc *stpp.Localizer, opts Options) *Engine {
 		loc:     loc,
 		builder: profile.NewBuilder(),
 		workers: w,
+		group:   opts.Group,
 		cached:  make(map[epcgen2.EPC]stpp.TagResult),
 		states:  make(map[epcgen2.EPC]*tagState),
 	}
@@ -130,11 +146,19 @@ func (e *Engine) Snapshot() (*stpp.Result, error) {
 		return nil, fmt.Errorf("pipeline: no tag profiles in stream")
 	}
 	e.recompute(e.builder.TakeDirty())
-	e.tags = e.tags[:0]
+	e.tags, e.yst = e.tags[:0], e.yst[:0]
 	for _, epc := range epcs {
 		e.tags = append(e.tags, e.cached[epc])
+		// Hand the Y stage each tag's detection state so valley windowing
+		// resumes the cached unwrap/median curves (every seen tag has one:
+		// a new tag is dirty on its first snapshot).
+		if ts := e.states[epc]; ts != nil {
+			e.yst = append(e.yst, ts.det)
+		} else {
+			e.yst = append(e.yst, nil)
+		}
 	}
-	return e.loc.Assemble(e.tags), nil
+	return e.loc.AssembleStates(e.tags, e.yst), nil
 }
 
 // recompute refreshes the cached per-tag results for the given tags,
@@ -163,11 +187,28 @@ func (e *Engine) recompute(dirty []epcgen2.EPC) {
 	}
 	e.results = e.results[:len(dirty)]
 	results := e.results
-	par.For(e.workers, len(dirty), func(i int) {
+	fill := func(i int) {
 		results[i] = e.loc.LocalizeTagIncremental(e.sts[i], e.ps[i])
-	})
+	}
+	if e.group != nil {
+		e.group.ForBlocked(e.workers, len(dirty), detectBlock, fill)
+	} else {
+		par.ForBlocked(e.workers, len(dirty), detectBlock, fill)
+	}
 	for i, epc := range dirty {
 		e.cached[epc] = results[i]
+	}
+}
+
+// Release returns the engine's pooled holdings — every tag's DTW matrix —
+// to their shared free-lists. Call it when the engine is being discarded
+// (a finished or dropped ingest session): the matrices are the largest
+// per-session allocation, and recycling them lets the next session ramp
+// up without re-paying the allocation-and-zeroing ladder. The engine
+// remains usable afterwards; further snapshots just recompute.
+func (e *Engine) Release() {
+	for _, ts := range e.states {
+		ts.det.Release()
 	}
 }
 

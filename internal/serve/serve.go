@@ -6,11 +6,17 @@
 // trace.Header, the same metadata a recorded trace carries). Producers
 // POST NDJSON read lines — the exact JSONL wire format internal/trace
 // archives — which are decoded, validated against the session's reader
-// set, and pushed into a bounded per-session queue. A single consumer
-// goroutine per session owns the sharded engine (Consume and Snapshot are
-// single-goroutine APIs; the engine parallelizes internally), drains the
-// queue, and publishes periodic snapshots — the latest stitched global
-// X/Y order plus per-zone results — for a non-blocking query endpoint.
+// set, and pushed into a bounded per-session queue. Each session's
+// consumer is a drain task on the process-global work-stealing scheduler
+// (internal/sched), scheduled only while the session has queued work: at
+// most one drain owns the sharded engine at a time (Consume and Snapshot
+// are single-goroutine APIs; the engine parallelizes internally on the
+// same scheduler), absorbing batches and publishing periodic snapshots —
+// the latest stitched global X/Y order plus per-zone results — for a
+// non-blocking query endpoint. Idle sessions hold no goroutine and no
+// worker; a firehose session yields its worker every few dozen batches
+// and the scheduler's per-group fairness accounting decides who runs
+// next.
 //
 // Backpressure is the bounded queue: when a session's consumer falls
 // behind, producer POSTs block in Enqueue until the queue drains, so
@@ -38,12 +44,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/par"
+	"repro/internal/sched"
 	"repro/internal/stpp"
 	"repro/internal/trace"
 	"repro/internal/wal"
@@ -67,10 +72,15 @@ type Options struct {
 	// happen only on explicit refresh and at finish. stppd's -publish
 	// flag defaults to 2000.
 	PublishEvery int
-	// Workers is each session engine's per-tag worker budget
-	// (deploy.Options.Workers); 0 = all cores. Lower it when serving many
-	// concurrent sessions.
+	// Workers caps each session engine's per-tag fan-out on the scheduler
+	// (deploy.Options.Workers); 0 = all cores. The scheduler's fixed pool
+	// bounds real concurrency across sessions, so the cap mostly matters
+	// for limiting how much of the pool one session's snapshot may take.
 	Workers int
+	// Scheduler runs the session consumers, the engines' parallel stages
+	// and boot recovery. Nil uses the process-global sched.Default().
+	// Tests inject private schedulers to control worker counts.
+	Scheduler *sched.Scheduler
 	// RetainFinished bounds how many finished sessions stay queryable:
 	// creating a session beyond the bound evicts the oldest finished ones
 	// (active sessions are never evicted). Finished sessions already drop
@@ -163,6 +173,7 @@ type Stats struct {
 // concurrent use by any number of producers and queriers.
 type Server struct {
 	opts    Options
+	sched   *sched.Scheduler
 	metrics Metrics
 
 	mu       sync.Mutex
@@ -181,8 +192,13 @@ func New(opts Options) (*Server, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	opts.fill()
+	sc := opts.Scheduler
+	if sc == nil {
+		sc = sched.Default()
+	}
 	s := &Server{
 		opts:     opts,
+		sched:    sc,
 		sessions: make(map[string]*Session),
 		metrics:  Metrics{start: time.Now()},
 	}
@@ -202,17 +218,21 @@ func (s *Server) walOpts() wal.Options {
 }
 
 // recoverAll sweeps DataDir and rebuilds one session per recoverable WAL.
-// Each log replays through a fresh engine on the session's own consumer
-// goroutine — the identical code path live ingest runs, so the recovered
-// state is byte-identical to an offline replay of the journaled prefix.
-// Unrecoverable directories (no intact header record) are counted and
-// left on disk for inspection, never deleted.
+// Each log replays through a fresh engine via the same Consume/Snapshot
+// sequence live ingest runs, so the recovered state is byte-identical to
+// an offline replay of the journaled prefix. Unrecoverable directories
+// (no intact header record) are counted and left on disk for inspection,
+// never deleted.
 //
 // The sweep is two-phase: log scanning and registration run sequentially
 // in name order (deterministic IDs and eviction order), then the replays
-// — the dominant boot cost, independent per session — fan out on the
-// shared pool so restart latency does not grow as the sum of every
-// retained session's full replay.
+// — the dominant boot cost, independent per session — fan out across
+// sessions on the scheduler, and each session's snapshots fan out again
+// across its shards and tags on the same pool, so restart latency does
+// not grow as the sum of every retained session's full replay. Replay
+// feeds batches straight into the engine rather than through Enqueue: no
+// producer exists yet, and a scheduler task must never block on a
+// bounded queue whose drain needs a worker.
 func (s *Server) recoverAll() error {
 	names, err := wal.Sessions(s.opts.DataDir)
 	if err != nil {
@@ -264,25 +284,11 @@ func (s *Server) recoverAll() error {
 		s.metrics.SessionsCreated.Add(1)
 		s.metrics.SessionsRecovered.Add(1)
 		s.metrics.ReadsRecovered.Add(int64(rec.Reads))
-		go sess.loop()
 		replays = append(replays, pending{sess: sess, rec: rec, log: log})
 	}
-	par.For(runtime.GOMAXPROCS(0), len(replays), func(i int) {
+	s.sched.For(nil, 0, len(replays), func(i int) {
 		p := replays[i]
-		for _, batch := range p.rec.Batches {
-			if err := p.sess.Enqueue(batch); err != nil {
-				break // consumer failure; surfaces via sess.Err like live ingest
-			}
-		}
-		if p.rec.Finished {
-			// Drain and rebuild the final snapshot. An error (e.g. a
-			// session finished before any reads) parks in sess.Err exactly
-			// as it did in the process that wrote the log.
-			p.sess.Finish()
-		} else if p.log != nil {
-			// Live session: journal future batches onto the repaired log.
-			p.sess.attachWAL(p.log)
-		}
+		p.sess.replay(p.rec, p.log)
 	})
 	return nil
 }
@@ -325,7 +331,6 @@ func (s *Server) CreateSession(h trace.Header) (*Session, error) {
 	for _, v := range victims {
 		v.discardWAL()
 	}
-	go sess.loop()
 	return sess, nil
 }
 

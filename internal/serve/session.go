@@ -10,9 +10,20 @@ import (
 
 	"repro/internal/deploy"
 	"repro/internal/reader"
+	"repro/internal/sched"
 	"repro/internal/stpp"
 	"repro/internal/trace"
 	"repro/internal/wal"
+)
+
+// Session consumer states. A session no longer owns a goroutine: its
+// consumer is a drain task scheduled on the shared work-stealing pool
+// whenever there is something to do, so ten thousand idle sessions cost
+// ten thousand idle structs, not ten thousand parked goroutines.
+const (
+	stateIdle   = int32(iota) // no drain task scheduled; queue empty at last look
+	stateActive               // exactly one drain task scheduled or running
+	stateDead                 // terminal: the engine is gone, done is closed
 )
 
 // ErrSessionClosed is returned by Enqueue after Finish (or an abort) has
@@ -38,21 +49,43 @@ type Snapshot struct {
 }
 
 // Session is one deployment's live ingest stream. Producers call Enqueue
-// from any number of goroutines; one internal consumer goroutine owns the
-// sharded engine. Readers of Latest never block on the engine.
+// from any number of goroutines; the sharded engine is owned by at most
+// one scheduler-run drain task at a time (the state machine above), so
+// Consume and Snapshot stay single-threaded without a dedicated
+// goroutine. Readers of Latest never block on the engine.
 type Session struct {
 	ID string
 
 	srv     *Server
 	eng     *deploy.ShardedEngine
+	group   *sched.Group
 	validID map[int]bool
 
-	queue chan []reader.TagRead
-	ctrl  chan ctrlReq
-	quit  chan struct{} // closed by abort: terminate loop, unblock producers
-	done  chan struct{} // closed when the loop has exited
+	ctrl chan ctrlReq
+	quit chan struct{} // closed by abort: terminate the consumer, unblock producers
+	done chan struct{} // closed when the consumer has terminated
 
-	qmu      sync.RWMutex // serializes Enqueue sends against closing queue
+	// state is the drain-task machine: Idle -> Active on schedule(),
+	// Active -> Idle when a drain finds nothing runnable, anything -> Dead
+	// exactly once at termination. The Active holder is the engine's sole
+	// owner.
+	state atomic.Int32
+	// sincePublish counts consumed reads since the last periodic publish;
+	// touched only by the engine owner.
+	sincePublish int
+
+	// The ingest queue: a bounded FIFO of batches under qmu, paced by
+	// qcond. Admission (the capacity check), the enqueue, and the queued
+	// gauge move under one lock, so the gauge can never overshoot the
+	// QueueBatches × MaxBatch bound the way a pre-counted channel send
+	// could — the depth a Stats query reports is exact, not transient.
+	// Producers that find the queue full wait on qcond; drain tasks never
+	// wait (popBatch is non-blocking), so scheduler workers cannot be
+	// stranded on ingest backpressure.
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	q        [][]reader.TagRead
+	qhead    int
 	closed   bool
 	stopOnce sync.Once
 
@@ -79,7 +112,8 @@ type Session struct {
 // shared deploy.FromHeader derivation.
 func newSession(id string, srv *Server, h trace.Header) (*Session, error) {
 	d := deploy.FromHeader(h, srv.opts.Config, false, false)
-	eng, err := deploy.NewSharded(d, deploy.Options{Workers: srv.opts.Workers})
+	group := srv.sched.NewGroup(id)
+	eng, err := deploy.NewSharded(d, deploy.Options{Workers: srv.opts.Workers, Group: group})
 	if err != nil {
 		return nil, fmt.Errorf("serve: session header: %w", err)
 	}
@@ -87,16 +121,18 @@ func newSession(id string, srv *Server, h trace.Header) (*Session, error) {
 	for _, r := range d.Readers {
 		valid[r.ID] = true
 	}
-	return &Session{
+	s := &Session{
 		ID:      id,
 		srv:     srv,
 		eng:     eng,
+		group:   group,
 		validID: valid,
-		queue:   make(chan []reader.TagRead, srv.opts.QueueBatches),
-		ctrl:    make(chan ctrlReq),
+		ctrl:    make(chan ctrlReq, 8),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
-	}, nil
+	}
+	s.qcond = sync.NewCond(&s.qmu)
+	return s, nil
 }
 
 // ValidReader reports whether a read stamped with this reader ID routes
@@ -113,43 +149,52 @@ func (s *Session) Enqueue(batch []reader.TagRead) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	s.qmu.RLock()
-	defer s.qmu.RUnlock()
+	s.qmu.Lock()
+	if full := len(s.q)-s.qhead >= s.srv.opts.QueueBatches; full && !s.closed {
+		s.stalls.Add(1)
+		s.srv.metrics.Stalls.Add(1)
+		for len(s.q)-s.qhead >= s.srv.opts.QueueBatches && !s.closed {
+			s.qcond.Wait()
+		}
+	}
 	if s.closed {
+		s.qmu.Unlock()
 		return ErrSessionClosed
 	}
 	// Journal-before-visible: the batch reaches the WAL before the queue,
 	// so everything a producer was ever acked for is on disk. A journal
 	// failure rejects the batch outright — the log and the engine never
-	// disagree about what was accepted. (The converse — journaled but
-	// rejected — can only happen to a producer stalled on a full queue
-	// when the session aborts, and aborted sessions delete their log.)
+	// disagree about what was accepted. qmu is held throughout, so Finish
+	// (which takes qmu before journaling its marker) can never interleave
+	// the finish record between a batch's journal append and its enqueue.
 	if err := s.journal(batch); err != nil {
+		s.qmu.Unlock()
 		return err
 	}
-	// All gauges and counters rise before the send and roll back on the
-	// abort path: incrementing after the send races the consumer — the
-	// depth gauge could go transiently negative and ReadsConsumed could
-	// overtake ReadsIngested under a stats query.
+	// Counters rise with the batch under the same lock that admitted it:
+	// ingested leads consumed at every instant, and the depth gauge is
+	// exactly the queued reads — a producer still waiting for space
+	// contributes nothing.
 	n := int64(len(batch))
 	s.queued.Add(n)
 	s.enqueued.Add(n)
 	s.srv.metrics.ReadsIngested.Add(n)
-	select {
-	case s.queue <- batch:
-	default:
-		s.stalls.Add(1)
-		s.srv.metrics.Stalls.Add(1)
-		select {
-		case s.queue <- batch:
-		case <-s.quit:
-			s.queued.Add(-n)
-			s.enqueued.Add(-n)
-			s.srv.metrics.ReadsIngested.Add(-n)
-			return ErrSessionClosed
-		}
-	}
+	s.q = append(s.q, batch)
+	s.qmu.Unlock()
+	// The batch is visible; make sure a drain task is coming for it.
+	s.schedule()
 	return nil
+}
+
+// schedule ensures a drain task is scheduled while the session has work.
+// Every producer-side event (a queued batch, a closed queue, a control
+// request, an abort) calls it AFTER the event is visible: either the CAS
+// wins and the new task sees the event, or a task is already active and
+// its idle transition re-checks pending() before it lets go.
+func (s *Session) schedule() {
+	if s.state.CompareAndSwap(stateIdle, stateActive) {
+		s.srv.sched.Go(s.group, s.drain)
+	}
 }
 
 // Finish closes the ingest side, waits for the consumer to drain the
@@ -165,9 +210,11 @@ func (s *Session) Finish() (*Snapshot, error) {
 		// client sees Finish succeed, recovery rebuilds the session as
 		// finished.
 		s.journalFinish()
-		close(s.queue)
+		// Producers waiting for space find the session closed and fail.
+		s.qcond.Broadcast()
 	}
 	s.qmu.Unlock()
+	s.schedule()
 	<-s.done
 	s.closeWAL()
 	if err := s.Err(); err != nil {
@@ -185,29 +232,27 @@ func (s *Session) stop() {
 	s.stopOnce.Do(func() { close(s.quit) })
 }
 
-// shutdownQueue runs as the consumer loop's last act on every exit path:
-// it unblocks stalled producers, closes the ingest side, and drains
-// whatever batches are still queued so no reads stay pinned in the
-// channel and the depth gauge returns to zero. quit must close before
-// taking qmu: a producer stalled on a full queue holds the read lock
-// until the quit signal frees it.
+// shutdownQueue runs as the consumer's last act on every exit path: it
+// closes the ingest side, releases whatever batches are still queued so
+// the depth gauge returns to zero, and wakes producers waiting for space
+// (they fail with ErrSessionClosed).
 func (s *Session) shutdownQueue() {
 	s.stop()
 	s.qmu.Lock()
-	if !s.closed {
-		s.closed = true
-		close(s.queue)
+	s.closed = true
+	for i := s.qhead; i < len(s.q); i++ {
+		s.queued.Add(-int64(len(s.q[i])))
 	}
+	s.q, s.qhead = nil, 0
+	s.qcond.Broadcast()
 	s.qmu.Unlock()
-	for batch := range s.queue {
-		s.queued.Add(-int64(len(batch)))
-	}
 }
 
 // abort terminates the consumer without draining and unblocks stalled
 // producers.
 func (s *Session) abort() {
 	s.stop()
+	s.schedule()
 	<-s.done
 	s.closeWAL()
 }
@@ -323,72 +368,230 @@ type ctrlResp struct {
 	err  error
 }
 
-// Refresh takes a snapshot of everything consumed so far (on the consumer
-// goroutine) and publishes it. After Finish it returns the final
-// snapshot. It blocks for at most one snapshot's latency behind whatever
-// batch the consumer is currently absorbing.
+// Refresh takes a snapshot of everything consumed so far (on the drain
+// task that owns the engine) and publishes it. After Finish it returns
+// the final snapshot. It blocks for at most one snapshot's latency behind
+// whatever batch the consumer is currently absorbing.
 func (s *Session) Refresh() (*Snapshot, error) {
 	req := ctrlReq{reply: make(chan ctrlResp, 1)}
 	select {
 	case s.ctrl <- req:
-		resp := <-req.reply
-		return resp.snap, resp.err
+		// Request is visible; a drain task will serve it — unless the
+		// session terminates first, in which case done unblocks us and the
+		// finished-session answer below applies.
+		s.schedule()
+		select {
+		case resp := <-req.reply:
+			return resp.snap, resp.err
+		case <-s.done:
+		}
 	case <-s.done:
-		if err := s.Err(); err != nil {
-			return nil, err
-		}
-		if snap := s.latest.Load(); snap != nil {
-			return snap, nil
-		}
-		return nil, fmt.Errorf("serve: session %s has no snapshot", s.ID)
 	}
+	// A terminated session answers with what it has: its failure, or its
+	// last published snapshot.
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	if snap := s.latest.Load(); snap != nil {
+		return snap, nil
+	}
+	return nil, fmt.Errorf("serve: session %s has no snapshot", s.ID)
 }
 
-// loop is the session's consumer goroutine: it owns the engine, drains
-// the queue, publishes periodic snapshots, and answers refresh requests.
-func (s *Session) loop() {
-	defer close(s.done)
-	defer s.srv.metrics.SessionsFinished.Add(1)
-	// Only this goroutine touches the engine, so it can drop the
-	// reference on exit: a finished session keeps just its published
-	// snapshot, not the engine's profiles and caches.
-	defer func() { s.eng = nil }()
-	// LIFO: the queue closes and drains first, then the engine drops,
-	// then done closes.
-	defer s.shutdownQueue()
-	sincePublish := 0
+// drainYield is how many batches one drain task absorbs before requeueing
+// itself, so a firehose session shares the pool with its neighbors at a
+// bounded granularity.
+const drainYield = 32
+
+// drain is the session's consumer, run as a scheduler task while
+// state == Active. It owns the engine exclusively: the state machine
+// admits one drain at a time, and hand-offs (requeue, idle transition,
+// schedule) all cross the scheduler's or the state atomic's
+// happens-before edges.
+func (s *Session) drain() {
+	batches := 0
 	for {
 		select {
 		case <-s.quit:
+			s.terminate()
 			return
+		default:
+		}
+		// Control requests are served before the queue so Refresh latency
+		// stays one snapshot, not one backlog.
+		select {
 		case req := <-s.ctrl:
 			snap, err := s.takeSnapshot(false)
 			req.reply <- ctrlResp{snap: snap, err: err}
-		case batch, ok := <-s.queue:
-			if !ok {
+			continue
+		default:
+		}
+		batch, ok, closed := s.popBatch()
+		if !ok {
+			if closed {
+				// Ingest side closed and the queue is drained: publish the
+				// final snapshot and retire.
 				if _, err := s.takeSnapshot(true); err != nil {
 					s.setErr(err)
 				}
+				s.terminate()
 				return
 			}
-			n := int64(len(batch))
-			s.queued.Add(-n)
-			if err := s.eng.Consume(batch); err != nil {
-				// The HTTP path pre-validates reader IDs but the exported
-				// Enqueue does not; record the failure and stop consuming
-				// so Finish surfaces it (the shutdown drain releases any
-				// batches still queued).
+			// Nothing runnable. Step down, then re-check: an event that
+			// arrived between our polls and the Store saw state Active and
+			// did not schedule — it is ours to pick up, via a fresh CAS.
+			s.state.Store(stateIdle)
+			if !s.pending() {
+				return
+			}
+			if !s.state.CompareAndSwap(stateIdle, stateActive) {
+				// Someone else's schedule() won the CAS; their task takes
+				// over.
+				return
+			}
+			continue
+		}
+		n := int64(len(batch))
+		if err := s.eng.Consume(batch); err != nil {
+			// The HTTP path pre-validates reader IDs but the exported
+			// Enqueue does not; record the failure and stop consuming
+			// so Finish surfaces it (the shutdown path releases any
+			// batches still queued).
+			s.setErr(err)
+			s.terminate()
+			return
+		}
+		s.consumed.Add(n)
+		s.srv.metrics.ReadsConsumed.Add(n)
+		s.sincePublish += len(batch)
+		if pe := s.srv.opts.PublishEvery; pe > 0 && s.sincePublish >= pe {
+			// Periodic publish; failures here just mean "no tags yet".
+			s.takeSnapshot(false)
+			s.sincePublish = 0
+		}
+		if batches++; batches >= drainYield {
+			// Yield the worker: requeue ourselves (state stays Active,
+			// so producers won't double-schedule) and let the fairness
+			// pick decide who runs next.
+			s.srv.sched.Go(s.group, s.drain)
+			return
+		}
+	}
+}
+
+// popBatch takes the oldest queued batch, moving the depth gauge under
+// the same lock — space opens and the gauge drops atomically, so a
+// producer admitted into the freed slot can never observe (or cause) a
+// depth above the bound. ok=false means the queue is empty; closed then
+// tells the drain whether that is terminal.
+func (s *Session) popBatch() (batch []reader.TagRead, ok, closed bool) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.qhead >= len(s.q) {
+		return nil, false, s.closed
+	}
+	batch = s.q[s.qhead]
+	s.q[s.qhead] = nil
+	s.qhead++
+	if s.qhead == len(s.q) {
+		s.q, s.qhead = s.q[:0], 0
+	}
+	s.queued.Add(-int64(len(batch)))
+	s.qcond.Signal()
+	return batch, true, false
+}
+
+// pending reports whether the session has anything a drain task should
+// handle: an abort, a control request, queued batches, or a closed ingest
+// side awaiting its final snapshot.
+func (s *Session) pending() bool {
+	select {
+	case <-s.quit:
+		return true
+	default:
+	}
+	if len(s.ctrl) > 0 {
+		return true
+	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.qhead < len(s.q) || s.closed
+}
+
+// terminate retires the session: same sequence the old consumer
+// goroutine ran on exit — shut the queue, drop the engine, count the
+// finish, close done. Runs exactly once, from the drain task that owns
+// the engine (or from replay, before the session is reachable).
+func (s *Session) terminate() {
+	s.state.Store(stateDead)
+	s.shutdownQueue()
+	// The engine owner drops the reference on exit: a finished session
+	// keeps just its published snapshot, not the engine's profiles and
+	// caches. Pooled holdings (per-tag DTW matrices) go back to their
+	// free-lists first so the next session ramps up on recycled arrays.
+	if s.eng != nil {
+		s.eng.Release()
+	}
+	s.eng = nil
+	s.srv.metrics.SessionsFinished.Add(1)
+	close(s.done)
+}
+
+// replay feeds a recovered log straight into the engine. It runs as one
+// scheduler task per session during boot, before the server is reachable,
+// so the session has no producers and no drain task: exclusive engine
+// access is free, and bypassing the bounded queue means scheduler workers
+// never block on ingest backpressure. The Consume/Snapshot sequence — and
+// the PublishEvery cadence — are exactly what live ingest would run over
+// the same batches, so the rebuilt state is byte-identical to an offline
+// replay of the journaled prefix. Replayed reads flow through the
+// ingest/consume counters like live traffic; ReadsRecovered (bumped by
+// the caller) reports how much of that came from the logs.
+func (s *Session) replay(rec *wal.Recovered, log *wal.Log) {
+	failed := false
+	for _, batch := range rec.Batches {
+		n := int64(len(batch))
+		s.enqueued.Add(n)
+		s.srv.metrics.ReadsIngested.Add(n)
+		if err := s.eng.Consume(batch); err != nil {
+			s.setErr(err)
+			failed = true
+			break
+		}
+		s.consumed.Add(n)
+		s.srv.metrics.ReadsConsumed.Add(n)
+		s.sincePublish += len(batch)
+		if pe := s.srv.opts.PublishEvery; pe > 0 && s.sincePublish >= pe {
+			s.takeSnapshot(false)
+			s.sincePublish = 0
+		}
+	}
+	switch {
+	case rec.Finished:
+		// The log ends with a finish marker: rebuild the final snapshot
+		// and retire, exactly as Finish would have. An error (e.g. a
+		// session finished before any reads) parks in Err as it did in the
+		// process that wrote the log.
+		if !failed {
+			if _, err := s.takeSnapshot(true); err != nil {
 				s.setErr(err)
-				return
 			}
-			s.consumed.Add(n)
-			s.srv.metrics.ReadsConsumed.Add(n)
-			sincePublish += len(batch)
-			if pe := s.srv.opts.PublishEvery; pe > 0 && sincePublish >= pe {
-				// Periodic publish; failures here just mean "no tags yet".
-				s.takeSnapshot(false)
-				sincePublish = 0
-			}
+		}
+		s.terminate()
+	case failed:
+		// A journaled batch the engine rejects (config drift): the session
+		// dies holding the error, like a live consumer failure. Keep the
+		// repaired log on disk for inspection.
+		if log != nil {
+			s.attachWAL(log)
+		}
+		s.terminate()
+		s.closeWAL()
+	default:
+		// Live session: journal future batches onto the repaired log and
+		// wait for producers, idle.
+		if log != nil {
+			s.attachWAL(log)
 		}
 	}
 }

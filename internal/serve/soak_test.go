@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/wal"
 )
@@ -26,6 +28,23 @@ func TestSoakConcurrentSessions(t *testing.T) {
 	opts.DataDir = t.TempDir()
 	opts.Fsync = wal.SyncNever
 	srv := newTestServer(t, opts)
+
+	// Warm up one full session so the scheduler's worker pool is running,
+	// then baseline the goroutine count: sessions are drain tasks on that
+	// fixed pool, so the churn below must not grow the count — the leak
+	// the old goroutine-per-session design would show here.
+	warm, err := srv.CreateSession(tr.Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Enqueue(tr.Reads[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	srv.DropSession(warm.ID)
+	goroutinesBefore := runtime.NumGoroutine()
 
 	const (
 		workers   = 6
@@ -117,20 +136,20 @@ func TestSoakConcurrentSessions(t *testing.T) {
 	pollWG.Wait()
 
 	st := srv.Stats()
-	total := int64(workers * perWorker)
+	total := int64(workers*perWorker) + 1 // + the warmup session
 	if st.SessionsCreated != total {
 		t.Errorf("SessionsCreated = %d, want %d", st.SessionsCreated, total)
 	}
-	// Every session's consumer loop has exited: finished + dropped all
-	// count as finished in the metrics.
+	// Every session's consumer has retired: finished + dropped all count
+	// as finished in the metrics.
 	if st.SessionsFinished != total {
 		t.Errorf("SessionsFinished = %d, want %d", st.SessionsFinished, total)
 	}
 	if st.SessionsActive != 0 {
 		t.Errorf("SessionsActive = %d after all sessions closed", st.SessionsActive)
 	}
-	if st.ReadsIngested != accepted.Load() {
-		t.Errorf("ReadsIngested = %d, producers were acked for %d", st.ReadsIngested, accepted.Load())
+	if want := accepted.Load() + 100; st.ReadsIngested != want { // + the warmup reads
+		t.Errorf("ReadsIngested = %d, producers were acked for %d", st.ReadsIngested, want)
 	}
 	if st.ReadsConsumed > st.ReadsIngested {
 		t.Errorf("ReadsConsumed = %d > ReadsIngested = %d", st.ReadsConsumed, st.ReadsIngested)
@@ -155,7 +174,22 @@ func TestSoakConcurrentSessions(t *testing.T) {
 	if lingering > opts.RetainFinished+workers {
 		t.Errorf("%d sessions linger, retention bound %d", lingering, opts.RetainFinished)
 	}
-	if dropped.Load()+finished.Load() != total {
-		t.Errorf("accounting hole: %d dropped + %d finished != %d", dropped.Load(), finished.Load(), total)
+	if dropped.Load()+finished.Load() != total-1 {
+		t.Errorf("accounting hole: %d dropped + %d finished != %d", dropped.Load(), finished.Load(), total-1)
+	}
+
+	// The goroutine-leak check: 18 sessions of churn ran entirely on the
+	// warm scheduler pool, so the goroutine count must settle back to the
+	// baseline (give stragglers — test pollers, finalizing producers — a
+	// moment to unwind).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= goroutinesBefore+3 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Errorf("goroutines grew %d -> %d across session churn: consumer leak", goroutinesBefore, g)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

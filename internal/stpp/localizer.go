@@ -162,9 +162,19 @@ func (l *Localizer) NewDetectState() *DetectState { return l.det.NewDetectState(
 // shard the same way and then stitches the per-shard orders
 // (internal/deploy).
 func (l *Localizer) Assemble(tags []TagResult) *Result {
+	return l.AssembleStates(tags, nil)
+}
+
+// AssembleStates is Assemble with per-tag detection states (aligned with
+// tags; nil slice or nil entries degrade to the stateless path) so the Y
+// stage's valley windowing can resume each tag's cached unwrap/median
+// curves instead of recomputing them over the whole profile — the
+// streaming engine assembles every snapshot, so this keeps the Y stage
+// incremental too. Results are bit-identical to Assemble.
+func (l *Localizer) AssembleStates(tags []TagResult, states []*DetectState) *Result {
 	res := &Result{Tags: tags}
 	res.XOrder = l.AssembleX(tags)
-	res.YOrder = l.AssembleY(tags)
+	res.YOrder = l.assembleY(tags, states)
 	return res
 }
 
@@ -189,6 +199,10 @@ func (l *Localizer) AssembleX(tags []TagResult) []int {
 // signed gaps from a per-call pivot, so they are only comparable within one
 // assembly — per-shard Y orders are stitched as orders, not as keys.
 func (l *Localizer) AssembleY(tags []TagResult) []int {
+	return l.assembleY(tags, nil)
+}
+
+func (l *Localizer) assembleY(tags []TagResult, states []*DetectState) []int {
 	n := len(tags)
 	profiles := make([]*profile.Profile, n)
 	vzones := make([]VZone, n)
@@ -196,7 +210,7 @@ func (l *Localizer) AssembleY(tags []TagResult) []int {
 		profiles[i] = tags[i].Profile
 		vzones[i] = tags[i].VZone
 	}
-	ykeys, errs := l.cfg.YKeysOf(profiles, vzones, 0)
+	ykeys, errs := l.cfg.YKeysOfStates(states, profiles, vzones, 0)
 	for i := range tags {
 		if tags[i].Err == nil && errs[i] != nil {
 			tags[i].Err = errs[i]

@@ -82,16 +82,23 @@ func (d *Detector) Detect(p *profile.Profile) (VZone, error) {
 	}
 	res, _, _ := dtw.AlignSegmentsOpenEndOpt(d.refSegs, segs,
 		dtw.SegmentAlignOpts{Stiffness: d.cfg.DTWStiffness})
-	return d.vzoneFromAlignment(p, segs, res)
+	return d.vzoneFromAlignment(nil, p, segs, res)
 }
 
 // DetectState is the resumable per-tag state behind DetectIncremental: the
-// tag's segment cache plus the open-end DTW aligner holding the DP columns
-// computed so far. A state belongs to one (detector, tag) pair and is not
-// safe for concurrent use.
+// tag's segment cache, the open-end DTW aligner holding the DP columns
+// computed so far, and the V-zone refinement's unwrap/median curves with
+// the prefix length they are valid for. A state belongs to one
+// (detector, tag) pair and is not safe for concurrent use.
 type DetectState struct {
 	segs *profile.SegmentCache
 	al   *dtw.SegmentAligner
+	// u and um cache refineVZone's circular unwrap and its median-filtered
+	// form over the profile's first uLen samples. The unwrap is a cumulative
+	// sum and the median windows are local, so on append-only growth both
+	// resume from uLen instead of recomputing from sample 0.
+	u, um []float64
+	uLen  int
 }
 
 // NewDetectState allocates the incremental detection state for one tag.
@@ -105,16 +112,75 @@ func (d *Detector) NewDetectState() *DetectState {
 
 // Reset invalidates the state after the tag's profile changed other than
 // by appending (an out-of-order read forced a re-sort): the segment cache
-// rebuilds from sample 0 and the aligner recomputes from the first changed
-// segment on the next DetectIncremental.
+// rebuilds from sample 0, the aligner recomputes from the first changed
+// segment, and the refinement curves recompute in full on the next
+// DetectIncremental.
 func (s *DetectState) Reset() {
 	s.segs.Invalidate()
+	s.uLen = 0
+}
+
+// Release returns the state's pooled holdings (the DTW matrix) to their
+// free-lists when the tag's session is over. The state remains usable;
+// subsequent detections recompute from scratch.
+func (s *DetectState) Release() {
+	s.al.Release()
+	s.uLen = 0
+}
+
+// unwrapMedian returns the median-filtered circular unwrap of the profile,
+// resuming the cached curves from the last call's length: the unwrap
+// continues the cumulative sum from u[uLen−1], and the median filter
+// recomputes only the indices whose window reaches into the new samples.
+// Bit-identical to the from-scratch computation in refineVZone because the
+// resumed arithmetic runs the same operations in the same order over an
+// unchanged prefix.
+func (s *DetectState) unwrapMedian(p *profile.Profile) []float64 {
+	n := p.Len()
+	n0 := s.uLen
+	if n0 > n {
+		n0 = 0 // shrunk without Reset; recompute rather than misrefine
+	}
+	if n0 == n && n > 0 {
+		return s.um[:n]
+	}
+	if cap(s.u) < n {
+		c := 2 * cap(s.u)
+		if c < n {
+			c = n
+		}
+		grown := make([]float64, n, c)
+		copy(grown, s.u[:n0])
+		s.u = grown
+	}
+	u := s.u[:n]
+	phases := p.Phases
+	i := n0
+	if i == 0 {
+		u[0] = phases[0]
+		i = 1
+	}
+	for ; i < n; i++ {
+		d := phases[i] - phases[i-1]
+		if d > math.Pi {
+			d -= 2 * math.Pi
+		} else if d <= -math.Pi {
+			d += 2 * math.Pi
+		}
+		u[i] = u[i-1] + d
+	}
+	s.u = u
+	s.um = dsp.MedianFilterRangeTo(s.um[:n0], u, medianWidth, n0-medianWidth/2)
+	s.uLen = n
+	return s.um
 }
 
 // DetectIncremental is Detect resuming from a previous call's state: the
-// profile is re-segmented only from the last window boundary and the
-// segment DTW extends its held DP columns, so a detection after k new reads
-// costs O(refSegs·k/w) instead of O(refSegs·len(p)/w²). The result is
+// profile is re-segmented only from the last window boundary, the segment
+// DTW extends its held DP columns, and the V-zone refinement resumes its
+// unwrap/median curves from the previous profile length, so a detection
+// after k new reads costs O(refSegs·k/w + k) instead of
+// O(refSegs·len(p)/w² + len(p)). The result is
 // byte-identical to Detect over the same profile — the segment cache
 // reproduces Segmentize exactly on append-only growth, and the batch
 // alignment is itself a one-shot run of the same SegmentAligner code. The
@@ -133,13 +199,15 @@ func (d *Detector) DetectIncremental(st *DetectState, p *profile.Profile) (VZone
 		return VZone{}, fmt.Errorf("stpp: empty segmentation")
 	}
 	res, _, _ := st.al.Align(segs)
-	return d.vzoneFromAlignment(p, segs, res)
+	return d.vzoneFromAlignment(st, p, segs, res)
 }
 
 // vzoneFromAlignment maps an open-end alignment of the reference against
 // the measured segmentation onto the measured profile and refines the
-// candidate — the shared back half of Detect and DetectIncremental.
-func (d *Detector) vzoneFromAlignment(p *profile.Profile, segs []dtw.Segment, res dtw.Result) (VZone, error) {
+// candidate — the shared back half of Detect and DetectIncremental. A
+// non-nil state supplies the refinement's unwrap/median curves from its
+// incremental cache; nil recomputes them into pooled scratch.
+func (d *Detector) vzoneFromAlignment(st *DetectState, p *profile.Profile, segs []dtw.Segment, res dtw.Result) (VZone, error) {
 	if len(res.Path) == 0 {
 		return VZone{}, fmt.Errorf("stpp: alignment produced no path")
 	}
@@ -169,7 +237,11 @@ func (d *Detector) vzoneFromAlignment(p *profile.Profile, segs []dtw.Segment, re
 	// profile, take the unwrapped minimum near the candidate, and expand
 	// until the phase has risen one full period on each side — the wrap
 	// positions that define the V-zone (Section 2.2).
-	start, end = refineVZone(p, start, end)
+	if st != nil {
+		start, end = refineVZoneFiltered(st.unwrapMedian(p), start, end)
+	} else {
+		start, end = refineVZone(p, start, end)
+	}
 	if end-start < d.cfg.MinVZoneSamples {
 		return VZone{}, fmt.Errorf("stpp: detected V-zone too sparse (%d samples)", end-start)
 	}
@@ -206,6 +278,11 @@ func circularUnwrapInto(dst []float64, phases []float64) []float64 {
 	return u
 }
 
+// medianWidth is the median-filter window of the V-zone refinement and
+// valley re-windowing; DetectState's incremental cache depends on it to
+// know how far a profile append can perturb the filtered curve.
+const medianWidth = 5
+
 // refineVZone snaps a candidate V-zone region to the enclosing
 // single-period valley of the profile's circular-unwrapped phase.
 func refineVZone(p *profile.Profile, candStart, candEnd int) (int, int) {
@@ -224,8 +301,15 @@ func refineVZone(p *profile.Profile, candStart, candEnd int) (int, int) {
 
 	// Median-filter the unwrapped curve so noise outliers do not fake a
 	// bottom or trip the rise thresholds.
-	sc.um = dsp.MedianFilterTo(sc.um, u, 5)
-	um := sc.um
+	sc.um = dsp.MedianFilterTo(sc.um, u, medianWidth)
+	return refineVZoneFiltered(sc.um, candStart, candEnd)
+}
+
+// refineVZoneFiltered is the search-and-expand half of refineVZone over an
+// already median-filtered unwrap um of the whole profile — shared by the
+// pooled batch path and DetectState's cached incremental path.
+func refineVZoneFiltered(um []float64, candStart, candEnd int) (int, int) {
+	n := len(um)
 
 	// Search the candidate region (with half-width margin) for the minimum.
 	margin := (candEnd - candStart) / 2
@@ -326,9 +410,30 @@ func ValleyWindow(p *profile.Profile, vz VZone, rise float64) (times, phases []f
 	sc := unwrapPool.Get().(*unwrapScratch)
 	defer unwrapPool.Put(sc)
 	sc.u = circularUnwrapInto(sc.u, p.Phases)
-	u := sc.u
-	sc.um = dsp.MedianFilterTo(sc.um, u, 5)
-	um := sc.um
+	sc.um = dsp.MedianFilterTo(sc.um, sc.u, medianWidth)
+	return valleyWindowCurves(sc.u, sc.um, p, vz, rise)
+}
+
+// ValleyWindow is the package-level ValleyWindow resuming this state's
+// cached unwrap/median curves instead of recomputing them over the whole
+// profile — the streaming engine's Y stage runs it once per tag on every
+// snapshot, which made the from-scratch unwrap an O(stream²) term. Same
+// append-only/Reset contract and bit-identical output as the package
+// function.
+func (s *DetectState) ValleyWindow(p *profile.Profile, vz VZone, rise float64) (times, phases []float64) {
+	n := p.Len()
+	if n == 0 || vz.End <= vz.Start {
+		return nil, nil
+	}
+	um := s.unwrapMedian(p)
+	return valleyWindowCurves(s.u[:n], um, p, vz, rise)
+}
+
+// valleyWindowCurves is the shared body of both ValleyWindow variants over
+// already-computed whole-profile curves: u the circular unwrap, um its
+// median filtering.
+func valleyWindowCurves(u, um []float64, p *profile.Profile, vz VZone, rise float64) (times, phases []float64) {
+	n := p.Len()
 	bottom := vz.Start
 	for i := vz.Start; i < vz.End && i < n; i++ {
 		if um[i] < um[bottom] {

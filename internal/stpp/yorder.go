@@ -65,6 +65,21 @@ type YKey struct {
 // yield an error at that index in errs; their key is the zero value and
 // they sort adjacent to the pivot.
 func (c Config) YKeysOf(profiles []*profile.Profile, vzones []VZone, pivot int) ([]YKey, []error) {
+	return c.yKeys(nil, profiles, vzones, pivot)
+}
+
+// YKeysOfStates is YKeysOf with per-tag detection states supplying cached
+// unwrap/median curves to the valley windowing: the streaming engine's
+// snapshot cadence calls this once per snapshot over every tag, and the
+// cached curves turn the Y stage from O(profile) per tag back into
+// O(new reads). states may be nil, or hold nil entries for tags without
+// state; those fall back to the from-scratch windowing. Output is
+// bit-identical to YKeysOf either way.
+func (c Config) YKeysOfStates(states []*DetectState, profiles []*profile.Profile, vzones []VZone, pivot int) ([]YKey, []error) {
+	return c.yKeys(states, profiles, vzones, pivot)
+}
+
+func (c Config) yKeys(states []*DetectState, profiles []*profile.Profile, vzones []VZone, pivot int) ([]YKey, []error) {
 	n := len(profiles)
 	keys := make([]YKey, n)
 	errs := make([]error, n)
@@ -85,7 +100,12 @@ func (c Config) YKeysOf(profiles []*profile.Profile, vzones []VZone, pivot int) 
 		// Segment means over a fixed-depth valley window so windows are
 		// comparable across tags and a nadir that wraps through 0 does not
 		// corrupt the averages.
-		_, phases := ValleyWindow(p, vz, c.YRiseWindow)
+		var phases []float64
+		if states != nil && states[i] != nil {
+			_, phases = states[i].ValleyWindow(p, vz, c.YRiseWindow)
+		} else {
+			_, phases = ValleyWindow(p, vz, c.YRiseWindow)
+		}
 		m, err := segmentMeans(phases, c.YSegments)
 		if err != nil {
 			errs[i] = err

@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"strconv"
+
+	"repro/internal/epcgen2"
+	"repro/internal/reader"
+)
+
+// This file holds the hand-rolled scanner behind UnmarshalRead. WAL
+// recovery and HTTP ingest decode one small flat JSON object per read, and
+// encoding/json's generality (reflection, field matching, escape
+// processing) dominated both profiles. The scanner handles exactly the
+// wire shape MarshalRead emits — a flat object of known keys, escape-free
+// strings, plain numbers — and reports "not handled" on ANY deviation, at
+// which point the caller re-parses with encoding/json. Malformed or
+// unusual input therefore keeps the stock decoder's semantics and error
+// text verbatim; the fast path only ever commits to a result encoding/json
+// would also produce: numbers go through the same strconv parsing, and the
+// EPC field through the same hex decode as epcgen2.ParseEPC.
+
+// fastUnmarshalRead scans one canonical read line. handled=false means the
+// input strayed from the canonical shape and the caller must fall back to
+// encoding/json; handled=true means the result (or EPC error, the one
+// error the slow path can produce on valid JSON) is authoritative.
+func fastUnmarshalRead(data []byte) (r reader.TagRead, err error, handled bool) {
+	n := len(data)
+	p := 0
+	skip := func() {
+		for p < n && (data[p] == ' ' || data[p] == '\t' || data[p] == '\r' || data[p] == '\n') {
+			p++
+		}
+	}
+	skip()
+	if p >= n || data[p] != '{' {
+		return r, nil, false
+	}
+	p++
+	skip()
+	var epcTok []byte
+	if p < n && data[p] == '}' {
+		p++ // empty object: all fields zero, EPC check below rejects it
+	} else {
+		for {
+			if p >= n || data[p] != '"' {
+				return r, nil, false
+			}
+			p++
+			ks := p
+			for p < n && data[p] != '"' {
+				if data[p] == '\\' {
+					return r, nil, false
+				}
+				p++
+			}
+			if p >= n {
+				return r, nil, false
+			}
+			key := data[ks:p]
+			p++
+			skip()
+			if p >= n || data[p] != ':' {
+				return r, nil, false
+			}
+			p++
+			skip()
+			switch string(key) { // compiled as comparisons, no allocation
+			case "epc":
+				if p >= n || data[p] != '"' {
+					return r, nil, false
+				}
+				p++
+				vs := p
+				for p < n && data[p] != '"' {
+					if data[p] == '\\' || data[p] < 0x20 {
+						return r, nil, false
+					}
+					p++
+				}
+				if p >= n {
+					return r, nil, false
+				}
+				epcTok = data[vs:p]
+				p++
+			case "t":
+				v, ok := scanFloat(data, &p)
+				if !ok {
+					return r, nil, false
+				}
+				r.Time = v
+			case "phase":
+				v, ok := scanFloat(data, &p)
+				if !ok {
+					return r, nil, false
+				}
+				r.Phase = v
+			case "rssi":
+				v, ok := scanFloat(data, &p)
+				if !ok {
+					return r, nil, false
+				}
+				r.RSSI = v
+			case "ch":
+				v, ok := scanInt(data, &p)
+				if !ok {
+					return r, nil, false
+				}
+				r.Channel = v
+			case "rdr":
+				v, ok := scanInt(data, &p)
+				if !ok {
+					return r, nil, false
+				}
+				r.Reader = v
+			default:
+				// Unknown key: encoding/json would skip it; punting keeps
+				// this scanner free of general value skipping.
+				return r, nil, false
+			}
+			skip()
+			if p < n && data[p] == ',' {
+				p++
+				skip()
+				continue
+			}
+			if p < n && data[p] == '}' {
+				p++
+				break
+			}
+			return r, nil, false
+		}
+	}
+	skip()
+	if p != n {
+		return r, nil, false
+	}
+	if !decodeEPC24(epcTok, &r.EPC) {
+		// Not a clean 24-hex-digit EPC: let ParseEPC produce the exact
+		// error (or handle oddities like internal whitespace) the slow
+		// path would.
+		e, perr := epcgen2.ParseEPC(string(epcTok))
+		if perr != nil {
+			return reader.TagRead{}, perr, true
+		}
+		r.EPC = e
+	}
+	return r, nil, true
+}
+
+// decodeEPC24 decodes the common case — exactly 24 hex digits — straight
+// into the EPC without the hex package's intermediate allocation.
+func decodeEPC24(tok []byte, e *epcgen2.EPC) bool {
+	if len(tok) != 2*len(e) {
+		return false
+	}
+	for i := 0; i < len(e); i++ {
+		hi := hexVal(tok[2*i])
+		lo := hexVal(tok[2*i+1])
+		if hi < 0 || lo < 0 {
+			return false
+		}
+		e[i] = byte(hi<<4 | lo)
+	}
+	return true
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// jsonNumEnd returns the index just past a valid JSON number starting at
+// p, or -1. The JSON grammar is checked exactly — strconv alone is too
+// permissive ("+1", ".5", "0x1p2", "Inf" all parse) and accepting those
+// here would diverge from encoding/json.
+func jsonNumEnd(b []byte, p int) int {
+	i, n := p, len(b)
+	if i < n && b[i] == '-' {
+		i++
+	}
+	if i >= n {
+		return -1
+	}
+	switch {
+	case b[i] == '0':
+		i++
+	case b[i] >= '1' && b[i] <= '9':
+		for i < n && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	default:
+		return -1
+	}
+	if i < n && b[i] == '.' {
+		i++
+		if i >= n || b[i] < '0' || b[i] > '9' {
+			return -1
+		}
+		for i < n && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	if i < n && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < n && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		if i >= n || b[i] < '0' || b[i] > '9' {
+			return -1
+		}
+		for i < n && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	return i
+}
+
+// scanFloat parses a JSON number with the same strconv.ParseFloat call
+// encoding/json bottoms out in, so the rounded value is bit-identical.
+func scanFloat(b []byte, p *int) (float64, bool) {
+	end := jsonNumEnd(b, *p)
+	if end < 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(string(b[*p:end]), 64)
+	if err != nil {
+		return 0, false // e.g. out of range: let encoding/json report it
+	}
+	*p = end
+	return v, true
+}
+
+// scanInt parses a JSON number destined for an int field the way
+// encoding/json does — strconv.ParseInt on the literal — so fractions,
+// exponents and overflow all fall back to produce the stock error.
+func scanInt(b []byte, p *int) (int, bool) {
+	end := jsonNumEnd(b, *p)
+	if end < 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(string(b[*p:end]), 10, 64)
+	if err != nil || int64(int(v)) != v {
+		return 0, false
+	}
+	*p = end
+	return int(v), true
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/reader"
+)
+
+// slowUnmarshalRead is the pure encoding/json path, the semantic reference
+// the fast scanner must be indistinguishable from.
+func slowUnmarshalRead(data []byte) (reader.TagRead, error) {
+	var j jsonRead
+	if err := json.Unmarshal(data, &j); err != nil {
+		return reader.TagRead{}, err
+	}
+	return j.toTagRead()
+}
+
+// TestFastUnmarshalMatchesEncodingJSON feeds the full UnmarshalRead (fast
+// scanner + fallback) a gauntlet of canonical, legal-but-odd, and
+// malformed lines and requires value-and-error equivalence with a pure
+// encoding/json decode.
+func TestFastUnmarshalMatchesEncodingJSON(t *testing.T) {
+	lines := []string{
+		// Canonical encoder output.
+		`{"epc":"306400000000000000000001","t":0.25,"phase":3.1,"rssi":-58.5,"ch":6,"rdr":2}`,
+		`{"epc":"306400000000000000000001","t":0.25,"phase":3.1,"rssi":-58.5,"ch":6}`,
+		// Shortest-round-trip float reprs with full 17-digit mantissas.
+		`{"epc":"30640000000000000000ffff","t":0.1234567890123456,"phase":6.123233995736766e-17,"rssi":-61,"ch":11}`,
+		// Whitespace, reordering, uppercase hex.
+		` { "rdr" : 1 , "epc" : "30640000AbCdEf0000000001" , "t" : 2e3 } `,
+		"\t{\"epc\":\"306400000000000000000001\",\"t\":1}\n",
+		// Duplicate key: last wins in encoding/json.
+		`{"epc":"306400000000000000000001","t":1,"t":2}`,
+		// Degenerate/zero cases.
+		`{}`,
+		`{"epc":""}`,
+		`{"epc":"306400000000000000000001"}`,
+		// Numbers that stress grammar vs strconv divergence.
+		`{"epc":"306400000000000000000001","t":1e308}`,
+		`{"epc":"306400000000000000000001","t":1e999}`,
+		`{"epc":"306400000000000000000001","t":-0}`,
+		`{"epc":"306400000000000000000001","t":0.0e0}`,
+		`{"epc":"306400000000000000000001","t":+1}`,
+		`{"epc":"306400000000000000000001","t":.5}`,
+		`{"epc":"306400000000000000000001","t":01}`,
+		`{"epc":"306400000000000000000001","t":1.}`,
+		`{"epc":"306400000000000000000001","t":Inf}`,
+		`{"epc":"306400000000000000000001","t":NaN}`,
+		// Int fields: fractions/exponents/overflow must error like stock.
+		`{"epc":"306400000000000000000001","ch":3.5}`,
+		`{"epc":"306400000000000000000001","ch":3e2}`,
+		`{"epc":"306400000000000000000001","ch":99999999999999999999}`,
+		`{"epc":"306400000000000000000001","ch":-7}`,
+		// Escapes and unicode in the EPC string.
+		`{"epc":"30640000000000000000000\u0031","t":1}`,
+		`{"epc":"3064000000000000000000\n01"}`,
+		// Unknown keys, nested values, nulls, wrong types.
+		`{"epc":"306400000000000000000001","t":1,"extra":42}`,
+		`{"epc":"306400000000000000000001","t":null}`,
+		`{"epc":null}`,
+		`{"epc":["3064"]}`,
+		`{"epc":"306400000000000000000001","t":"zero"}`,
+		// Structurally malformed.
+		``,
+		`garbage`,
+		`{"epc":"306400000000000000000001"`,
+		`{"epc":"306400000000000000000001",}`,
+		`{"epc":"306400000000000000000001","t":1}trailing`,
+		`[1,2]`,
+		`"just a string"`,
+	}
+	for _, line := range lines {
+		got, gerr := UnmarshalRead([]byte(line))
+		want, werr := slowUnmarshalRead([]byte(line))
+		if (gerr == nil) != (werr == nil) {
+			t.Errorf("%q: err = %v, encoding/json err = %v", line, gerr, werr)
+			continue
+		}
+		if gerr != nil {
+			if gerr.Error() != werr.Error() {
+				t.Errorf("%q: error text diverged:\n fast: %v\n slow: %v", line, gerr, werr)
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("%q: read diverged:\n fast: %+v\n slow: %+v", line, got, want)
+		}
+	}
+}
+
+// TestFastUnmarshalMatchesOnGeneratedReads round-trips randomized reads
+// through the real encoder so the fast path is exercised on exactly the
+// bytes the WAL journals and loadgen replays.
+func TestFastUnmarshalMatchesOnGeneratedReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 2000; i++ {
+		var rd reader.TagRead
+		rng.Read(rd.EPC[:])
+		rd.Time = rng.Float64() * 100
+		rd.Phase = rng.NormFloat64()
+		rd.RSSI = -40 - rng.Float64()*30
+		rd.Channel = rng.Intn(50)
+		if rng.Intn(2) == 0 {
+			rd.Reader = rng.Intn(8)
+		}
+		line, err := MarshalRead(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err, handled := fastUnmarshalRead(line)
+		if err != nil || !handled {
+			t.Fatalf("canonical line not fast-parsed (%v, handled=%v): %s", err, handled, line)
+		}
+		slow, err := slowUnmarshalRead(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast != slow {
+			t.Fatalf("line %s:\n fast %+v\n slow %+v", line, fast, slow)
+		}
+	}
+}
+
+// TestFastUnmarshalFallbackCoverage pins that the canonical shape really
+// takes the fast path — a silent fallback would quietly give the speedup
+// back — while anomalies really do fall back.
+func TestFastUnmarshalFallbackCoverage(t *testing.T) {
+	if _, err, handled := fastUnmarshalRead([]byte(`{"epc":"306400000000000000000001","t":1,"phase":2,"rssi":-60,"ch":6,"rdr":1}`)); !handled || err != nil {
+		t.Errorf("canonical line: handled=%v err=%v", handled, err)
+	}
+	for _, line := range []string{
+		`{"epc":"306400000000000000000001","unknown":1}`,
+		`{"epc":"3064\u00410000000000000001"}`,
+		`{"epc":"306400000000000000000001","ch":1.5}`,
+	} {
+		if _, _, handled := fastUnmarshalRead([]byte(line)); handled {
+			t.Errorf("%q: expected fallback, fast path claimed it", line)
+		}
+	}
+}

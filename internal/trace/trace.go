@@ -12,7 +12,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
 
 	"repro/internal/epcgen2"
 	"repro/internal/reader"
@@ -137,15 +136,11 @@ func ReadJSONL(r io.Reader) (*Trace, error) {
 	line := 1
 	for sc.Scan() {
 		line++
-		raw := strings.TrimSpace(sc.Text())
-		if raw == "" {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
 			continue
 		}
-		var rd jsonRead
-		if err := json.Unmarshal([]byte(raw), &rd); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
-		}
-		tr, err := rd.toTagRead()
+		tr, err := UnmarshalRead(raw)
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
@@ -199,7 +194,15 @@ func toJSONRead(r reader.TagRead) jsonRead {
 }
 
 // UnmarshalRead parses one JSONL read line (the inverse of MarshalRead).
+// The canonical wire shape — flat object, known keys, escape-free strings
+// — takes a hand-rolled scanner (fastjson.go) that skips encoding/json's
+// reflection; anything that strays from that shape is re-parsed with
+// encoding/json, so unusual or malformed input keeps the stock decoder's
+// semantics and error text exactly.
 func UnmarshalRead(data []byte) (reader.TagRead, error) {
+	if r, err, handled := fastUnmarshalRead(data); handled {
+		return r, err
+	}
 	var j jsonRead
 	if err := json.Unmarshal(data, &j); err != nil {
 		return reader.TagRead{}, err
