@@ -1,13 +1,18 @@
 # The repository's tier-1 gates (mirrors .github/workflows/ci.yml) plus
 # the recorded benchmark step that tracks the performance trajectory.
 
-PR := 6
+PR := 7
 
 # The key hot-path benchmarks recorded per PR: the snapshot-cadence
 # evidence, streaming vs batch, the daemon ingest path, the segment-DTW
-# kernel (whole alignment and isolated column fill), and the WAL
-# append/recovery paths.
-BENCH_PATTERN := BenchmarkSnapshotCadence|BenchmarkStreamingVsBatch|BenchmarkDaemonIngest|BenchmarkShardedAisle|BenchmarkSegmentedAlign|BenchmarkSegmentFill|BenchmarkWALAppend|BenchmarkRecovery
+# kernel (whole alignment and isolated column fill), the WAL
+# append/recovery paths, and the checkpointed-recovery flatness and
+# group-commit throughput this PR adds.
+BENCH_PATTERN := BenchmarkSnapshotCadence|BenchmarkStreamingVsBatch|BenchmarkDaemonIngest|BenchmarkShardedAisle|BenchmarkSegmentedAlign|BenchmarkSegmentFill|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkCheckpointedRecovery|BenchmarkWALGroupCommit
+
+# The regression gate: fail the bench step if any of these benchmarks'
+# reads/s drops more than 15% against the committed pre-PR baseline.
+GATE := BenchmarkDaemonIngest,BenchmarkRecovery,BenchmarkWALAppend
 
 .PHONY: test build bench fmt vet
 
@@ -28,9 +33,12 @@ vet:
 # benchstat-compatible text as BENCH_$(PR).txt, and merges it with the
 # committed pre-change baseline (bench/baseline_$(PR).txt) into
 # BENCH_$(PR).json — the machine-readable before/after record for this
-# PR. CI uploads both as artifacts.
+# PR. The same invocation gates the ingest/recovery hot paths: a >15%
+# reads/s regression vs the baseline fails the target. CI uploads both
+# files as artifacts.
 bench:
 	go test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count 1 . | tee BENCH_$(PR).txt
 	go run ./cmd/bench2json -pr $(PR) -baseline bench/baseline_$(PR).txt -current BENCH_$(PR).txt \
-		-note "baseline = pre-PR-$(PR) tree (per-engine pools, branchy DTW fill); current = global work-stealing scheduler + two-pass fill kernel" \
+		-gate '$(GATE)' -max-regression 0.15 \
+		-note "baseline = pre-PR-$(PR) tree (O(history) recovery scan, one fsync per batch); current = checkpointed recovery + group-commit ingest + fast trace marshal" \
 		> BENCH_$(PR).json

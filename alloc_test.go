@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"repro/internal/dtw"
+	"repro/internal/pipeline"
+	"repro/internal/stpp"
 	"repro/internal/trace"
 	"repro/internal/wal"
 )
@@ -35,10 +37,45 @@ func TestSegmentedAlignAllocs(t *testing.T) {
 	}
 }
 
+// TestSnapshotCadenceAllocs pins the alloc cost of snapshot cadence: the
+// same stream consumed with 32 snapshots must allocate at most 3× the
+// single-snapshot run. Before the per-snapshot residuals were pooled
+// (scratch-threaded V-zone/X-key/Y-key buffers with geometric growth,
+// reflection-free order sorts, typed immature-tag errors) the ratio was
+// ~6.5×: every snapshot re-allocated every dirty tag's temporaries, so
+// allocations scaled linearly with cadence instead of with the stream.
+func TestSnapshotCadenceAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stream alloc measurement")
+	}
+	reads, cfg := benchReadLog(t)
+	loc, err := stpp.NewLocalizer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(snapshots int) float64 {
+		chunk := (len(reads) + snapshots - 1) / snapshots
+		return testing.AllocsPerRun(5, func() {
+			eng := pipeline.NewFromLocalizer(loc, pipeline.Options{})
+			for start := 0; start < len(reads); start += chunk {
+				eng.Consume(reads[start:min(start+chunk, len(reads))])
+				if _, err := eng.Snapshot(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+	one, many := run(1), run(32)
+	if many > 3*one {
+		t.Fatalf("32 snapshots allocate %.0f/run vs %.0f for 1 (%.1fx, want <= 3x): per-snapshot temporaries are being re-allocated", many, one, many/one)
+	}
+}
+
 // TestWALAppendAllocs bounds the journal append for a 256-read batch —
-// the extra work every durable ingest batch pays — at the count the
-// committed baseline measured (771/op: the NDJSON marshal of each read
-// plus the record frame).
+// the extra work every durable ingest batch pays. The hand-rolled NDJSON
+// encoder into a pooled buffer left only the pool round-trip and the
+// occasional buffer regrowth (it was 771/op — one-plus allocations per
+// read — through PR 6); this guard keeps the marshal path garbage-free.
 func TestWALAppendAllocs(t *testing.T) {
 	reads, _ := benchReadLog(t)
 	batch := reads[:min(256, len(reads))]
@@ -55,7 +92,7 @@ func TestWALAppendAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if allocs > 771 {
-		t.Fatalf("AppendBatch allocates %.1f/op for %d reads, want <= 771", allocs, len(batch))
+	if allocs > 4 {
+		t.Fatalf("AppendBatch allocates %.1f/op for %d reads, want <= 4", allocs, len(batch))
 	}
 }

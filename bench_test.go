@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"repro/internal/deploy"
 	"repro/internal/dtw"
@@ -385,6 +386,121 @@ func BenchmarkRecovery(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(reads))*float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+}
+
+// BenchmarkCheckpointedRecovery is the tentpole evidence for checkpointed
+// recovery: boot cost over a durable session at a fixed checkpoint cadence,
+// with the session history grown 1× vs 4×. Without checkpoints a boot
+// replays the whole journal, so recovery time scales with history; with
+// them it restores the latest checkpoint and replays only the suffix past
+// it, so the long session's boot stays within a whisker of the short one
+// (the residual growth is the checkpoint blob itself — profiles scale with
+// history, but decoding them is far cheaper than re-running detection).
+func BenchmarkCheckpointedRecovery(b *testing.B) {
+	ms, err := scenario.WarehouseAisle(scenario.DefaultAisleOpts(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, err := ms.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	span := reads[len(reads)-1].Time - reads[0].Time + 1
+	for _, reps := range []int{1, 4} {
+		b.Run(fmt.Sprintf("history=%dx", reps), func(b *testing.B) {
+			opts := serve.Options{
+				Config:          ms.Readers[0].Scene.STPPConfig(),
+				DataDir:         b.TempDir(),
+				Fsync:           wal.SyncNever,
+				CheckpointEvery: 2000,
+			}
+			srv, err := serve.New(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess, err := srv.CreateSession(trace.Header{Readers: ms.ReaderMetas()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The same aisle pass re-played reps times, each shifted past the
+			// previous one — a session whose history grows without changing
+			// the workload's shape.
+			total := 0
+			for r := 0; r < reps; r++ {
+				pass := reads
+				if r > 0 {
+					pass = make([]reader.TagRead, len(reads))
+					copy(pass, reads)
+					for i := range pass {
+						pass[i].Time += float64(r) * span
+					}
+				}
+				for start := 0; start < len(pass); start += 256 {
+					if err := sess.Enqueue(pass[start:min(start+256, len(pass))]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				total += len(pass)
+			}
+			// Wait out the drain before finishing: cadence checkpoints are
+			// journaled by the consumer, and Finish pins the log's tail.
+			for sess.Consumed() != sess.Enqueued() {
+				time.Sleep(100 * time.Microsecond)
+			}
+			if _, err := sess.Finish(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				booted, err := serve.New(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m := booted.Metrics()
+				if got := m.ReadsRecovered.Load(); got != int64(total) {
+					b.Fatalf("recovered %d reads, want %d", got, total)
+				}
+				if suf := m.SuffixReadsReplayed.Load(); suf >= int64(total) {
+					b.Fatalf("replayed the full %d-read history; no checkpoint basis", suf)
+				}
+			}
+			b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+		})
+	}
+}
+
+// BenchmarkWALGroupCommit is the group-commit counterpart of
+// BenchmarkWALAppend/fsync=always: the same 256-read batches, but appended
+// by concurrent producers so one leader fsync covers every batch queued
+// while the disk was busy. The window variant stretches each commit by a
+// short wait, trading a bounded ack latency for fewer, fuller flushes.
+func BenchmarkWALGroupCommit(b *testing.B) {
+	reads, _ := benchReadLog(b)
+	batch := reads[:min(256, len(reads))]
+	for _, bc := range []struct {
+		name   string
+		window time.Duration
+	}{{"window=0", 0}, {"window=100us", 100 * time.Microsecond}} {
+		b.Run(bc.name, func(b *testing.B) {
+			l, err := wal.Create(b.TempDir(), trace.Header{Scenario: "bench"},
+				wal.Options{Fsync: wal.SyncAlways, FlushWindow: bc.window})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.ReportAllocs()
+			b.SetParallelism(4) // 4×GOMAXPROCS producer goroutines
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := l.AppendBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+		})
+	}
 }
 
 // BenchmarkParallelRunner compares serial and pooled repetition execution

@@ -105,11 +105,57 @@ func parseBenchLine(line string) (Bench, bool) {
 	return b, len(b.Metrics) > 0
 }
 
+// gateMetric is the throughput metric the regression gate compares;
+// every ingest/recovery benchmark in this repo reports it.
+const gateMetric = "reads/s"
+
+// checkGate compares gateMetric between baseline and current for every
+// benchmark whose name contains one of the patterns, and returns one
+// failure line per benchmark that regressed by more than maxReg
+// (fractional). Benchmarks present on only one side are skipped — the
+// gate exists to catch regressions in what both runs measured, not to
+// force every historical benchmark to keep existing.
+func checkGate(baseline, current *Run, patterns []string, maxReg float64) (failures []string) {
+	base := map[string]float64{}
+	for _, b := range baseline.Benches {
+		if v, ok := b.Metrics[gateMetric]; ok {
+			base[b.Name] = v
+		}
+	}
+	for _, b := range current.Benches {
+		matched := false
+		for _, p := range patterns {
+			if p != "" && strings.Contains(b.Name, p) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		cur, ok := b.Metrics[gateMetric]
+		if !ok {
+			continue
+		}
+		was, ok := base[b.Name]
+		if !ok || was <= 0 {
+			continue
+		}
+		if drop := 1 - cur/was; drop > maxReg {
+			failures = append(failures, fmt.Sprintf("%s: %s %.0f -> %.0f (-%.1f%%, limit %.0f%%)",
+				b.Name, gateMetric, was, cur, drop*100, maxReg*100))
+		}
+	}
+	return failures
+}
+
 func main() {
 	pr := flag.Int("pr", 0, "PR number stamped into the record")
 	baseline := flag.String("baseline", "", "pre-change benchmark text (optional)")
 	current := flag.String("current", "", "post-change benchmark text")
 	note := flag.String("note", "", "free-form note stored in the record")
+	gate := flag.String("gate", "", "comma-separated benchmark-name substrings to gate: exit nonzero if any matching benchmark's reads/s regressed beyond -max-regression vs the baseline")
+	maxReg := flag.Float64("max-regression", 0.15, "maximum fractional reads/s drop tolerated by -gate")
 	flag.Parse()
 
 	rec := Record{PR: *pr, Note: *note}
@@ -131,6 +177,20 @@ func main() {
 		os.Exit(1)
 	}
 	rec.Current = run
+
+	if *gate != "" {
+		if rec.Baseline == nil {
+			fmt.Fprintln(os.Stderr, "bench2json: -gate requires -baseline")
+			os.Exit(1)
+		}
+		patterns := strings.Split(*gate, ",")
+		if failures := checkGate(rec.Baseline, rec.Current, patterns, *maxReg); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "bench2json: regression:", f)
+			}
+			os.Exit(2)
+		}
+	}
 
 	out := json.NewEncoder(os.Stdout)
 	out.SetIndent("", "  ")

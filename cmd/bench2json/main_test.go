@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(benches ...Bench) *Run { return &Run{Benches: benches} }
+
+func bench(name string, readsPerSec float64) Bench {
+	return Bench{Name: name, Metrics: map[string]float64{"reads/s": readsPerSec}}
+}
+
+// TestCheckGate covers the regression gate's decision table: a drop past
+// the limit fails, a drop inside it passes, improvements pass, and
+// benchmarks missing from either side are skipped rather than failed —
+// the gate protects measured paths, it does not freeze the benchmark set.
+func TestCheckGate(t *testing.T) {
+	baseline := run(
+		bench("BenchmarkDaemonIngest", 1_000_000),
+		bench("BenchmarkRecovery", 900_000),
+		bench("BenchmarkWALAppend/fsync=always", 500_000),
+		bench("BenchmarkRetired", 400_000),
+	)
+	patterns := []string{"BenchmarkDaemonIngest", "BenchmarkRecovery", "BenchmarkWALAppend"}
+
+	pass := run(
+		bench("BenchmarkDaemonIngest", 900_000),            // -10%: inside the limit
+		bench("BenchmarkRecovery", 2_000_000),              // improvement
+		bench("BenchmarkWALAppend/fsync=always", 430_000),  // -14%: inside
+		bench("BenchmarkWALAppend/fsync=never", 1_000_000), // new sub-bench: no baseline, skipped
+		bench("BenchmarkUngated", 1),                       // not gated at all
+	)
+	if failures := checkGate(baseline, pass, patterns, 0.15); len(failures) != 0 {
+		t.Fatalf("clean run failed the gate: %v", failures)
+	}
+
+	fail := run(
+		bench("BenchmarkDaemonIngest", 840_000), // -16%: past the limit
+		bench("BenchmarkRecovery", 900_000),
+	)
+	failures := checkGate(baseline, fail, patterns, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkDaemonIngest") {
+		t.Fatalf("gate failures = %v, want exactly the DaemonIngest regression", failures)
+	}
+}
+
+// TestParseBenchLineStripsProcs pins the -GOMAXPROCS suffix handling the
+// gate's name matching depends on.
+func TestParseBenchLineStripsProcs(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkWALGroupCommit/window=0-8   	    9007	    304498 ns/op	    840746 reads/s")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Name != "BenchmarkWALGroupCommit/window=0" {
+		t.Fatalf("name = %q, want procs suffix stripped", b.Name)
+	}
+	if b.Metrics["reads/s"] != 840746 {
+		t.Fatalf("reads/s = %v", b.Metrics["reads/s"])
+	}
+}

@@ -453,6 +453,11 @@ func printServerStats(client *http.Client, base string) {
 		fmt.Printf("server: WAL %d appends, %d errors; recovered %d sessions / %d reads (%d torn tails, %d skipped)\n",
 			stats.WALAppends, stats.WALErrors, stats.SessionsRecovered,
 			stats.ReadsRecovered, stats.WALTornTails, stats.WALSkipped)
+		if stats.CheckpointsWritten > 0 || stats.SuffixReadsReplayed > 0 {
+			fmt.Printf("server: checkpoints %d written, %d segments truncated; restart replayed %d of %d recovered reads\n",
+				stats.CheckpointsWritten, stats.SegmentsTruncated,
+				stats.SuffixReadsReplayed, stats.ReadsRecovered)
+		}
 	}
 }
 

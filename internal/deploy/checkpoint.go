@@ -1,0 +1,59 @@
+package deploy
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+)
+
+// shardedCkptVersion versions the ShardedEngine checkpoint encoding.
+const shardedCkptVersion = 1
+
+// Checkpoint serializes every shard engine in zone order (byte-stable:
+// the shard slice has a fixed deterministic order), appending to dst.
+// Cached global snapshots are not serialized — they are deterministic
+// functions of the shard states and the first Snapshot after a restore
+// recomputes them bit-identically.
+func (se *ShardedEngine) Checkpoint(dst []byte) []byte {
+	dst = ckpt.AppendU8(dst, shardedCkptVersion)
+	dst = ckpt.AppendU32(dst, uint32(len(se.shards)))
+	for _, sh := range se.shards {
+		dst = ckpt.AppendU64(dst, uint64(int64(sh.spec.ID)))
+		dst = sh.eng.Checkpoint(dst)
+	}
+	return dst
+}
+
+// Restore rebuilds the shard engines from Checkpoint output. The engine
+// must have been constructed from the same Deployment (shard IDs are
+// verified). Every restored shard is marked dirty with its cache dropped,
+// so the next Snapshot re-assembles from the restored per-tag state.
+func (se *ShardedEngine) Restore(data []byte) error {
+	r := ckpt.NewReader(data)
+	if v := r.U8(); r.Err() == nil && v != shardedCkptVersion {
+		r.Failf("sharded checkpoint version %d", v)
+	}
+	if n := int(r.U32()); r.Err() == nil && n != len(se.shards) {
+		r.Failf("%d shards in checkpoint, engine has %d", n, len(se.shards))
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("deploy: restore: %w", err)
+	}
+	for _, sh := range se.shards {
+		if id := int(int64(r.U64())); r.Err() == nil && id != sh.spec.ID {
+			r.Failf("checkpoint shard %d, engine expects reader %d", id, sh.spec.ID)
+		}
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("deploy: restore: %w", err)
+		}
+		if err := sh.eng.RestoreCheckpoint(r); err != nil {
+			return fmt.Errorf("deploy: restore reader %d: %w", sh.spec.ID, err)
+		}
+		sh.dirty = true
+		sh.cached = nil
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("deploy: restore: %d trailing bytes", r.Len())
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package deploy
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestShardedCheckpointRestoreEquivalence is the deployment-level
+// checkpoint property: at random points of a two-reader aisle stream,
+// serialize the whole sharded engine, restore into a fresh one, feed both
+// the same suffix, and assert every later stitched snapshot — and every
+// later checkpoint — is byte-identical.
+func TestShardedCheckpointRestoreEquivalence(t *testing.T) {
+	ms, err := scenario.WarehouseAisle(scenario.DefaultAisleOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Of(ms)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2; trial++ {
+		reads := base
+		if trial > 0 {
+			reads = perturb(rng, base, 0.05)
+		}
+		live, err := NewSharded(d, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var restored *ShardedEngine
+		pos, ckpts := 0, 0
+		for pos < len(reads) {
+			n := 1 + rng.Intn(120)
+			if pos+n > len(reads) {
+				n = len(reads) - pos
+			}
+			if err := live.Consume(reads[pos : pos+n]); err != nil {
+				t.Fatal(err)
+			}
+			if restored != nil {
+				if err := restored.Consume(reads[pos : pos+n]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			pos += n
+			if rng.Float64() < 0.25 || pos == len(reads) {
+				blob := live.Checkpoint(nil)
+				if again := live.Checkpoint(nil); !bytes.Equal(blob, again) {
+					t.Fatalf("trial %d pos %d: sharded checkpoint is not byte-stable", trial, pos)
+				}
+				if restored != nil {
+					if rb := restored.Checkpoint(nil); !bytes.Equal(blob, rb) {
+						t.Fatalf("trial %d pos %d: restored engine's checkpoint diverged", trial, pos)
+					}
+				}
+				next, err := NewSharded(d, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := next.Restore(blob); err != nil {
+					t.Fatalf("trial %d pos %d: restore: %v", trial, pos, err)
+				}
+				restored = next
+				ckpts++
+				got, err := restored.Snapshot()
+				if err != nil {
+					t.Fatalf("trial %d pos %d: restored snapshot: %v", trial, pos, err)
+				}
+				want, err := live.Snapshot()
+				if err != nil {
+					t.Fatalf("trial %d pos %d: snapshot: %v", trial, pos, err)
+				}
+				sameGlobal(t, want, got)
+				if t.Failed() {
+					t.Fatalf("trial %d: restored snapshot at %d/%d reads diverged", trial, pos, len(reads))
+				}
+			}
+		}
+		if ckpts < 2 {
+			t.Fatalf("trial %d exercised only %d checkpoints", trial, ckpts)
+		}
+	}
+}
+
+// TestShardedRestoreRejectsMismatch: a checkpoint from one deployment must
+// not restore into an engine built for another.
+func TestShardedRestoreRejectsMismatch(t *testing.T) {
+	ms, err := scenario.WarehouseAisle(scenario.DefaultAisleOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewSharded(Of(ms), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Consume(reads[:500]); err != nil {
+		t.Fatal(err)
+	}
+	blob := se.Checkpoint(nil)
+
+	// A single-reader deployment: wrong shard count.
+	other := Deployment{Readers: Of(ms).Readers[:1]}
+	oe, err := NewSharded(other, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oe.Restore(blob); err == nil {
+		t.Error("checkpoint restored into a different deployment")
+	}
+
+	// Corrupt version byte.
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0x7F
+	fresh, err := NewSharded(Of(ms), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(bad); err == nil {
+		t.Error("corrupt sharded checkpoint restored without error")
+	}
+}

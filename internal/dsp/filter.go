@@ -50,7 +50,14 @@ func MedianFilter(xs []float64, width int) []float64 {
 // so filtering in place would corrupt the result).
 func MedianFilterTo(dst, xs []float64, width int) []float64 {
 	if cap(dst) < len(xs) {
-		dst = make([]float64, len(xs))
+		// Geometric growth: scratch-threaded callers filter a growing
+		// series every snapshot; exact-size regrowth would allocate on
+		// each call instead of O(log growth).
+		c := 2 * cap(dst)
+		if c < len(xs) {
+			c = len(xs)
+		}
+		dst = make([]float64, len(xs), c)
 	}
 	out := dst[:len(xs)]
 	if width <= 1 {

@@ -59,6 +59,13 @@ func (q Quadratic) String() string {
 // xs and ys must have equal length >= 3. The fit is performed around the
 // mean of xs for numerical stability (the returned coefficients are in the
 // original coordinates).
+//
+// This is FitPolynomial(xs, ys, 2) specialized to stack arrays: the X-key
+// stage runs one fit per tag per snapshot, and the generic path's dozen
+// small slice allocations (power sums, normal equations, solver copies)
+// dominated the snapshot-cadence allocation profile. Every arithmetic
+// operation runs in the same order as the generic path, so the result is
+// bit-identical (asserted by TestFitQuadraticMatchesPolynomial).
 func FitQuadratic(xs, ys []float64) (Quadratic, error) {
 	if len(xs) != len(ys) {
 		return Quadratic{}, fmt.Errorf("dsp: len(xs)=%d != len(ys)=%d", len(xs), len(ys))
@@ -66,11 +73,79 @@ func FitQuadratic(xs, ys []float64) (Quadratic, error) {
 	if len(xs) < 3 {
 		return Quadratic{}, ErrUnderdetermined
 	}
-	coeffs, err := FitPolynomial(xs, ys, 2)
-	if err != nil {
-		return Quadratic{}, err
+
+	mean := Mean(xs)
+	var sums [5]float64 // power sums S_m = Σ (x_i - mean)^m, m = 0..4
+	var aty [3]float64
+	for idx, x := range xs {
+		xc := x - mean
+		p := 1.0
+		for m := 0; m <= 4; m++ {
+			sums[m] += p
+			if m < 3 {
+				aty[m] += p * ys[idx]
+			}
+			p *= xc
+		}
 	}
-	return Quadratic{A: coeffs[2], B: coeffs[1], C: coeffs[0]}, nil
+	var a [3][3]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			a[i][j] = sums[i+j]
+		}
+	}
+
+	// Gaussian elimination with partial pivoting — SolveLinear's exact
+	// arithmetic on the 3×3 system, minus its defensive copies.
+	x := aty
+	for col := 0; col < 3; col++ {
+		piv := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < 3; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, piv = v, r
+			}
+		}
+		if best < 1e-12 {
+			return Quadratic{}, ErrSingular
+		}
+		a[col], a[piv] = a[piv], a[col]
+		x[col], x[piv] = x[piv], x[col]
+
+		inv := 1 / a[col][col]
+		for r := col + 1; r < 3; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < 3; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := 2; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < 3; j++ {
+			s -= a[i][j] * x[j]
+		}
+		x[i] = s / a[i][i]
+	}
+
+	// Shift back from the centered coordinates (binomial expansion, same
+	// association as the generic path).
+	var out [3]float64
+	for i := 0; i < 3; i++ {
+		c := x[i]
+		b := 1.0
+		for j := 0; j <= i; j++ {
+			if j > 0 {
+				b = b * float64(i-j+1) / float64(j)
+			}
+			out[j] += c * b * math.Pow(-mean, float64(i-j))
+		}
+	}
+	return Quadratic{A: out[2], B: out[1], C: out[0]}, nil
 }
 
 // FitLine fits y = m x + b by least squares, returning (m, b).

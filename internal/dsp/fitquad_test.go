@@ -1,0 +1,57 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFitQuadraticMatchesPolynomial pins the stack-array FitQuadratic to
+// the generic FitPolynomial(…, 2) bit-for-bit: the X-ordering keys feed
+// byte-identity comparisons downstream, so the specialization must not
+// perturb a single ULP.
+func TestFitQuadraticMatchesPolynomial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 3 + rng.Intn(60)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		t0 := rng.Float64() * 100
+		a, b, c := rng.NormFloat64(), rng.NormFloat64()*10, rng.NormFloat64()*100
+		for i := range xs {
+			xs[i] = t0 + float64(i)*0.02 + rng.Float64()*0.01
+			ys[i] = a*xs[i]*xs[i] + b*xs[i] + c + rng.NormFloat64()*0.3
+		}
+		got, gotErr := FitQuadratic(xs, ys)
+		coeffs, wantErr := FitPolynomial(xs, ys, 2)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			continue
+		}
+		want := Quadratic{A: coeffs[2], B: coeffs[1], C: coeffs[0]}
+		if math.Float64bits(got.A) != math.Float64bits(want.A) ||
+			math.Float64bits(got.B) != math.Float64bits(want.B) ||
+			math.Float64bits(got.C) != math.Float64bits(want.C) {
+			t.Fatalf("trial %d: fit diverged: %v vs %v", trial, got, want)
+		}
+	}
+	// Degenerate inputs take the same error paths.
+	if _, err := FitQuadratic([]float64{1, 2}, []float64{1, 2}); err != ErrUnderdetermined {
+		t.Fatalf("short input: got %v", err)
+	}
+	if _, err := FitQuadratic([]float64{5, 5, 5, 5}, []float64{1, 2, 3, 4}); err != ErrSingular {
+		t.Fatalf("identical xs: got %v", err)
+	}
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{5, 3, 2, 3, 5}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := FitQuadratic(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("FitQuadratic allocates %.1f/op, want 0", allocs)
+	}
+}

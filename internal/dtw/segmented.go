@@ -62,12 +62,17 @@ type SegmentAlignOpts struct {
 // alignment entry points draw matrices from a pool, so the hot detection
 // path allocates nothing per call beyond the returned Path.
 type segMatrix struct {
-	m     int // rows: reference segments
+	m int // rows: reference segments
+	// off is the first query column the cells actually hold; columns
+	// before it were dropped by a tail-truncated state restore (see
+	// SegmentAligner.RestoreState). The batch entry points and live
+	// aligners always run with off 0.
+	off   int
 	cells []float64
 }
 
-func (cm *segMatrix) at(i, j int) float64     { return cm.cells[j*cm.m+i] }
-func (cm *segMatrix) set(i, j int, v float64) { cm.cells[j*cm.m+i] = v }
+func (cm *segMatrix) at(i, j int) float64     { return cm.cells[(j-cm.off)*cm.m+i] }
+func (cm *segMatrix) set(i, j int, v float64) { cm.cells[(j-cm.off)*cm.m+i] = v }
 
 var segMatrixPool sync.Pool
 
@@ -148,6 +153,7 @@ func newSegMatrix(m, n int) *segMatrix {
 		cm = &segMatrix{}
 	}
 	cm.m = m
+	cm.off = 0
 	if cap(cm.cells) < m*n {
 		putCells(cm.cells)
 		cm.cells = getCells(m * n)
@@ -271,6 +277,13 @@ type SegmentAligner struct {
 	// path is the traceback scratch reused across Aligns; the Result
 	// returned by Align aliases it (see the Align doc).
 	path Path
+	// lastStart is the previous Align's path-start column. State export
+	// truncates the serialized matrix to the columns from lastStart−1 on:
+	// the open end only ever moves forward, so a future traceback revisits
+	// earlier columns only if the optimal path itself moves back — and
+	// that case rebuilds the full matrix (see Align), keeping results and
+	// future checkpoints byte-identical.
+	lastStart int
 }
 
 // NewSegmentAligner builds an aligner for a fixed reference.
@@ -316,7 +329,9 @@ func (a *SegmentAligner) Cols() int { return len(a.q) }
 func (a *SegmentAligner) Release() {
 	putCells(a.cm.cells)
 	a.cm.cells = nil
+	a.cm.off = 0
 	a.q = a.q[:0]
+	a.lastStart = 0
 }
 
 // Align answers the open-end subsequence query over q, byte-identical to
@@ -340,20 +355,29 @@ func (a *SegmentAligner) Align(q []Segment) (Result, int, int) {
 		cp++
 	}
 	a.q = append(a.q[:cp], q[cp:]...)
+	if a.cm.off > 0 && cp <= a.cm.off {
+		// The first changed segment lands in (or before) the region a
+		// tail restore dropped, so the held columns cannot seed the
+		// recurrence at cp. Recompute the whole matrix — the values are a
+		// deterministic function of (reference, q), so nothing observable
+		// changes.
+		a.cm.off = 0
+		cp = 0
+	}
 	// Reserve all columns this call needs up front (with doubling headroom
 	// so a stream of small extensions regrows O(log n) times, not once per
 	// snapshot): the extend loop then only reslices. Growth moves to a
 	// recycled pooled array — a fresh make() would zero the whole new
 	// capacity, and that memclr dominated ingest profiles.
-	if need := m * len(q); cap(a.cm.cells) < need {
+	if need := m * (len(q) - a.cm.off); cap(a.cm.cells) < need {
 		if c := 2 * cap(a.cm.cells); need < c {
 			need = c
 		}
-		grown := append(getCells(need), a.cm.cells[:cp*m]...)
+		grown := append(getCells(need), a.cm.cells[:(cp-a.cm.off)*m]...)
 		putCells(a.cm.cells)
 		a.cm.cells = grown
 	} else {
-		a.cm.cells = a.cm.cells[:cp*m]
+		a.cm.cells = a.cm.cells[:(cp-a.cm.off)*m]
 	}
 	if cap(a.lastRow) < len(q) {
 		nl := make([]float64, len(q), 2*len(q))
@@ -379,8 +403,34 @@ func (a *SegmentAligner) Align(q []Segment) (Result, int, int) {
 		}
 	}
 	path := tracebackStiff(&a.cm, a.p, a.q, a.opts, m-1, endJ, true, a.path)
+	if path == nil {
+		// The optimal path walked into the truncated region (possible
+		// only after a tail-state restore, when the best open end moved
+		// behind the dropped columns). Rebuild the full matrix — identical
+		// values, deterministically — and retrace.
+		a.rebuildAll()
+		path = tracebackStiff(&a.cm, a.p, a.q, a.opts, m-1, endJ, true, a.path)
+	}
 	a.path = path
+	a.lastStart = path[0].J
 	return Result{Distance: best, Path: path}, path[0].J, endJ
+}
+
+// rebuildAll recomputes every DP column from scratch, restoring the
+// full-matrix invariant (off == 0) after a tail restore proved too short
+// for a traceback. Cell values are a pure function of (reference, query),
+// so the rebuilt matrix is identical to one grown live.
+func (a *SegmentAligner) rebuildAll() {
+	m := len(a.p)
+	a.cm.off = 0
+	if need := m * len(a.q); cap(a.cm.cells) < need {
+		putCells(a.cm.cells)
+		a.cm.cells = getCells(need)
+	}
+	a.cm.cells = a.cm.cells[:0]
+	for j := range a.q {
+		a.extendColumn(j)
+	}
 }
 
 // extendColumn computes DP column j from column j-1 in two passes,
@@ -402,7 +452,7 @@ func (a *SegmentAligner) Align(q []Segment) (Result, int, int) {
 // halves the work on that critical path.
 func (a *SegmentAligner) extendColumn(j int) {
 	m := len(a.p)
-	base := j * m
+	base := (j - a.cm.off) * m
 	a.cm.cells = a.cm.cells[:base+m] // capacity reserved by Align
 	col := a.cm.cells[base : base+m : base+m]
 	qj := a.q[j]
@@ -465,7 +515,10 @@ func (a *SegmentAligner) extendColumn(j int) {
 
 // tracebackStiff reconstructs the optimal path of a stiffness-weighted
 // segment alignment. With open true, the path may start at any column of
-// the first row (subsequence matching).
+// the first row (subsequence matching). It returns nil when the walk
+// would read a column before cm.off — a tail-restored matrix that turned
+// out too short — in which case the caller must rebuild the full matrix
+// and retrace; a full matrix (off 0) always yields a path.
 func tracebackStiff(cm *segMatrix, p, q []Segment, opts SegmentAlignOpts, i, j int, open bool, dst Path) Path {
 	// A warping path from (i, j) back to row 0 takes at most i+j+1 steps:
 	// one exact-capacity allocation instead of append doublings — skipped
@@ -491,6 +544,13 @@ func tracebackStiff(cm *segMatrix, p, q []Segment, opts SegmentAlignOpts, i, j i
 		if j == 0 {
 			i--
 			continue
+		}
+		if j <= cm.off {
+			// Deciding the step at (i, j) reads column j−1, which a
+			// tail-restored matrix no longer holds. Never reached with a
+			// full matrix (off 0 makes the j == 0 branch fire first); the
+			// caller rebuilds the full matrix and retraces.
+			return nil
 		}
 		vert := cm.at(i-1, j) + opts.Stiffness*p[i].Interval
 		horiz := cm.at(i, j-1) + opts.Stiffness*q[j].Interval

@@ -1,0 +1,157 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/epcgen2"
+	"repro/internal/stpp"
+)
+
+// engineCkptVersion versions the Engine checkpoint encoding.
+const engineCkptVersion = 1
+
+// Checkpoint serializes the engine's full state — the profile builder,
+// every tag's cached per-tag result, and every tag's resumable detection
+// state (segment cache, DTW columns, unwrap/median curves) — appending to
+// dst. The encoding is byte-stable: it iterates the builder's
+// first-appearance order, never a map, so checkpointing the same state
+// twice yields identical bytes.
+//
+// Because every piece of incremental state is a deterministic function of
+// the profile contents, an engine restored from this checkpoint behaves
+// byte-identically to the engine that wrote it: same snapshot results,
+// same future checkpoints after the same suffix of reads.
+//
+// Checkpoint first brings the incremental state current — the same
+// deterministic recompute a Snapshot runs, minus the assembly — so the
+// serialized detection state covers every consumed read. Without this, a
+// session that checkpoints more often than it publishes would journal
+// cold DTW state and the restoring side's first snapshot would pay for
+// the whole history, exactly the cost checkpoints exist to avoid. The
+// recompute is O(reads since the last snapshot or checkpoint), so the
+// advance amortizes the same way snapshots do.
+func (e *Engine) Checkpoint(dst []byte) []byte {
+	e.recompute(e.builder.TakeDirty())
+	dst = ckpt.AppendU8(dst, engineCkptVersion)
+	dst = ckpt.AppendU64(dst, uint64(e.reads))
+	dst = e.builder.AppendCheckpoint(dst)
+	epcs := e.builder.EPCs()
+	dst = ckpt.AppendU32(dst, uint32(len(epcs)))
+	for _, epc := range epcs {
+		tr, hasCached := e.cached[epc]
+		if !hasCached {
+			dst = ckpt.AppendU8(dst, 0)
+		} else {
+			dst = ckpt.AppendU8(dst, 1)
+			dst = ckpt.AppendU64(dst, uint64(tr.VZone.Start))
+			dst = ckpt.AppendU64(dst, uint64(tr.VZone.End))
+			dst = ckpt.AppendF64(dst, tr.VZone.Cost)
+			dst = ckpt.AppendF64(dst, tr.X.BottomTime)
+			dst = ckpt.AppendF64(dst, tr.X.BottomPhase)
+			dst = ckpt.AppendF64(dst, tr.X.Fit.A)
+			dst = ckpt.AppendF64(dst, tr.X.Fit.B)
+			dst = ckpt.AppendF64(dst, tr.X.Fit.C)
+			dst = ckpt.AppendF64(dst, tr.X.R2)
+			if tr.Err != nil {
+				dst = ckpt.AppendU8(dst, 1)
+				dst = ckpt.AppendString(dst, tr.Err.Error())
+			} else {
+				dst = ckpt.AppendU8(dst, 0)
+			}
+		}
+		ts := e.states[epc]
+		if ts == nil {
+			dst = ckpt.AppendU8(dst, 0)
+		} else {
+			dst = ckpt.AppendU8(dst, 1)
+			dst = ckpt.AppendU64(dst, ts.gen)
+			dst = ts.det.AppendCheckpoint(dst)
+		}
+	}
+	return dst
+}
+
+// RestoreCheckpoint rebuilds the engine from Checkpoint output read
+// sequentially from r, replacing any current contents. On error the engine
+// is left empty (as if freshly constructed).
+func (e *Engine) RestoreCheckpoint(r *ckpt.Reader) error {
+	reset := e.resetEmpty
+	if v := r.U8(); r.Err() == nil && v != engineCkptVersion {
+		r.Failf("engine checkpoint version %d", v)
+	}
+	reads := int64(r.U64())
+	if err := e.builder.RestoreCheckpoint(r); err != nil {
+		reset()
+		return fmt.Errorf("pipeline: restore builder: %w", err)
+	}
+	cached := make(map[epcgen2.EPC]stpp.TagResult)
+	states := make(map[epcgen2.EPC]*tagState)
+	epcs := e.builder.EPCs()
+	if n := int(r.U32()); r.Err() == nil && n != len(epcs) {
+		r.Failf("%d tag entries for %d profiles", n, len(epcs))
+	}
+	for _, epc := range epcs {
+		if r.Err() != nil {
+			break
+		}
+		if r.U8() != 0 {
+			tr := stpp.TagResult{EPC: epc, Profile: e.builder.LiveProfile(epc)}
+			tr.VZone.Start = int(r.U64())
+			tr.VZone.End = int(r.U64())
+			tr.VZone.Cost = r.F64()
+			tr.X.BottomTime = r.F64()
+			tr.X.BottomPhase = r.F64()
+			tr.X.Fit.A = r.F64()
+			tr.X.Fit.B = r.F64()
+			tr.X.Fit.C = r.F64()
+			tr.X.R2 = r.F64()
+			if r.U8() != 0 {
+				tr.Err = errors.New(r.String())
+			}
+			cached[epc] = tr
+		}
+		if r.U8() != 0 {
+			ts := &tagState{det: e.loc.NewDetectState(), gen: r.U64()}
+			if err := ts.det.RestoreCheckpoint(r); err != nil {
+				reset()
+				return fmt.Errorf("pipeline: restore tag state: %w", err)
+			}
+			states[epc] = ts
+		}
+	}
+	if err := r.Err(); err != nil {
+		reset()
+		return fmt.Errorf("pipeline: restore: %w", err)
+	}
+	e.cached, e.states, e.reads = cached, states, reads
+	return nil
+}
+
+// emptyBuilderCkpt is the checkpoint of an empty builder (0 tags, 0 dirty)
+// — used to reset the builder on a failed restore.
+var emptyBuilderCkpt = []byte{0, 0, 0, 0, 0, 0, 0, 0}
+
+// resetEmpty returns the engine to its freshly-constructed state.
+func (e *Engine) resetEmpty() {
+	e.builder.RestoreCheckpoint(ckpt.NewReader(emptyBuilderCkpt))
+	e.cached = make(map[epcgen2.EPC]stpp.TagResult)
+	e.states = make(map[epcgen2.EPC]*tagState)
+	e.reads = 0
+}
+
+// Restore is RestoreCheckpoint over a standalone blob, requiring the blob
+// to be fully consumed. On any error — trailing bytes included — the
+// engine is left empty.
+func (e *Engine) Restore(data []byte) error {
+	r := ckpt.NewReader(data)
+	if err := e.RestoreCheckpoint(r); err != nil {
+		return err
+	}
+	if r.Len() != 0 {
+		e.resetEmpty()
+		return fmt.Errorf("pipeline: restore: %d trailing bytes", r.Len())
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package profile
+
+import (
+	"repro/internal/ckpt"
+	"repro/internal/dtw"
+	"repro/internal/epcgen2"
+)
+
+// AppendCheckpoint serializes the builder: every profile in
+// first-appearance order (the iteration order is the order slice, never a
+// map, so the encoding is byte-stable), then the pending dirty set in
+// first-touch order. Restoring reproduces the builder exactly, including
+// which tags a consumer has not yet drained via TakeDirty.
+func (b *Builder) AppendCheckpoint(dst []byte) []byte {
+	dst = ckpt.AppendU32(dst, uint32(len(b.order)))
+	for _, e := range b.order {
+		ent := b.byEPC[e]
+		dst = append(dst, e[:]...)
+		sorted := uint8(0)
+		if ent.sorted {
+			sorted = 1
+		}
+		dst = ckpt.AppendU8(dst, sorted)
+		dst = ckpt.AppendU64(dst, ent.gen)
+		dst = ckpt.AppendF64s(dst, ent.p.Times)
+		dst = ckpt.AppendF64s(dst, ent.p.Phases)
+		dst = ckpt.AppendF64s(dst, ent.p.RSSI)
+	}
+	dst = ckpt.AppendU32(dst, uint32(len(b.dirty)))
+	for _, e := range b.dirty {
+		dst = append(dst, e[:]...)
+	}
+	return dst
+}
+
+func readEPC(r *ckpt.Reader) (e epcgen2.EPC) {
+	for i := range e {
+		e[i] = r.U8()
+	}
+	return e
+}
+
+// RestoreCheckpoint rebuilds the builder from AppendCheckpoint output,
+// replacing any current contents.
+func (b *Builder) RestoreCheckpoint(r *ckpt.Reader) error {
+	nb := NewBuilder()
+	tags := int(r.U32())
+	for i := 0; i < tags && r.Err() == nil; i++ {
+		e := readEPC(r)
+		sorted := r.U8()
+		gen := r.U64()
+		p := &Profile{EPC: e}
+		p.Times = r.F64s(nil)
+		p.Phases = r.F64s(nil)
+		p.RSSI = r.F64s(nil)
+		if r.Err() != nil {
+			break
+		}
+		if len(p.Phases) != len(p.Times) || len(p.RSSI) != len(p.Times) {
+			r.Failf("profile %v: ragged series", e)
+			break
+		}
+		if _, dup := nb.byEPC[e]; dup {
+			r.Failf("duplicate profile %v", e)
+			break
+		}
+		nb.byEPC[e] = &builderEntry{p: p, sorted: sorted != 0, gen: gen}
+		nb.order = append(nb.order, e)
+	}
+	dirty := int(r.U32())
+	for i := 0; i < dirty && r.Err() == nil; i++ {
+		e := readEPC(r)
+		ent, ok := nb.byEPC[e]
+		if !ok || ent.dirty {
+			r.Failf("dirty set references %v", e)
+			break
+		}
+		ent.dirty = true
+		nb.dirty = append(nb.dirty, e)
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	*b = *nb
+	return nil
+}
+
+// AppendCheckpoint serializes the cache's resume position. The segment
+// width is encoded and verified on restore — resuming a cache built for a
+// different width would silently diverge from a fresh Segmentize.
+func (c *SegmentCache) AppendCheckpoint(dst []byte) []byte {
+	dst = ckpt.AppendU32(dst, uint32(c.w))
+	dst = dtw.AppendSegmentsCkpt(dst, c.segs)
+	dst = ckpt.AppendU64(dst, uint64(c.n))
+	return dst
+}
+
+// RestoreCheckpoint loads AppendCheckpoint output into a cache constructed
+// with the same width.
+func (c *SegmentCache) RestoreCheckpoint(r *ckpt.Reader) error {
+	w := int(r.U32())
+	segs := dtw.ReadSegmentsCkpt(r, c.segs[:0])
+	n := int(r.U64())
+	if err := r.Err(); err != nil {
+		c.Invalidate()
+		return err
+	}
+	if w != c.w {
+		c.Invalidate()
+		r.Failf("segment cache width %d, restoring into %d", w, c.w)
+		return r.Err()
+	}
+	c.segs, c.n = segs, n
+	return nil
+}

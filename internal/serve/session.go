@@ -71,8 +71,13 @@ type Session struct {
 	// owner.
 	state atomic.Int32
 	// sincePublish counts consumed reads since the last periodic publish;
+	// sinceCheckpoint counts them since the last WAL checkpoint. Both are
 	// touched only by the engine owner.
-	sincePublish int
+	sincePublish    int
+	sinceCheckpoint int
+	// ckptBuf is the reused engine-checkpoint serialization buffer, owned
+	// by the engine owner.
+	ckptBuf []byte
 
 	// The ingest queue: a bounded FIFO of batches under qmu, paced by
 	// qcond. Admission (the capacity check), the enqueue, and the queued
@@ -161,13 +166,14 @@ func (s *Session) Enqueue(batch []reader.TagRead) error {
 		s.qmu.Unlock()
 		return ErrSessionClosed
 	}
-	// Journal-before-visible: the batch reaches the WAL before the queue,
-	// so everything a producer was ever acked for is on disk. A journal
-	// failure rejects the batch outright — the log and the engine never
-	// disagree about what was accepted. qmu is held throughout, so Finish
-	// (which takes qmu before journaling its marker) can never interleave
-	// the finish record between a batch's journal append and its enqueue.
-	if err := s.journal(batch); err != nil {
+	// Journal-before-visible: the batch reaches the WAL (written and
+	// flushed to the OS, fsync pending below) before the queue, so the log
+	// and the engine never disagree about what was accepted. qmu is held
+	// throughout, so Finish (which takes qmu before journaling its marker)
+	// can never interleave the finish record between a batch's journal
+	// append and its enqueue.
+	seq, log, err := s.journalAsync(batch)
+	if err != nil {
 		s.qmu.Unlock()
 		return err
 	}
@@ -183,6 +189,18 @@ func (s *Session) Enqueue(batch []reader.TagRead) error {
 	s.qmu.Unlock()
 	// The batch is visible; make sure a drain task is coming for it.
 	s.schedule()
+	// Group commit: ack the producer only once the append is on stable
+	// storage, but let the drain start on the batch while the fsync is in
+	// flight — concurrent producers coalesce into one sync. The "everything
+	// a producer was acked for is on disk" invariant is unchanged; what
+	// shifts is that a batch whose fsync FAILS is already visible to the
+	// consumer even though its producer gets an error (counted below).
+	if log != nil && seq > 0 {
+		if err := log.WaitDurable(seq); err != nil {
+			s.srv.metrics.WALErrors.Add(1)
+			return fmt.Errorf("serve: wal sync: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -265,20 +283,66 @@ func (s *Session) attachWAL(l *wal.Log) {
 	s.walMu.Unlock()
 }
 
-// journal appends one accepted batch to the WAL; a nil log (in-memory
-// sessions, boot-recovery replay) is a no-op.
-func (s *Session) journal(batch []reader.TagRead) error {
+// journalAsync appends one accepted batch to the WAL without waiting for
+// its fsync, returning the durability handle for the caller to wait on
+// AFTER releasing qmu; a nil log (in-memory sessions, boot-recovery
+// replay) is a no-op returning (0, nil, nil). The returned log pointer
+// keeps the wait valid even if the session detaches its WAL concurrently.
+func (s *Session) journalAsync(batch []reader.TagRead) (int64, *wal.Log, error) {
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
 	if s.wal == nil {
-		return nil
+		return 0, nil, nil
 	}
-	if err := s.wal.AppendBatch(batch); err != nil {
+	seq, err := s.wal.AppendBatchAsync(batch)
+	if err != nil {
 		s.srv.metrics.WALErrors.Add(1)
-		return fmt.Errorf("serve: wal append: %w", err)
+		return 0, nil, fmt.Errorf("serve: wal append: %w", err)
 	}
 	s.srv.metrics.WALAppends.Add(1)
-	return nil
+	return seq, s.wal, nil
+}
+
+// checkpoint serializes the engine state into a WAL checkpoint record and
+// truncates the segments it makes redundant. It runs on the drain task —
+// the engine's exclusive owner, so the state is quiescent — and holds qmu
+// across the append so the uncovered count (journaled batches still in
+// the queue) is exact: no batch can slip into the journal between the
+// count and the record. Failures are non-fatal: the log simply keeps its
+// history until the next checkpoint lands.
+func (s *Session) checkpoint() {
+	if s.eng == nil {
+		return
+	}
+	blob := s.eng.Checkpoint(s.ckptBuf[:0])
+	s.ckptBuf = blob
+	s.qmu.Lock()
+	if s.closed {
+		// Finish journaled its marker under qmu; the finish marker must be
+		// the log's last record (recovery treats anything after it as a
+		// torn tail), so draining the post-close backlog checkpoints no
+		// more. Those batches are replayed from their own records at boot.
+		s.qmu.Unlock()
+		return
+	}
+	uncovered := int64(len(s.q) - s.qhead)
+	reads := s.consumed.Load()
+	s.walMu.Lock()
+	if s.wal == nil {
+		s.walMu.Unlock()
+		s.qmu.Unlock()
+		return
+	}
+	truncated, err := s.wal.AppendCheckpoint(uncovered, reads, blob)
+	s.walMu.Unlock()
+	s.qmu.Unlock()
+	s.srv.metrics.SegmentsTruncated.Add(int64(truncated))
+	if err != nil {
+		s.srv.metrics.WALErrors.Add(1)
+		return
+	}
+	s.srv.metrics.WALAppends.Add(1)
+	s.srv.metrics.CheckpointsWritten.Add(1)
 }
 
 // journalFinish appends the finish marker. A failed append degrades to
@@ -469,6 +533,12 @@ func (s *Session) drain() {
 			s.takeSnapshot(false)
 			s.sincePublish = 0
 		}
+		if ce := s.srv.opts.CheckpointEvery; ce > 0 {
+			if s.sinceCheckpoint += len(batch); s.sinceCheckpoint >= ce {
+				s.checkpoint()
+				s.sinceCheckpoint = 0
+			}
+		}
 		if batches++; batches >= drainYield {
 			// Yield the worker: requeue ourselves (state stays Active,
 			// so producers won't double-schedule) and let the fairness
@@ -541,15 +611,36 @@ func (s *Session) terminate() {
 // scheduler task per session during boot, before the server is reachable,
 // so the session has no producers and no drain task: exclusive engine
 // access is free, and bypassing the bounded queue means scheduler workers
-// never block on ingest backpressure. The Consume/Snapshot sequence — and
-// the PublishEvery cadence — are exactly what live ingest would run over
-// the same batches, so the rebuilt state is byte-identical to an offline
-// replay of the journaled prefix. Replayed reads flow through the
-// ingest/consume counters like live traffic; ReadsRecovered (bumped by
-// the caller) reports how much of that came from the logs.
+// never block on ingest backpressure. When the log carries a checkpoint,
+// the engine restores it first and only the uncovered suffix of batches
+// is consumed — the checkpoint state is a deterministic function of the
+// covered prefix, so the rebuilt state is still byte-identical to an
+// offline replay of the full journaled prefix. Replayed reads flow
+// through the ingest/consume counters like live traffic; ReadsRecovered
+// (bumped by the caller) reports how much of that came from the logs.
 func (s *Session) replay(rec *wal.Recovered, log *wal.Log) {
 	failed := false
+	if rec.Checkpoint != nil {
+		if err := s.eng.Restore(rec.Checkpoint); err != nil {
+			// A checkpoint that no longer restores (config drift since it
+			// was written): the session dies holding the error, exactly
+			// like a journaled batch the engine rejects. Replaying the
+			// suffix against an empty engine would silently produce a
+			// different order — refusing is the honest outcome.
+			s.setErr(fmt.Errorf("serve: restore checkpoint: %w", err))
+			failed = true
+		} else {
+			n := rec.CheckpointReads
+			s.enqueued.Add(n)
+			s.consumed.Add(n)
+			s.srv.metrics.ReadsIngested.Add(n)
+			s.srv.metrics.ReadsConsumed.Add(n)
+		}
+	}
 	for _, batch := range rec.Batches {
+		if failed {
+			break
+		}
 		n := int64(len(batch))
 		s.enqueued.Add(n)
 		s.srv.metrics.ReadsIngested.Add(n)

@@ -1,0 +1,44 @@
+package stpp
+
+import "repro/internal/ckpt"
+
+// AppendCheckpoint serializes the state's resumable holdings: the segment
+// cache position, the aligner's DP columns, and the unwrap/median curves
+// with their valid prefix length. The pure scratch buffers (valley window,
+// X-key temporaries) are not state and are not encoded.
+func (s *DetectState) AppendCheckpoint(dst []byte) []byte {
+	dst = s.segs.AppendCheckpoint(dst)
+	dst = s.al.AppendState(dst)
+	dst = ckpt.AppendU64(dst, uint64(s.uLen))
+	dst = ckpt.AppendF64s(dst, s.u[:s.uLen])
+	dst = ckpt.AppendF64s(dst, s.um[:s.uLen])
+	return dst
+}
+
+// RestoreCheckpoint loads AppendCheckpoint output into a state created by
+// the same detector configuration. On error the state is left Reset (valid
+// but cold).
+func (s *DetectState) RestoreCheckpoint(r *ckpt.Reader) error {
+	if err := s.segs.RestoreCheckpoint(r); err != nil {
+		s.Reset()
+		return err
+	}
+	if err := s.al.RestoreState(r); err != nil {
+		s.Reset()
+		return err
+	}
+	uLen := int(r.U64())
+	s.u = r.F64s(s.u[:0])
+	s.um = r.F64s(s.um[:0])
+	if err := r.Err(); err != nil {
+		s.Reset()
+		return err
+	}
+	if len(s.u) != uLen || len(s.um) != uLen {
+		s.Reset()
+		r.Failf("unwrap curves: %d/%d values for uLen %d", len(s.u), len(s.um), uLen)
+		return r.Err()
+	}
+	s.uLen = uLen
+	return nil
+}

@@ -3,6 +3,7 @@ package stpp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/epcgen2"
 	"repro/internal/profile"
@@ -140,7 +141,7 @@ func (l *Localizer) LocalizeTagIncremental(st *DetectState, p *profile.Profile) 
 		return tr
 	}
 	tr.VZone = vz
-	xk, err := l.cfg.XKeyOf(p, vz)
+	xk, err := l.cfg.xKeyOf(st, p, vz)
 	if err != nil {
 		tr.Err = err
 		return tr
@@ -172,18 +173,48 @@ func (l *Localizer) Assemble(tags []TagResult) *Result {
 // streaming engine assembles every snapshot, so this keeps the Y stage
 // incremental too. Results are bit-identical to Assemble.
 func (l *Localizer) AssembleStates(tags []TagResult, states []*DetectState) *Result {
+	sc := asmPool.Get().(*asmScratch)
 	res := &Result{Tags: tags}
-	res.XOrder = l.AssembleX(tags)
-	res.YOrder = l.assembleY(tags, states)
+	res.XOrder = l.assembleX(sc, tags)
+	res.YOrder = l.assembleYScratch(sc, tags, states)
+	asmPool.Put(sc)
 	return res
 }
+
+// asmScratch pools the assembly stage's tag-count-sized temporaries: the
+// streaming engine assembles on every snapshot, so fresh slices here made
+// the per-snapshot allocation count scale with cadence. The X/Y order
+// index slices are NOT pooled — they are retained in the returned Result.
+type asmScratch struct {
+	xkeys    []XKey
+	profiles []*profile.Profile
+	vzones   []VZone
+	keys     []YKey
+	errs     []error
+	means    [][]float64
+	flat     []float64
+}
+
+var asmPool = sync.Pool{New: func() any { return new(asmScratch) }}
 
 // AssembleX computes the X order over per-tag results: ascending V-zone
 // bottom time, with failed tags sorting last via NaN keys. Bottom times of
 // shards recorded on different local clocks can be made mergeable first via
 // XKey.Shifted.
 func (l *Localizer) AssembleX(tags []TagResult) []int {
-	xkeys := make([]XKey, len(tags))
+	return l.assembleX(nil, tags)
+}
+
+func (l *Localizer) assembleX(sc *asmScratch, tags []TagResult) []int {
+	var xkeys []XKey
+	if sc != nil && cap(sc.xkeys) >= len(tags) {
+		xkeys = sc.xkeys[:len(tags)]
+	} else {
+		xkeys = make([]XKey, len(tags))
+		if sc != nil {
+			sc.xkeys = xkeys
+		}
+	}
 	for i := range tags {
 		if tags[i].Err != nil {
 			xkeys[i] = XKey{BottomTime: math.NaN()}
@@ -203,14 +234,28 @@ func (l *Localizer) AssembleY(tags []TagResult) []int {
 }
 
 func (l *Localizer) assembleY(tags []TagResult, states []*DetectState) []int {
+	return l.assembleYScratch(nil, tags, states)
+}
+
+func (l *Localizer) assembleYScratch(sc *asmScratch, tags []TagResult, states []*DetectState) []int {
 	n := len(tags)
-	profiles := make([]*profile.Profile, n)
-	vzones := make([]VZone, n)
+	var profiles []*profile.Profile
+	var vzones []VZone
+	if sc != nil && cap(sc.profiles) >= n {
+		profiles = sc.profiles[:n]
+		vzones = sc.vzones[:n]
+	} else {
+		profiles = make([]*profile.Profile, n)
+		vzones = make([]VZone, n)
+		if sc != nil {
+			sc.profiles, sc.vzones = profiles, vzones
+		}
+	}
 	for i := range tags {
 		profiles[i] = tags[i].Profile
 		vzones[i] = tags[i].VZone
 	}
-	ykeys, errs := l.cfg.YKeysOfStates(states, profiles, vzones, 0)
+	ykeys, errs := l.cfg.yKeys(sc, states, profiles, vzones, 0)
 	for i := range tags {
 		if tags[i].Err == nil && errs[i] != nil {
 			tags[i].Err = errs[i]

@@ -99,6 +99,12 @@ type DetectState struct {
 	// resume from uLen instead of recomputing from sample 0.
 	u, um []float64
 	uLen  int
+	// vw is the valley-window output scratch of this state's ValleyWindow;
+	// the X-key buffers back the per-tag fit stage. Both stages run once
+	// per tag on every snapshot, so per-call allocation of these scaled
+	// the snapshot-cadence allocation count linearly with cadence.
+	vw                    []float64
+	xkUn, xkClean, xkPred []float64
 }
 
 // NewDetectState allocates the incremental detection state for one tag.
@@ -365,13 +371,30 @@ func refineVZoneFiltered(um []float64, candStart, candEnd int) (int, int) {
 // exactly; when the nadir wraps through 0 it yields the continuous valley
 // the quadratic fit and the Y-axis segment means need.
 func AnchoredPhases(p *profile.Profile, vz VZone) (times, phases []float64) {
+	return anchoredPhasesTo(nil, p, vz)
+}
+
+// anchoredPhasesTo is AnchoredPhases writing the unwrapped phases into dst
+// when its capacity suffices — the scratch-threaded form the incremental
+// per-tag stage uses to keep snapshots allocation-free.
+func anchoredPhasesTo(dst []float64, p *profile.Profile, vz VZone) (times, phases []float64) {
 	n := vz.End - vz.Start
 	if n <= 0 {
 		return nil, nil
 	}
 	times = p.Times[vz.Start:vz.End]
 	raw := p.Phases[vz.Start:vz.End]
-	u := make([]float64, n)
+	if cap(dst) < n {
+		// Geometric growth: the scratch-threaded callers re-run this on a
+		// growing V-zone every snapshot, and exact-size regrowth would cost
+		// one allocation per snapshot instead of O(log growth).
+		c := 2 * cap(dst)
+		if c < n {
+			c = n
+		}
+		dst = make([]float64, n, c)
+	}
+	u := dst[:n]
 	u[0] = raw[0]
 	minIdx := 0
 	for i := 1; i < n; i++ {
@@ -411,7 +434,7 @@ func ValleyWindow(p *profile.Profile, vz VZone, rise float64) (times, phases []f
 	defer unwrapPool.Put(sc)
 	sc.u = circularUnwrapInto(sc.u, p.Phases)
 	sc.um = dsp.MedianFilterTo(sc.um, sc.u, medianWidth)
-	return valleyWindowCurves(sc.u, sc.um, p, vz, rise)
+	return valleyWindowCurves(nil, sc.u, sc.um, p, vz, rise)
 }
 
 // ValleyWindow is the package-level ValleyWindow resuming this state's
@@ -426,13 +449,18 @@ func (s *DetectState) ValleyWindow(p *profile.Profile, vz VZone, rise float64) (
 		return nil, nil
 	}
 	um := s.unwrapMedian(p)
-	return valleyWindowCurves(s.u[:n], um, p, vz, rise)
+	times, phases = valleyWindowCurves(s.vw, s.u[:n], um, p, vz, rise)
+	s.vw = phases // keep the (possibly grown) scratch for the next snapshot
+	return times, phases
 }
 
 // valleyWindowCurves is the shared body of both ValleyWindow variants over
 // already-computed whole-profile curves: u the circular unwrap, um its
-// median filtering.
-func valleyWindowCurves(u, um []float64, p *profile.Profile, vz VZone, rise float64) (times, phases []float64) {
+// median filtering. The returned phases land in dst when its capacity
+// suffices; the package-level entry passes nil so its callers own the
+// result, while DetectState threads its scratch (its callers consume the
+// window within the snapshot).
+func valleyWindowCurves(dst, u, um []float64, p *profile.Profile, vz VZone, rise float64) (times, phases []float64) {
 	n := p.Len()
 	bottom := vz.Start
 	for i := vz.Start; i < vz.End && i < n; i++ {
@@ -449,7 +477,16 @@ func valleyWindowCurves(u, um []float64, p *profile.Profile, vz VZone, rise floa
 		end++
 	}
 	anchor := p.Phases[bottom] - u[bottom]
-	phases = make([]float64, end-start)
+	if cap(dst) < end-start {
+		// Geometric growth — the DetectState entry threads this scratch
+		// through every snapshot of a growing window.
+		c := 2 * cap(dst)
+		if c < end-start {
+			c = end - start
+		}
+		dst = make([]float64, end-start, c)
+	}
+	phases = dst[:end-start]
 	for i := start; i < end; i++ {
 		phases[i-start] = u[i] + anchor
 	}

@@ -1,9 +1,10 @@
 package stpp
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/dsp"
 	"repro/internal/profile"
@@ -27,6 +28,14 @@ type XKey struct {
 // unwrapped first: the nadir of a noisy profile may wrap through 0, which
 // would otherwise destroy the parabola.
 func (c Config) XKeyOf(p *profile.Profile, vz VZone) (XKey, error) {
+	return c.xKeyOf(nil, p, vz)
+}
+
+// xKeyOf is XKeyOf with the V-zone-length temporaries drawn from a tag's
+// detection state (nil degrades to fresh allocations): the incremental
+// per-tag stage re-keys every dirty tag on every snapshot, and these three
+// buffers were a per-snapshot-linear allocation term.
+func (c Config) xKeyOf(st *DetectState, p *profile.Profile, vz VZone) (XKey, error) {
 	n := vz.End - vz.Start
 	if n < 3 {
 		return XKey{}, fmt.Errorf("stpp: V-zone has %d samples, need >= 3", n)
@@ -34,14 +43,28 @@ func (c Config) XKeyOf(p *profile.Profile, vz VZone) (XKey, error) {
 	// Work on the continuous valley: circular-unwrapped phases anchored at
 	// the wrapped bottom (handles the nadir wrapping through 0), with a
 	// median prefilter against multipath outliers.
-	times, un := AnchoredPhases(p, vz)
-	clean := dsp.MedianFilter(un, c.MedianWidth)
+	var unDst, cleanDst, predDst []float64
+	if st != nil {
+		unDst, cleanDst, predDst = st.xkUn, st.xkClean, st.xkPred
+	}
+	times, un := anchoredPhasesTo(unDst, p, vz)
+	clean := dsp.MedianFilterTo(cleanDst, un, c.MedianWidth)
+	if cap(predDst) < len(times) {
+		c := 2 * cap(predDst)
+		if c < len(times) {
+			c = len(times)
+		}
+		predDst = make([]float64, len(times), c)
+	}
+	if st != nil {
+		st.xkUn, st.xkClean, st.xkPred = un, clean, predDst
+	}
 
 	q, err := dsp.FitQuadratic(times, clean)
 	if err != nil {
 		return XKey{}, fmt.Errorf("stpp: quadratic fit: %w", err)
 	}
-	pred := make([]float64, len(times))
+	pred := predDst[:len(times)]
 	for i, t := range times {
 		pred[i] = q.Eval(t)
 	}
@@ -98,15 +121,19 @@ func OrderByX(keys []XKey) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ta, tb := keys[idx[a]].BottomTime, keys[idx[b]].BottomTime
-		if math.IsNaN(ta) {
-			return false
+	slices.SortStableFunc(idx, func(a, b int) int {
+		ta, tb := keys[a].BottomTime, keys[b].BottomTime
+		switch {
+		case math.IsNaN(ta):
+			if math.IsNaN(tb) {
+				return 0
+			}
+			return 1
+		case math.IsNaN(tb):
+			return -1
+		default:
+			return cmp.Compare(ta, tb)
 		}
-		if math.IsNaN(tb) {
-			return true
-		}
-		return ta < tb
 	})
 	return idx
 }

@@ -2,7 +2,7 @@ package stpp
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/profile"
 )
@@ -65,7 +65,7 @@ type YKey struct {
 // yield an error at that index in errs; their key is the zero value and
 // they sort adjacent to the pivot.
 func (c Config) YKeysOf(profiles []*profile.Profile, vzones []VZone, pivot int) ([]YKey, []error) {
-	return c.yKeys(nil, profiles, vzones, pivot)
+	return c.yKeys(nil, nil, profiles, vzones, pivot)
 }
 
 // YKeysOfStates is YKeysOf with per-tag detection states supplying cached
@@ -76,25 +76,53 @@ func (c Config) YKeysOf(profiles []*profile.Profile, vzones []VZone, pivot int) 
 // state; those fall back to the from-scratch windowing. Output is
 // bit-identical to YKeysOf either way.
 func (c Config) YKeysOfStates(states []*DetectState, profiles []*profile.Profile, vzones []VZone, pivot int) ([]YKey, []error) {
-	return c.yKeys(states, profiles, vzones, pivot)
+	return c.yKeys(nil, states, profiles, vzones, pivot)
 }
 
-func (c Config) yKeys(states []*DetectState, profiles []*profile.Profile, vzones []VZone, pivot int) ([]YKey, []error) {
+// yKeys is the shared body of the public YKey entry points. A non-nil
+// scratch supplies the returned keys/errs slices and the per-tag means
+// (one flat backing array instead of one slice per tag) — the returned
+// slices then alias the scratch and are only valid until its next use;
+// the public entry points pass nil so their results are caller-owned.
+func (c Config) yKeys(sc *asmScratch, states []*DetectState, profiles []*profile.Profile, vzones []VZone, pivot int) ([]YKey, []error) {
 	n := len(profiles)
-	keys := make([]YKey, n)
-	errs := make([]error, n)
+	var keys []YKey
+	var errs []error
+	var means [][]float64
+	var flat []float64
+	if sc != nil && cap(sc.keys) >= n {
+		keys, errs, means = sc.keys[:n], sc.errs[:n], sc.means[:n]
+		for i := range keys {
+			keys[i], errs[i], means[i] = YKey{}, nil, nil
+		}
+	} else {
+		keys = make([]YKey, n)
+		errs = make([]error, n)
+		means = make([][]float64, n)
+		if sc != nil {
+			sc.keys, sc.errs, sc.means = keys, errs, means
+		}
+	}
 	if n == 0 {
 		return keys, errs
+	}
+	// Reserve the whole flat backing up front: each success appends
+	// exactly YSegments values, so the per-tag subslices stay valid.
+	if sc != nil {
+		if cap(sc.flat) < n*c.YSegments {
+			sc.flat = make([]float64, 0, n*c.YSegments)
+		}
+		flat = sc.flat[:0]
+	} else {
+		flat = make([]float64, 0, n*c.YSegments)
 	}
 	if pivot < 0 || pivot >= n {
 		pivot = 0
 	}
-	means := make([][]float64, n)
 	for i, p := range profiles {
 		vz := vzones[i]
 		if vz.End-vz.Start < c.YSegments {
-			errs[i] = fmt.Errorf("stpp: V-zone of tag %d has %d samples < %d segments",
-				i, vz.End-vz.Start, c.YSegments)
+			errs[i] = errShortVZone{tag: i, samples: vz.End - vz.Start, segments: c.YSegments}
 			continue
 		}
 		// Segment means over a fixed-depth valley window so windows are
@@ -106,12 +134,13 @@ func (c Config) yKeys(states []*DetectState, profiles []*profile.Profile, vzones
 		} else {
 			_, phases = ValleyWindow(p, vz, c.YRiseWindow)
 		}
-		m, err := segmentMeans(phases, c.YSegments)
+		grown, err := segmentMeansAppend(flat, phases, c.YSegments)
 		if err != nil {
 			errs[i] = err
 			continue
 		}
-		means[i] = m
+		means[i] = grown[len(flat):]
+		flat = grown
 	}
 	if means[pivot] == nil {
 		// Pick any usable pivot instead.
@@ -160,20 +189,43 @@ func (c Config) yKeys(states []*DetectState, profiles []*profile.Profile, vzones
 // segmentMeans splits values into k equal-count chunks and returns each
 // chunk's mean (the V-zone coarse representation of Section 3.2.1).
 func segmentMeans(values []float64, k int) ([]float64, error) {
+	out, err := segmentMeansAppend(nil, values, k)
+	return out, err
+}
+
+// errShortVZone and errShortWindow report a tag whose V-zone (or valley
+// window) is still too short to split into Y segments. They are typed
+// with deferred formatting because the incremental Y stage re-keys every
+// dirty tag on every snapshot: an immature tag hits one of these each
+// time, and a fmt.Errorf there was a per-snapshot-linear allocation term.
+type errShortVZone struct{ tag, samples, segments int }
+
+func (e errShortVZone) Error() string {
+	return fmt.Sprintf("stpp: V-zone of tag %d has %d samples < %d segments", e.tag, e.samples, e.segments)
+}
+
+type errShortWindow struct{ values, segments int }
+
+func (e errShortWindow) Error() string {
+	return fmt.Sprintf("stpp: %d values < %d segments", e.values, e.segments)
+}
+
+// segmentMeansAppend appends the k chunk means to dst (growing it by
+// exactly k on success).
+func segmentMeansAppend(dst, values []float64, k int) ([]float64, error) {
 	n := len(values)
 	if n < k {
-		return nil, fmt.Errorf("stpp: %d values < %d segments", n, k)
+		return nil, errShortWindow{values: n, segments: k}
 	}
-	out := make([]float64, k)
 	for s := 0; s < k; s++ {
 		lo, hi := s*n/k, (s+1)*n/k
 		var sum float64
 		for i := lo; i < hi; i++ {
 			sum += values[i]
 		}
-		out[s] = sum / float64(hi-lo)
+		dst = append(dst, sum/float64(hi-lo))
 	}
-	return out, nil
+	return dst, nil
 }
 
 // OrderByY sorts tag indices by ascending signed gap — nearest to the
@@ -183,8 +235,17 @@ func OrderByY(keys []YKey) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		return keys[idx[a]].Signed < keys[idx[b]].Signed
+	slices.SortStableFunc(idx, func(a, b int) int {
+		// Mirrors `<` exactly (a NaN gap compares equal to everything, so
+		// stability keeps input order) — cmp.Compare would sort NaN first.
+		switch sa, sb := keys[a].Signed, keys[b].Signed; {
+		case sa < sb:
+			return -1
+		case sb < sa:
+			return 1
+		default:
+			return 0
+		}
 	})
 	return idx
 }

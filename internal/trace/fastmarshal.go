@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"math"
+	"strconv"
+
+	"repro/internal/reader"
+)
+
+// This file holds the hand-rolled encoder behind MarshalRead and
+// AppendReads, the mirror image of the fastjson.go scanner. The stppd
+// write-ahead log marshals one NDJSON batch per accepted Enqueue, and
+// encoding/json's reflection walk dominated the fsync=always ingest
+// profile once group commit amortized the syncs. The encoder emits
+// exactly the bytes json.Marshal produces for a jsonRead — same key
+// order (struct order), same shortest-round-trip float repr, same
+// omitempty on rdr — and refuses (ok=false) the one input encoding/json
+// would reject, a non-finite float, so the caller can fall back and
+// surface the stock UnsupportedValueError verbatim. Byte equivalence is
+// pinned against encoding/json in fastmarshal_test.go.
+
+const hexUpper = "0123456789ABCDEF"
+
+// appendRead appends r's canonical wire object (no trailing newline) to
+// dst. ok=false means a float field is NaN or ±Inf — nothing has been
+// appended and the caller must re-encode with encoding/json to get the
+// stock error.
+func appendRead(dst []byte, r *reader.TagRead) (_ []byte, ok bool) {
+	if !finite(r.Time) || !finite(r.Phase) || !finite(r.RSSI) {
+		return dst, false
+	}
+	dst = append(dst, `{"epc":"`...)
+	for _, b := range r.EPC {
+		dst = append(dst, hexUpper[b>>4], hexUpper[b&0xf])
+	}
+	dst = append(dst, `","t":`...)
+	dst = appendJSONFloat(dst, r.Time)
+	dst = append(dst, `,"phase":`...)
+	dst = appendJSONFloat(dst, r.Phase)
+	dst = append(dst, `,"rssi":`...)
+	dst = appendJSONFloat(dst, r.RSSI)
+	dst = append(dst, `,"ch":`...)
+	dst = strconv.AppendInt(dst, int64(r.Channel), 10)
+	if r.Reader != 0 {
+		dst = append(dst, `,"rdr":`...)
+		dst = strconv.AppendInt(dst, int64(r.Reader), 10)
+	}
+	return append(dst, '}'), true
+}
+
+func finite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
+// appendJSONFloat appends f the way encoding/json's float64 encoder
+// does: 'f' format normally, 'e' format outside [1e-6, 1e21), always
+// shortest round-trip, with the leading zero of a two-digit negative
+// exponent trimmed (e-09 → e-9). Keeping this transform identical —
+// not merely value-preserving — is what lets WAL bytes from the fast
+// and stock encoders interleave without breaking byte-level replay
+// comparisons.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		n := len(dst)
+		if n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/reader"
+)
+
+// slowMarshalRead is the pure encoding/json path, the byte-level
+// reference the fast encoder must be indistinguishable from.
+func slowMarshalRead(r reader.TagRead) ([]byte, error) {
+	j := toJSONRead(r)
+	return json.Marshal(&j)
+}
+
+// slowAppendReads is AppendReads as it was before the fast encoder: the
+// streaming encoding/json loop, newline per line.
+func slowAppendReads(dst []byte, reads []reader.TagRead) ([]byte, error) {
+	buf := bytes.NewBuffer(dst)
+	enc := json.NewEncoder(buf)
+	for i := range reads {
+		j := toJSONRead(reads[i])
+		if err := enc.Encode(&j); err != nil {
+			return nil, fmt.Errorf("trace: read %d: %w", i, err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// awkwardFloats stresses every branch of the float encoder: the
+// 'f'/'e' format cutoffs (1e-6, 1e21) from both sides, exponent-zero
+// trimming (e-09 → e-9 but e+09 untouched, e-100 untouched), shortest
+// round-trip with full 17-digit mantissas, signed zero, subnormals, and
+// the extremes.
+var awkwardFloats = []float64{
+	0, math.Copysign(0, -1), 1, -1, 0.25, 3.1, -58.5, 2000,
+	1e-6, 9.999999999999999e-7, 1e-7, 1e-9, -1e-9, 2.5e-10,
+	1e21, 9.999999999999999e20, 1e20, -1e21, 1e22, 1.5e21,
+	1e-100, 1e100, 1e-300, 1e300, 5e-324, math.MaxFloat64, -math.MaxFloat64,
+	0.1234567890123456, 6.123233995736766e-17, math.Pi, math.Sqrt2,
+	1234567890123456789, 0.1, 0.30000000000000004,
+	math.NaN(), math.Inf(1), math.Inf(-1),
+}
+
+// TestFastMarshalMatchesEncodingJSON sweeps the awkward-float gauntlet
+// through every float field and requires byte-and-error equivalence
+// between MarshalRead and a pure encoding/json marshal.
+func TestFastMarshalMatchesEncodingJSON(t *testing.T) {
+	base := reader.TagRead{Time: 0.25, Phase: 3.1, RSSI: -58.5, Channel: 6, Reader: 2}
+	base.EPC[0], base.EPC[11] = 0x30, 0x01
+	variants := []func(*reader.TagRead, float64){
+		func(r *reader.TagRead, f float64) { r.Time = f },
+		func(r *reader.TagRead, f float64) { r.Phase = f },
+		func(r *reader.TagRead, f float64) { r.RSSI = f },
+	}
+	for _, f := range awkwardFloats {
+		for vi, set := range variants {
+			rd := base
+			set(&rd, f)
+			// Both rdr present and omitted, and a negative channel for
+			// the int path.
+			for _, mut := range []func(*reader.TagRead){
+				func(*reader.TagRead) {},
+				func(r *reader.TagRead) { r.Reader = 0 },
+				func(r *reader.TagRead) { r.Channel = -7 },
+			} {
+				mut(&rd)
+				got, gerr := MarshalRead(rd)
+				want, werr := slowMarshalRead(rd)
+				if (gerr == nil) != (werr == nil) {
+					t.Fatalf("field %d = %v: err = %v, encoding/json err = %v", vi, f, gerr, werr)
+				}
+				if gerr != nil {
+					if gerr.Error() != werr.Error() {
+						t.Errorf("field %d = %v: error text diverged:\n fast: %v\n slow: %v", vi, f, gerr, werr)
+					}
+					continue
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("field %d = %v: bytes diverged:\n fast: %s\n slow: %s", vi, f, got, want)
+				}
+				// The scanner must round-trip its sibling's output.
+				back, err := UnmarshalRead(got)
+				if err != nil {
+					t.Errorf("round trip of %s: %v", got, err)
+				} else if back != rd {
+					t.Errorf("round trip of %s:\n got %+v\n want %+v", got, back, rd)
+				}
+			}
+		}
+	}
+}
+
+// TestFastMarshalMatchesOnRandomBits drives the encoder with fully
+// random float bit patterns — every exponent, subnormals, NaN payloads —
+// and random EPC bytes, comparing byte-for-byte with encoding/json.
+func TestFastMarshalMatchesOnRandomBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 5000; i++ {
+		var rd reader.TagRead
+		rng.Read(rd.EPC[:])
+		rd.Time = math.Float64frombits(rng.Uint64())
+		rd.Phase = math.Float64frombits(rng.Uint64())
+		rd.RSSI = math.Float64frombits(rng.Uint64())
+		rd.Channel = rng.Intn(100) - 50
+		rd.Reader = rng.Intn(3)
+		got, gerr := MarshalRead(rd)
+		want, werr := slowMarshalRead(rd)
+		if (gerr == nil) != (werr == nil) || (gerr != nil && gerr.Error() != werr.Error()) {
+			t.Fatalf("read %+v: err = %v, encoding/json err = %v", rd, gerr, werr)
+		}
+		if gerr == nil && !bytes.Equal(got, want) {
+			t.Fatalf("read %+v:\n fast: %s\n slow: %s", rd, got, want)
+		}
+	}
+}
+
+// TestAppendReadsMatchesStreamingEncoder pins the batch path — the exact
+// bytes the WAL journals — against the old streaming encoding/json loop,
+// including the error produced when a read carries a non-finite float.
+func TestAppendReadsMatchesStreamingEncoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	batch := make([]reader.TagRead, 300)
+	for i := range batch {
+		rng.Read(batch[i].EPC[:])
+		batch[i].Time = rng.Float64() * 100
+		batch[i].Phase = rng.NormFloat64()
+		batch[i].RSSI = -40 - rng.Float64()*30
+		batch[i].Channel = rng.Intn(50)
+		batch[i].Reader = rng.Intn(2) * rng.Intn(8)
+	}
+	got, err := AppendReads(nil, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := slowAppendReads(nil, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("batch encodings diverged:\n fast: %d bytes\n slow: %d bytes", len(got), len(want))
+	}
+	// Appending into a recycled buffer extends it in place.
+	prefix := []byte("keep")
+	withPrefix, err := AppendReads(prefix, batch[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(withPrefix, prefix) || !bytes.Equal(withPrefix[len(prefix):], want[:len(withPrefix)-len(prefix)]) {
+		t.Fatal("AppendReads did not extend the caller's buffer in place")
+	}
+
+	batch[7].Phase = math.Inf(-1)
+	_, gerr := AppendReads(nil, batch)
+	_, werr := slowAppendReads(nil, batch)
+	if gerr == nil || werr == nil || gerr.Error() != werr.Error() {
+		t.Fatalf("non-finite error diverged:\n fast: %v\n slow: %v", gerr, werr)
+	}
+}

@@ -175,6 +175,11 @@ func (j jsonRead) toTagRead() (reader.TagRead, error) {
 // producers (the stppd ingest daemon, loadgen) speak the trace format on
 // the wire.
 func MarshalRead(r reader.TagRead) ([]byte, error) {
+	if b, ok := appendRead(nil, &r); ok {
+		return b, nil
+	}
+	// Non-finite float: re-encode with encoding/json so the stock
+	// UnsupportedValueError comes back verbatim.
 	j := toJSONRead(r)
 	return json.Marshal(&j)
 }
@@ -224,24 +229,37 @@ func MarshalReads(reads []reader.TagRead) ([]byte, error) {
 // Enqueue — can reuse one marshal buffer instead of allocating the
 // encoding per batch. The bytes produced are identical to MarshalReads.
 func AppendReads(dst []byte, reads []reader.TagRead) ([]byte, error) {
-	buf := bytes.NewBuffer(dst)
-	enc := json.NewEncoder(buf)
 	for i := range reads {
-		j := toJSONRead(reads[i])
-		// Encode writes the same bytes json.Marshal produces, plus the
-		// batch format's newline terminator, without a per-line allocation.
-		if err := enc.Encode(&j); err != nil {
+		b, ok := appendRead(dst, &reads[i])
+		if !ok {
+			// A non-finite float is the one thing the fast encoder
+			// refuses; encoding/json rejects it with the error this
+			// function has always returned.
+			j := toJSONRead(reads[i])
+			_, err := json.Marshal(&j)
 			return nil, fmt.Errorf("trace: read %d: %w", i, err)
 		}
+		dst = append(b, '\n')
 	}
-	return buf.Bytes(), nil
+	return dst, nil
 }
 
 // UnmarshalReads parses an NDJSON batch strictly: every non-empty line
 // must decode or the whole batch is rejected, so callers never see a
 // partial batch. Empty input decodes to an empty batch.
 func UnmarshalReads(data []byte) ([]reader.TagRead, error) {
-	var out []reader.TagRead
+	if len(data) == 0 {
+		return nil, nil
+	}
+	// One line per read: size the result once from the newline count
+	// instead of growing it through the append doubling ladder — batch
+	// decode is the ingest hot path and the ladder's intermediate arrays
+	// dominated its allocations.
+	n := bytes.Count(data, []byte{'\n'})
+	if data[len(data)-1] != '\n' {
+		n++
+	}
+	out := make([]reader.TagRead, 0, n)
 	line := 0
 	for len(data) > 0 {
 		line++

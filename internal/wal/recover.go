@@ -9,24 +9,34 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/ckpt"
 	"repro/internal/reader"
 	"repro/internal/trace"
 )
 
 // ErrNoLog marks a directory with no segment files; ErrNoHeader a log
-// whose first record is missing or unreadable — nothing of the session
-// survives, so it cannot be rebuilt.
+// with no recovery basis — neither a header record at the start nor a
+// valid checkpoint record anywhere — so the session cannot be rebuilt.
 var (
 	ErrNoLog    = errors.New("wal: no log segments")
 	ErrNoHeader = errors.New("wal: no valid session header record")
 )
 
 // Recovered is what a log replays to: the session header, the journaled
-// batches in append order, and how the log ended.
+// batches an engine still needs to consume, and how the log ended.
 type Recovered struct {
-	// Header is the session's trace.Header, from the first record.
+	// Header is the session's trace.Header, from the header record or the
+	// latest valid checkpoint's embedded copy.
 	Header trace.Header
-	// Batches are the journaled read batches in append order.
+	// Checkpoint is the serialized engine state from the latest valid
+	// checkpoint record, nil if the log holds none. When set, restoring it
+	// and replaying Batches reproduces the full session state.
+	Checkpoint []byte
+	// CheckpointReads is the read count already folded into Checkpoint;
+	// the session's total is CheckpointReads + Reads.
+	CheckpointReads int64
+	// Batches are the journaled read batches the checkpoint does NOT
+	// cover, in append order — the whole log when Checkpoint is nil.
 	Batches [][]reader.TagRead
 	// Reads is the total read count across Batches.
 	Reads int
@@ -49,6 +59,13 @@ type Recovered struct {
 // log (no finish marker) it also reopens the repaired log for append and
 // returns it; for a finished log the returned *Log is nil.
 //
+// A checkpoint record resets the recovery basis: the engine state it
+// carries replaces everything before it, and only the batch records it
+// reports as uncovered — plus everything after it — are returned in
+// Batches. Segments wholly behind a checkpoint may have been truncated
+// away (or may survive a crash mid-truncation: the stale prefix is
+// scanned and then superseded when the checkpoint is reached).
+//
 // Recover never panics on corrupt input and never returns a partial
 // batch: a batch record either decodes completely or marks the torn
 // tail. It is idempotent — recovering an already-repaired log returns
@@ -64,7 +81,23 @@ func Recover(dir string, opts Options) (*Recovered, *Log, error) {
 	}
 
 	rec := &Recovered{}
-	sawHeader := false
+	// pending is the contiguous suffix of scanned batch records not yet
+	// covered by a checkpoint (empty batch records included — uncovered
+	// counts records, not reads). g is the global batch-record ordinal;
+	// firstG[si] is g when segment si began.
+	var pending [][]reader.TagRead
+	var headerJSON []byte
+	var firstG []int64
+	var g int64
+	sawBasis := false
+	// basisDeficit counts uncovered batch records the CURRENT basis
+	// checkpoint claims but the scan never saw. A later checkpoint's
+	// truncation may delete batch segments that sit in front of an older
+	// checkpoint record, so an intermediate deficit is normal — but the
+	// checkpoint that supersedes it must itself be whole, so a deficit on
+	// the FINAL basis means the log lost reads and cannot be trusted.
+	basisDeficit := int64(0)
+	first := true
 	// torn marks where scanning stopped: segment index into segs and the
 	// byte offset of the first bad record in it.
 	tornSeg, tornOff := -1, int64(0)
@@ -74,6 +107,7 @@ scan:
 		if err != nil {
 			return nil, nil, fmt.Errorf("wal: %w", err)
 		}
+		firstG = append(firstG, g)
 		off := int64(0)
 		for off < int64(len(data)) {
 			typ, payload, n, err := decodeFrame(data[off:])
@@ -87,20 +121,24 @@ scan:
 				tornSeg, tornOff = si, off
 			}
 			switch {
-			case !sawHeader:
-				if typ != recHeader {
-					bad(fmt.Errorf("first record type %d, want header", typ))
+			case rec.Finished:
+				// Nothing may follow the finish marker.
+				bad(errors.New("record after finish marker"))
+				break scan
+			case typ == recHeader:
+				// Only ever the very first record: checkpoint truncation may
+				// delete the segment holding it (its payload rides in every
+				// checkpoint envelope), but never writes another.
+				if !first {
+					bad(errors.New("header record not at log start"))
 					break scan
 				}
 				if err := json.Unmarshal(payload, &rec.Header); err != nil {
 					bad(fmt.Errorf("decode header: %w", err))
 					break scan
 				}
-				sawHeader = true
-			case rec.Finished:
-				// Nothing may follow the finish marker.
-				bad(errors.New("record after finish marker"))
-				break scan
+				headerJSON = append([]byte(nil), payload...)
+				sawBasis = true
 			case typ == recBatch:
 				batch, err := trace.UnmarshalReads(payload)
 				if err != nil {
@@ -110,22 +148,62 @@ scan:
 					bad(err)
 					break scan
 				}
-				if len(batch) > 0 {
-					rec.Batches = append(rec.Batches, batch)
-					rec.Reads += len(batch)
+				pending = append(pending, batch)
+				g++
+			case typ == recCheckpoint:
+				uncovered, reads, hj, state, err := parseCheckpoint(payload)
+				if err != nil {
+					// A corrupt checkpoint tears the log at this record; the
+					// earlier basis (header or previous checkpoint) stands.
+					bad(err)
+					break scan
 				}
-			case typ == recFinish:
+				var h trace.Header
+				if err := json.Unmarshal(hj, &h); err != nil {
+					bad(fmt.Errorf("checkpoint header: %w", err))
+					break scan
+				}
+				rec.Header = h
+				rec.Checkpoint = append(rec.Checkpoint[:0], state...)
+				rec.CheckpointReads = reads
+				headerJSON = append(headerJSON[:0], hj...)
+				// The survivors are always a suffix of this checkpoint's
+				// uncovered list (truncation deletes oldest-first), so trim
+				// to whichever is shorter.
+				keep := uncovered
+				if n := int64(len(pending)); keep > n {
+					keep, basisDeficit = n, uncovered-n
+				} else {
+					basisDeficit = 0
+				}
+				pending = pending[int64(len(pending))-keep:]
+				sawBasis = true
+			default: // recFinish
+				if !sawBasis {
+					bad(errors.New("finish marker before any header or checkpoint"))
+					break scan
+				}
 				rec.Finished = true
-			default: // a second header record
-				bad(errors.New("duplicate header record"))
-				break scan
 			}
+			first = false
 			off += n
 			rec.Bytes += n
 		}
 	}
-	if !sawHeader {
+	if !sawBasis {
 		return nil, nil, fmt.Errorf("%w in %s", ErrNoHeader, dir)
+	}
+	if basisDeficit > 0 {
+		// The final basis checkpoint is missing some of its uncovered batch
+		// records: replaying the survivors would leave a silent gap in the
+		// stream. No reachable crash state produces this (truncation only
+		// deletes records a DURABLE later checkpoint covers), so refuse to
+		// rebuild rather than invent a lossy session.
+		return nil, nil, fmt.Errorf("wal: checkpoint basis misses %d of its uncovered batch records in %s", basisDeficit, dir)
+	}
+	rec.Batches = pending
+	for _, b := range pending {
+		rec.Reads += len(b)
 	}
 
 	// Repair: truncate the torn segment to its last good offset and drop
@@ -152,7 +230,10 @@ scan:
 	if rec.Finished {
 		return rec, nil, nil
 	}
-	// Reopen the last surviving segment for append.
+	// Reopen the last surviving segment for append. The new instance
+	// numbers batches from len(pending) — the replayed suffix — so segment
+	// metadata is rebased to that origin (pre-checkpoint segments go
+	// negative and become immediately deletable at the next checkpoint).
 	last := segs[keep-1]
 	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -163,8 +244,53 @@ scan:
 		f.Close()
 		return nil, nil, fmt.Errorf("wal: reopen: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts, f: f, w: bufio.NewWriter(f), seg: keep, size: st.Size()}
+	l := newLog(dir, opts)
+	l.f, l.w, l.seg, l.size = f, bufio.NewWriter(f), segIndex(last), st.Size()
+	l.batches = int64(len(pending))
+	l.headerJSON = headerJSON
+	base := g - int64(len(pending))
+	for si := 0; si < keep; si++ {
+		l.segs = append(l.segs, segMeta{idx: segIndex(segs[si]), firstBatch: firstG[si] - base})
+	}
 	return rec, l, nil
+}
+
+// parseCheckpoint decodes a checkpoint envelope. The returned slices
+// alias the payload. Uncovered may legitimately exceed the batch records
+// a scan has accumulated (later truncation deletes records in front of
+// older checkpoints), so range-checking against the scan state is the
+// caller's job.
+func parseCheckpoint(payload []byte) (uncovered, reads int64, headerJSON, state []byte, err error) {
+	r := ckpt.NewReader(payload)
+	if v := r.U8(); r.Err() == nil && v != ckptVersion {
+		r.Failf("checkpoint version %d", v)
+	}
+	uncovered = int64(r.U64())
+	reads = int64(r.U64())
+	headerJSON = r.Bytes()
+	state = r.Bytes()
+	if r.Err() == nil {
+		switch {
+		case r.Len() != 0:
+			r.Failf("%d trailing bytes", r.Len())
+		case uncovered < 0:
+			r.Failf("negative checkpoint uncovered count %d", uncovered)
+		case reads < 0:
+			r.Failf("negative checkpoint read count %d", reads)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return 0, 0, nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return uncovered, reads, headerJSON, state, nil
+}
+
+// segIndex parses a segment file's index from its name; the caller only
+// hands it paths SegmentFiles produced.
+func segIndex(path string) int {
+	var idx int
+	fmt.Sscanf(filepath.Base(path), segPattern, &idx)
+	return idx
 }
 
 // decodeFrame parses one record frame at the start of data, returning its
@@ -176,12 +302,16 @@ func decodeFrame(data []byte) (typ byte, payload []byte, n int64, err error) {
 		return 0, nil, 0, fmt.Errorf("wal: truncated frame header (%d bytes)", len(data))
 	}
 	typ = data[0]
-	if typ != recHeader && typ != recBatch && typ != recFinish {
+	if typ != recHeader && typ != recBatch && typ != recFinish && typ != recCheckpoint {
 		return 0, nil, 0, fmt.Errorf("wal: unknown record type %d", typ)
 	}
+	max := uint32(MaxRecord)
+	if typ == recCheckpoint {
+		max = MaxCheckpoint
+	}
 	size := binary.LittleEndian.Uint32(data[1:5])
-	if size > MaxRecord {
-		return 0, nil, 0, fmt.Errorf("wal: record length %d exceeds %d", size, MaxRecord)
+	if size > max {
+		return 0, nil, 0, fmt.Errorf("wal: record length %d exceeds %d", size, max)
 	}
 	if int64(len(data)-frameLen) < int64(size) {
 		return 0, nil, 0, fmt.Errorf("wal: truncated record payload (%d of %d bytes)", len(data)-frameLen, size)
@@ -193,15 +323,18 @@ func decodeFrame(data []byte) (typ byte, payload []byte, n int64, err error) {
 	return typ, payload, frameLen + int64(size), nil
 }
 
-// SegmentFiles lists the log's segment files in index order, stopping at
-// the first gap in the numbering (segments after a gap are unreachable by
-// a sequential writer and are ignored).
+// SegmentFiles lists the log's segment files in index order, starting at
+// the lowest index present (checkpoint truncation deletes the low end, so
+// a live log need not start at 1) and stopping at the first gap in the
+// numbering (segments after a gap are unreachable by a sequential writer
+// and are ignored).
 func SegmentFiles(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	byIdx := map[int]string{}
+	lo := 0
 	for _, e := range entries {
 		var idx int
 		// Sscanf ignores trailing characters, so require the exact
@@ -212,9 +345,12 @@ func SegmentFiles(dir string) ([]string, error) {
 			continue
 		}
 		byIdx[idx] = filepath.Join(dir, e.Name())
+		if lo == 0 || idx < lo {
+			lo = idx
+		}
 	}
 	var out []string
-	for i := 1; ; i++ {
+	for i := lo; lo > 0; i++ {
 		path, ok := byIdx[i]
 		if !ok {
 			break
@@ -230,6 +366,29 @@ type RecordInfo struct {
 	Type   byte
 	Offset int64 // frame start within the segment
 	End    int64 // first byte past the record
+}
+
+// InspectCheckpoint decodes the bookkeeping fields of a checkpoint
+// record located by InspectSegment: how many journaled batch records its
+// state left uncovered and how many reads the state folds in. For
+// inspection tooling and the crash-injection tests.
+func InspectCheckpoint(path string, ri RecordInfo) (uncovered, reads int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	if ri.Offset < 0 || ri.End > int64(len(data)) || ri.Offset >= ri.End {
+		return 0, 0, fmt.Errorf("wal: record bounds [%d,%d) outside segment", ri.Offset, ri.End)
+	}
+	typ, payload, _, err := decodeFrame(data[ri.Offset:ri.End])
+	if err != nil {
+		return 0, 0, err
+	}
+	if typ != recCheckpoint {
+		return 0, 0, fmt.Errorf("wal: record type %d is not a checkpoint", typ)
+	}
+	uncovered, reads, _, _, err = parseCheckpoint(payload)
+	return uncovered, reads, err
 }
 
 // InspectSegment scans one segment file and returns the records up to the

@@ -36,27 +36,37 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/reader"
 	"repro/internal/trace"
 )
 
 // Record types.
 const (
-	recHeader byte = 1 // payload: trace.Header JSON
-	recBatch  byte = 2 // payload: NDJSON read lines (trace.MarshalReads)
-	recFinish byte = 3 // payload: empty; the session finished cleanly
+	recHeader     byte = 1 // payload: trace.Header JSON
+	recBatch      byte = 2 // payload: NDJSON read lines (trace.MarshalReads)
+	recFinish     byte = 3 // payload: empty; the session finished cleanly
+	recCheckpoint byte = 4 // payload: checkpoint envelope (see AppendCheckpoint)
 )
 
 const (
 	// frameLen is the fixed frame prefix: type, payload length, CRC.
 	frameLen = 9
-	// MaxRecord caps a record payload; a decoded length beyond it marks a
-	// corrupt frame rather than an allocation request.
+	// MaxRecord caps a header/batch/finish payload; a decoded length beyond
+	// it marks a corrupt frame rather than an allocation request.
 	MaxRecord = 16 << 20
-	// segPattern names segment files; the index starts at 1.
+	// MaxCheckpoint caps a checkpoint payload — engine state scales with
+	// the tag population and profile lengths, so its budget is wider.
+	MaxCheckpoint = 1 << 30
+	// segPattern names segment files; numbering starts at 1, but after
+	// checkpoint truncation the lowest live index may be higher.
 	segPattern = "wal-%08d.seg"
 )
+
+// ckptVersion versions the checkpoint record envelope.
+const ckptVersion = 1
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -104,12 +114,31 @@ type Options struct {
 	// reaches this size (records never split across segments). Default
 	// 64 MiB.
 	SegmentBytes int64
+	// FlushWindow stretches group commit under SyncAlways: the fsync
+	// leader sleeps this long before syncing, so concurrent producers'
+	// appends coalesce into the same fsync. Zero syncs immediately
+	// (appends arriving during an in-flight fsync still coalesce into the
+	// next one — the natural batching that gives most of the win).
+	FlushWindow time.Duration
 }
 
 func (o *Options) fill() {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 64 << 20
 	}
+}
+
+// segMeta tracks one live segment: its file index and the instance-
+// relative ordinal of the first batch record it holds (the value of
+// l.batches when the segment was opened; recovery rebases it so it may be
+// negative for pre-checkpoint segments). AppendCheckpoint uses it to
+// decide which prefix segments hold only consumed batches. ckptOnly marks
+// a sealed segment holding exactly one checkpoint record and nothing else
+// — the next checkpoint supersedes it and reclaims its space.
+type segMeta struct {
+	idx        int
+	firstBatch int64
+	ckptOnly   bool
 }
 
 // Log is an append-only session journal. It is safe for concurrent use.
@@ -120,17 +149,46 @@ type Log struct {
 
 	f    *os.File
 	w    *bufio.Writer
-	seg  int   // current segment index (1-based)
+	seg  int   // current segment index
 	size int64 // bytes in the current segment
 
 	appends int64 // records appended by this process
 	bytes   int64 // bytes appended by this process
+	batches int64 // batch records appended by this log instance
 	closed  bool
 
-	// marshalBuf is the reused NDJSON encoding buffer for AppendBatch — one
-	// marshal buffer per log (guarded by mu, so it is never contended)
-	// instead of one allocation per journaled batch.
-	marshalBuf []byte
+	// segs are the live segments, ascending index; segs[len-1] is current.
+	segs []segMeta
+	// headerJSON is the session header as journaled, re-embedded into
+	// every checkpoint record so truncation may delete the segment holding
+	// the original header record.
+	headerJSON []byte
+
+	// ckptBuf is the reused checkpoint envelope buffer.
+	ckptBuf []byte
+
+	// Group-commit state. gAppended (guarded by mu) numbers SyncAlways
+	// batch appends; the rest (guarded by gmu) tracks how far fsync has
+	// caught up. Lock order: mu before gmu, never the reverse.
+	gAppended int64
+	gmu       sync.Mutex
+	gcond     *sync.Cond
+	gSynced   int64
+	gLeader   bool
+	gErr      error
+	gErrSeq   int64
+}
+
+// marshalPool recycles NDJSON encoding buffers across AppendBatchAsync
+// calls (shared by all logs; a buffer lives only from marshal to frame
+// write, so the pool stays near the producer concurrency in size).
+var marshalPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// newLog wires up a Log's synchronization state.
+func newLog(dir string, opts Options) *Log {
+	l := &Log{dir: dir, opts: opts}
+	l.gcond = sync.NewCond(&l.gmu)
+	return l
 }
 
 // Create opens a fresh log in dir (created if missing) and journals the
@@ -142,11 +200,14 @@ func Create(dir string, h trace.Header, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	first := filepath.Join(dir, fmt.Sprintf(segPattern, 1))
-	if _, err := os.Stat(first); err == nil {
+	// Any segment — not just segment 1 — marks an existing log: after
+	// checkpoint truncation the live run may start at a higher index.
+	if existing, err := SegmentFiles(dir); err != nil {
+		return nil, err
+	} else if len(existing) > 0 {
 		return nil, fmt.Errorf("wal: %s already holds a log (use Recover)", dir)
 	}
-	l := &Log{dir: dir, opts: opts}
+	l := newLog(dir, opts)
 	if err := l.openSegment(1); err != nil {
 		return nil, err
 	}
@@ -155,6 +216,7 @@ func Create(dir string, h trace.Header, opts Options) (*Log, error) {
 		l.Close()
 		return nil, fmt.Errorf("wal: encode header: %w", err)
 	}
+	l.headerJSON = payload
 	if err := l.append(recHeader, payload); err != nil {
 		l.Close()
 		return nil, err
@@ -172,6 +234,7 @@ func (l *Log) openSegment(seg int) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.f, l.w, l.seg, l.size = f, bufio.NewWriter(f), seg, 0
+	l.segs = append(l.segs, segMeta{idx: seg, firstBatch: l.batches})
 	syncDir(l.dir)
 	return nil
 }
@@ -185,20 +248,240 @@ func syncDir(dir string) {
 	}
 }
 
-// AppendBatch journals one accepted read batch. The append is flushed to
-// the OS before returning and fsynced under SyncAlways. The NDJSON
-// encoding lands in a log-owned buffer reused across batches (it lives
-// only until the frame is written out), so the journal hot path allocates
-// nothing per batch.
+// AppendBatch journals one accepted read batch and, under SyncAlways,
+// waits until it is on stable storage. It is AppendBatchAsync followed by
+// WaitDurable — concurrent callers' fsyncs coalesce via group commit.
 func (l *Log) AppendBatch(batch []reader.TagRead) error {
+	seq, err := l.AppendBatchAsync(batch)
+	if err != nil {
+		return err
+	}
+	return l.WaitDurable(seq)
+}
+
+// AppendBatchAsync journals one accepted read batch WITHOUT waiting for
+// the fsync: the record is framed and flushed to the OS before returning
+// (so a process crash loses nothing), and the returned sequence number is
+// the handle to wait for machine durability via WaitDurable. Under
+// SyncNever the append is already as durable as it will get and the
+// sequence is 0 (WaitDurable(0) returns immediately).
+//
+// Splitting append from durability is what lets an ingest path accept and
+// even start processing a batch while its fsync is still in flight, with
+// the producer ack alone gated on the sync — the group-commit shape that
+// amortizes fsync=always to near fsync=never throughput.
+//
+// The NDJSON encoding lands in a log-owned buffer reused across batches
+// (it lives only until the frame is written out), so the journal hot path
+// allocates nothing per batch.
+func (l *Log) AppendBatchAsync(batch []reader.TagRead) (seq int64, err error) {
+	// Marshal BEFORE taking the log lock: the NDJSON encode of a 256-read
+	// batch costs more than the framed write that follows, and holding mu
+	// across it would serialize concurrent producers — the very contention
+	// window group commit exists to exploit. Pooled buffers keep the
+	// steady state allocation-free with any number of producers.
+	bp := marshalPool.Get().(*[]byte)
+	payload, err := trace.AppendReads((*bp)[:0], batch)
+	if err != nil {
+		marshalPool.Put(bp)
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	*bp = payload
+	defer marshalPool.Put(bp)
+
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	payload, err := trace.AppendReads(l.marshalBuf[:0], batch)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+	if err := l.appendLocked(recBatch, payload); err != nil {
+		return 0, err
 	}
-	l.marshalBuf = payload
-	return l.appendLocked(recBatch, payload)
+	if l.opts.Fsync != SyncAlways {
+		return 0, nil
+	}
+	return l.gAppended, nil
+}
+
+// WaitDurable blocks until every batch append up to seq is fsynced (or
+// known to have failed). The first blocked caller becomes the fsync
+// leader: it optionally sleeps the flush window, syncs once, and releases
+// every waiter the sync covered — appends that landed while the leader
+// was syncing are picked up by the next leader.
+func (l *Log) WaitDurable(seq int64) error {
+	if seq <= 0 {
+		return nil
+	}
+	l.gmu.Lock()
+	for {
+		if l.gSynced >= seq {
+			l.gmu.Unlock()
+			return nil
+		}
+		if l.gErr != nil && seq <= l.gErrSeq {
+			err := l.gErr
+			l.gmu.Unlock()
+			return err
+		}
+		if !l.gLeader {
+			l.gLeader = true
+			l.gmu.Unlock()
+			l.leadFlush()
+			l.gmu.Lock()
+			l.gLeader = false
+			l.gcond.Broadcast()
+			continue
+		}
+		l.gcond.Wait()
+	}
+}
+
+// leadFlush is the group-commit leader's one sync round: sleep the flush
+// window so concurrent appends pile up, then fsync everything appended.
+// Called without gmu held (the leader flag serializes rounds).
+func (l *Log) leadFlush() {
+	if w := l.opts.FlushWindow; w > 0 {
+		time.Sleep(w)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	target := l.gAppended
+	if l.closed {
+		// Close fsynced everything it could and advanced gSynced; anything
+		// beyond that is unreachable now.
+		l.recordSyncErr(target, fmt.Errorf("wal: log closed"))
+		return
+	}
+	if err := l.w.Flush(); err != nil {
+		l.recordSyncErr(target, fmt.Errorf("wal: %w", err))
+		return
+	}
+	if err := l.f.Sync(); err != nil {
+		l.recordSyncErr(target, fmt.Errorf("wal: %w", err))
+		return
+	}
+	l.advanceSynced(target)
+}
+
+// advanceSynced marks every batch append up to target as durable and
+// wakes waiters. Callers hold l.mu (or own the log exclusively).
+func (l *Log) advanceSynced(target int64) {
+	l.gmu.Lock()
+	if target > l.gSynced {
+		l.gSynced = target
+	}
+	l.gcond.Broadcast()
+	l.gmu.Unlock()
+}
+
+// recordSyncErr fails every WaitDurable up to target. Callers hold l.mu.
+func (l *Log) recordSyncErr(target int64, err error) {
+	l.gmu.Lock()
+	l.gErr = err
+	if target > l.gErrSeq {
+		l.gErrSeq = target
+	}
+	l.gcond.Broadcast()
+	l.gmu.Unlock()
+}
+
+// AppendCheckpoint journals an engine checkpoint and truncates every
+// segment made wholly redundant by it, returning how many segments were
+// deleted or emptied. The checkpoint envelope carries everything recovery needs to
+// stand alone — the session header (so the segment holding the original
+// header record may be deleted), the serialized engine state, the total
+// reads folded into that state, and uncovered: how many journaled batch
+// records were NOT yet consumed into the state when it was captured.
+// Recovery restores the state and replays only the last `uncovered` batch
+// records — the suffix — instead of the whole history.
+//
+// Durability ordering makes truncation crash-safe: the checkpoint record
+// is fsynced (appendLocked always syncs non-batch records) before any
+// segment is unlinked, and the directory is fsynced after. A crash
+// mid-truncation leaves stale pre-checkpoint segments behind, which
+// recovery skips past once it scans the checkpoint.
+//
+// The record is written to a fresh segment (rotating first if the current
+// one holds anything) and sealed alone there (rotating again), so a
+// checkpoint never shares a segment with batch records. Superseded
+// checkpoint segments are truncated to zero length on the spot, and a
+// prefix segment is deleted outright once every batch it holds is covered
+// by the checkpoint, i.e. the NEXT segment's first batch ordinal is
+// ≤ batches-consumed. Together these bound the log's disk footprint and
+// recovery's scan by the checkpoint cadence: one live engine blob plus
+// the uncovered batch suffix, however old the session. Envelope layout
+// (ckpt encoding):
+//
+//	u8 version | u64 uncovered | u64 reads | bytes headerJSON | bytes state
+func (l *Log) AppendCheckpoint(uncovered, reads int64, state []byte) (truncated int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	covered := l.batches - uncovered
+	if uncovered < 0 || covered < 0 {
+		return 0, fmt.Errorf("wal: checkpoint uncovered %d out of range (batches %d)", uncovered, l.batches)
+	}
+	buf := l.ckptBuf[:0]
+	buf = ckpt.AppendU8(buf, ckptVersion)
+	buf = ckpt.AppendU64(buf, uint64(uncovered))
+	buf = ckpt.AppendU64(buf, uint64(reads))
+	buf = ckpt.AppendBytes(buf, l.headerJSON)
+	buf = ckpt.AppendBytes(buf, state)
+	l.ckptBuf = buf
+	if l.size > 0 {
+		if err := l.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	if err := l.appendLocked(recCheckpoint, buf); err != nil {
+		return 0, err
+	}
+	// Seal the checkpoint alone in its segment by rotating again. Batches
+	// journal ahead of consumption, so a segment mixing a checkpoint with
+	// later batch records stays pinned — its tail batches uncovered — for
+	// several checkpoint cycles, each cycle stranding a full superseded
+	// engine blob on disk and in the recovery scan. Alone, the blob is
+	// reclaimable the moment the next checkpoint lands.
+	if err := l.rotate(); err != nil {
+		return 0, err
+	}
+	l.segs[len(l.segs)-2].ckptOnly = true
+	// Reclaim superseded checkpoint segments in place. Deleting a middle
+	// segment would leave an index gap, which recovery reads as the end of
+	// the reachable log — so stale checkpoint segments are truncated to
+	// zero length instead: an empty segment scans as no records, and the
+	// covered-prefix sweep below unlinks the empty file once consumption
+	// passes it. The new checkpoint was fsynced above (appendLocked always
+	// syncs non-batch records), so a crash anywhere in this sweep leaves
+	// each stale segment either intact (scanned, then superseded) or empty
+	// — both recover to the same session.
+	for i := range l.segs[:len(l.segs)-2] {
+		if !l.segs[i].ckptOnly {
+			continue
+		}
+		path := filepath.Join(l.dir, fmt.Sprintf(segPattern, l.segs[i].idx))
+		if err := os.Truncate(path, 0); err != nil {
+			return truncated, fmt.Errorf("wal: reclaim checkpoint segment: %w", err)
+		}
+		l.segs[i].ckptOnly = false
+		truncated++
+	}
+	// The prefix sweep stops at the new checkpoint's own segment: it is
+	// the recovery basis, deletable only by a future checkpoint.
+	for len(l.segs) >= 2 && !l.segs[0].ckptOnly && l.segs[1].firstBatch <= covered {
+		path := filepath.Join(l.dir, fmt.Sprintf(segPattern, l.segs[0].idx))
+		if err := os.Remove(path); err != nil {
+			if truncated > 0 {
+				syncDir(l.dir)
+			}
+			return truncated, fmt.Errorf("wal: truncate: %w", err)
+		}
+		truncated++
+		l.segs = l.segs[1:]
+	}
+	if truncated > 0 {
+		syncDir(l.dir)
+	}
+	return truncated, nil
 }
 
 // AppendFinish journals the finish marker, fsynced regardless of policy:
@@ -217,8 +500,12 @@ func (l *Log) appendLocked(typ byte, payload []byte) error {
 	if l.closed {
 		return fmt.Errorf("wal: log closed")
 	}
-	if len(payload) > MaxRecord {
-		return fmt.Errorf("wal: record payload %d exceeds %d bytes", len(payload), MaxRecord)
+	max := MaxRecord
+	if typ == recCheckpoint {
+		max = MaxCheckpoint
+	}
+	if len(payload) > max {
+		return fmt.Errorf("wal: record payload %d exceeds %d bytes", len(payload), max)
 	}
 	n := int64(frameLen + len(payload))
 	if l.size > 0 && l.size+n > l.opts.SegmentBytes {
@@ -239,10 +526,22 @@ func (l *Log) appendLocked(typ byte, payload []byte) error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	if l.opts.Fsync == SyncAlways || typ != recBatch {
+	if typ == recBatch {
+		// Batch fsync is the group-commit leader's job under SyncAlways
+		// (sequence assigned by AppendBatchAsync) and skipped entirely
+		// under SyncNever.
+		if l.opts.Fsync == SyncAlways {
+			l.gAppended++
+		}
+		l.batches++
+	} else {
+		// Header, finish and checkpoint records are one-time barriers:
+		// always fsynced inline, which also covers every batch flushed
+		// before them.
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
+		l.advanceSynced(l.gAppended)
 	}
 	l.size += n
 	l.bytes += n
@@ -261,6 +560,7 @@ func (l *Log) rotate() error {
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	l.advanceSynced(l.gAppended)
 	return l.openSegment(l.seg + 1)
 }
 
@@ -274,7 +574,11 @@ func (l *Log) Sync() error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.advanceSynced(l.gAppended)
+	return nil
 }
 
 // Close flushes, fsyncs and closes the log. Idempotent.
@@ -289,7 +593,11 @@ func (l *Log) Close() error {
 		l.w.Flush()
 	}
 	if l.f != nil {
-		l.f.Sync()
+		if err := l.f.Sync(); err == nil {
+			// Everything appended made it down; release any group-commit
+			// waiters so they don't lead-flush a closed log.
+			l.advanceSynced(l.gAppended)
+		}
 		return l.f.Close()
 	}
 	return nil

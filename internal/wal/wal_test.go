@@ -410,9 +410,10 @@ func TestParsePolicy(t *testing.T) {
 	}
 }
 
-// TestEmptyBatchPayloadSkipped: a zero-read batch record recovers to no
-// batch at all rather than an empty slice entry.
-func TestEmptyBatchPayloadSkipped(t *testing.T) {
+// TestEmptyBatchPayloadKept: a zero-read batch record recovers to an
+// empty slice entry — checkpoint records count uncovered batch RECORDS,
+// so recovery must preserve the record count exactly, reads or not.
+func TestEmptyBatchPayloadKept(t *testing.T) {
 	dir := t.TempDir()
 	l, err := Create(dir, testHeader(), Options{})
 	if err != nil {
@@ -426,8 +427,11 @@ func TestEmptyBatchPayloadSkipped(t *testing.T) {
 	}
 	l.Close()
 	rec := recoverDir(t, dir)
-	if len(rec.Batches) != 1 || rec.Reads != 2 {
-		t.Errorf("batches=%d reads=%d, want 1/2", len(rec.Batches), rec.Reads)
+	if len(rec.Batches) != 2 || rec.Reads != 2 {
+		t.Errorf("batches=%d reads=%d, want 2/2", len(rec.Batches), rec.Reads)
+	}
+	if len(rec.Batches[0]) != 0 || len(rec.Batches[1]) != 2 {
+		t.Errorf("batch sizes %d/%d, want 0/2", len(rec.Batches[0]), len(rec.Batches[1]))
 	}
 }
 

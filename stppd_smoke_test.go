@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"fmt"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -112,8 +113,12 @@ func TestDaemonCrashRecoveryEndToEnd(t *testing.T) {
 	dataDir := filepath.Join(dir, "wal")
 	state := filepath.Join(dir, "replay.json")
 
+	// A tight checkpoint cadence (vs the 3×128-read pause run) so the kill
+	// lands past several durable checkpoints: the restart must restore
+	// engine state and replay only the journal suffix.
 	daemon1, addr1, _ := startStppd(t, bins["stppd"],
-		"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-fsync", "always", "-batch", "128")
+		"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-fsync", "always", "-batch", "128",
+		"-checkpoint-every", "150", "-flush-window", "200us")
 	out, err := exec.Command(bins["loadgen"],
 		"-addr", addr1, "-in", aisle+","+pop, "-sessions", "6", "-batch", "128",
 		"-state", state, "-stop-after", "3").CombinedOutput()
@@ -129,7 +134,8 @@ func TestDaemonCrashRecoveryEndToEnd(t *testing.T) {
 	daemon1.Wait()
 
 	daemon2, addr2, lines := startStppd(t, bins["stppd"],
-		"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-fsync", "always", "-batch", "128")
+		"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-fsync", "always", "-batch", "128",
+		"-checkpoint-every", "150", "-flush-window", "200us")
 	select {
 	case banner := <-lines:
 		if !strings.Contains(banner, "recovered 6 sessions") {
@@ -138,6 +144,13 @@ func TestDaemonCrashRecoveryEndToEnd(t *testing.T) {
 		if !strings.Contains(banner, "0 torn tails, 0 skipped") {
 			// SIGKILL between acked batches must not tear the log.
 			t.Errorf("unexpected WAL damage after SIGKILL: %q", banner)
+		}
+		// The pause run took 384 reads per session past a 150-read cadence,
+		// so every session restarts from a checkpoint: the replayed suffix
+		// must be a proper fraction of the recovered total.
+		rec, suf := bannerReadCounts(t, banner)
+		if suf >= rec || rec == 0 {
+			t.Errorf("restart replayed %d of %d recovered reads; checkpoints saved nothing: %q", suf, rec, banner)
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("no recovery banner from the restarted daemon")
@@ -158,6 +171,26 @@ func TestDaemonCrashRecoveryEndToEnd(t *testing.T) {
 	if !strings.Contains(s, "recovered 6 sessions") {
 		t.Errorf("resume run stats missing recovery counters:\n%s", s)
 	}
+	if !strings.Contains(s, "segments truncated") {
+		t.Errorf("resume run stats missing checkpoint counters:\n%s", s)
+	}
 	daemon2.Process.Kill()
 	daemon2.Wait()
+}
+
+// bannerReadCounts pulls the recovered-total and replayed-suffix read
+// counts out of the stppd recovery banner:
+//
+//	stppd recovered N sessions (R reads, S replayed past checkpoints, ...)
+func bannerReadCounts(t *testing.T, banner string) (recovered, suffix int) {
+	t.Helper()
+	open := strings.Index(banner, "(")
+	if open < 0 {
+		t.Fatalf("no counters in banner: %q", banner)
+	}
+	if _, err := fmt.Sscanf(banner[open:], "(%d reads, %d replayed past checkpoints",
+		&recovered, &suffix); err != nil {
+		t.Fatalf("unparseable banner %q: %v", banner, err)
+	}
+	return recovered, suffix
 }
