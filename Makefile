@@ -1,18 +1,20 @@
 # The repository's tier-1 gates (mirrors .github/workflows/ci.yml) plus
 # the recorded benchmark step that tracks the performance trajectory.
 
-PR := 7
+PR := 8
 
 # The key hot-path benchmarks recorded per PR: the snapshot-cadence
 # evidence, streaming vs batch, the daemon ingest path, the segment-DTW
 # kernel (whole alignment and isolated column fill), the WAL
-# append/recovery paths, and the checkpointed-recovery flatness and
-# group-commit throughput this PR adds.
-BENCH_PATTERN := BenchmarkSnapshotCadence|BenchmarkStreamingVsBatch|BenchmarkDaemonIngest|BenchmarkShardedAisle|BenchmarkSegmentedAlign|BenchmarkSegmentFill|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkCheckpointedRecovery|BenchmarkWALGroupCommit
+# append/recovery paths, checkpointed-recovery flatness and group-commit
+# throughput, and the endless-stream lifecycle flatness this PR adds.
+BENCH_PATTERN := BenchmarkSnapshotCadence|BenchmarkStreamingVsBatch|BenchmarkDaemonIngest|BenchmarkShardedAisle|BenchmarkSegmentedAlign|BenchmarkSegmentFill|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkCheckpointedRecovery|BenchmarkWALGroupCommit|BenchmarkEndlessStream
 
 # The regression gate: fail the bench step if any of these benchmarks'
 # reads/s drops more than 15% against the committed pre-PR baseline.
-GATE := BenchmarkDaemonIngest,BenchmarkRecovery,BenchmarkWALAppend
+# (EndlessStream is new this PR, so the gate starts covering it next PR —
+# absent-from-baseline benchmarks are skipped, not failed.)
+GATE := BenchmarkDaemonIngest,BenchmarkRecovery,BenchmarkWALAppend,BenchmarkEndlessStream
 
 .PHONY: test build bench fmt vet
 
@@ -40,5 +42,5 @@ bench:
 	go test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count 1 . | tee BENCH_$(PR).txt
 	go run ./cmd/bench2json -pr $(PR) -baseline bench/baseline_$(PR).txt -current BENCH_$(PR).txt \
 		-gate '$(GATE)' -max-regression 0.15 \
-		-note "baseline = pre-PR-$(PR) tree (O(history) recovery scan, one fsync per batch); current = checkpointed recovery + group-commit ingest + fast trace marshal" \
+		-note "baseline = pre-PR-$(PR) tree (no tag lifecycle: every tag resident forever); current = finalize-and-evict lifecycle, emitted stream, bounded active set" \
 		> BENCH_$(PR).json

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -466,6 +467,130 @@ func BenchmarkCheckpointedRecovery(b *testing.B) {
 			}
 			b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "reads/s")
 		})
+	}
+}
+
+// --- the tag lifecycle: endless belts in bounded memory ---
+
+// endlessBelt builds a conveyor-churn read log of n tags at fixed
+// density (0.55 m spacing at 0.3 m/s): belt length — and total read
+// count — scales with n while the set of tags concurrently inside the
+// read zone stays the same size. The lifecycle's claim is that engine
+// memory and checkpoint size track the latter, not the former.
+func endlessBelt(tb testing.TB, n int) ([]reader.TagRead, stpp.Config) {
+	tb.Helper()
+	sc, err := scenario.ConveyorChurn(n, 0.55, 0.3, 7)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	reads, err := sc.Run()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return reads, sc.STPPConfig()
+}
+
+// endlessPolicy is the threshold pair the lifecycle property tests
+// validate on this workload: quiet gaps on the belt are well under 2 s
+// and timestamp jitter well under 1 s.
+func endlessPolicy() stpp.FinalizePolicy {
+	return stpp.FinalizePolicy{After: 2.0, Margin: 1.0}
+}
+
+// runEndlessStream consumes a belt log through a lifecycle-enabled
+// streaming engine with a sweep every 2048 reads, and returns the final
+// checkpoint blob size, the peak resident (unfinalized) tag count, and
+// how many tags were emitted. The caller owns the returned engine.
+func runEndlessStream(tb testing.TB, reads []reader.TagRead, cfg stpp.Config) (eng *pipeline.Engine, ckptBytes, maxResident int) {
+	tb.Helper()
+	eng, err := pipeline.New(cfg, pipeline.Options{Finalize: endlessPolicy()})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	const chunk = 2048
+	for start := 0; start < len(reads); start += chunk {
+		eng.Consume(reads[start:min(start+chunk, len(reads))])
+		if _, err := eng.Snapshot(); err != nil {
+			tb.Fatal(err)
+		}
+		if r := eng.Tags(); r > maxResident {
+			maxResident = r
+		}
+	}
+	return eng, len(eng.Checkpoint(nil)), maxResident
+}
+
+// BenchmarkEndlessStream is the tentpole evidence for finalize-and-evict:
+// the same conveyor-churn workload at 1× and 4× belt lengths (fixed
+// active-tag density), consumed with periodic sweeps. Throughput, peak
+// resident tags and checkpoint blob size must all stay flat as the belt
+// grows — the engine pays for the tags under the readers, not the tags
+// ever seen. TestEndlessStreamFlatMemory gates the flatness; the bench
+// records the numbers.
+func BenchmarkEndlessStream(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		n    int
+	}{{"belt=1x", 32}, {"belt=4x", 128}} {
+		b.Run(bc.name, func(b *testing.B) {
+			reads, cfg := endlessBelt(b, bc.n)
+			var ckpt, resident, emitted int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, ck, res := runEndlessStream(b, reads, cfg)
+				ckpt, resident, emitted = ck, res, len(eng.Emitted())
+				eng.Close()
+			}
+			if emitted == 0 {
+				b.Fatal("belt emitted nothing; the lifecycle went unexercised")
+			}
+			b.ReportMetric(float64(len(reads))*float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+			b.ReportMetric(float64(ckpt), "ckpt-bytes")
+			b.ReportMetric(float64(resident), "resident-tags")
+		})
+	}
+}
+
+// TestEndlessStreamFlatMemory asserts the bounded-memory claim outright:
+// growing the belt 4× must leave the checkpoint blob, the peak resident
+// set and the engine's retained heap within 1.2× of the 1× run (heap
+// with a small absolute floor — at these sizes allocator noise would
+// otherwise dominate the ratio).
+func TestEndlessStreamFlatMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("endless-stream memory audit in -short mode")
+	}
+	type run struct {
+		ckpt, resident int
+		heap           int64
+	}
+	measure := func(n int) run {
+		reads, cfg := endlessBelt(t, n)
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		eng, ckpt, resident := runEndlessStream(t, reads, cfg)
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+		heap := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+		if emitted := len(eng.Emitted()); emitted < n/2 {
+			t.Fatalf("belt of %d emitted only %d tags; the lifecycle went unexercised", n, emitted)
+		}
+		eng.Close()
+		return run{ckpt: ckpt, resident: resident, heap: heap}
+	}
+	small, large := measure(32), measure(128)
+	t.Logf("1x: ckpt=%dB resident=%d heap=%+dB; 4x: ckpt=%dB resident=%d heap=%+dB",
+		small.ckpt, small.resident, small.heap, large.ckpt, large.resident, large.heap)
+	if float64(large.ckpt) > 1.2*float64(small.ckpt) {
+		t.Errorf("checkpoint blob grew with belt length: %dB at 1x, %dB at 4x", small.ckpt, large.ckpt)
+	}
+	if float64(large.resident) > 1.2*float64(small.resident)+1 {
+		t.Errorf("peak resident tags grew with belt length: %d at 1x, %d at 4x", small.resident, large.resident)
+	}
+	const heapFloor = 8 << 20 // below this, allocator noise dominates
+	if large.heap > heapFloor && float64(large.heap) > 1.2*float64(max(small.heap, heapFloor)) {
+		t.Errorf("retained heap grew with belt length: %+dB at 1x, %+dB at 4x", small.heap, large.heap)
 	}
 }
 

@@ -24,6 +24,18 @@
 // Under -fsync always, -flush-window coalesces the fsyncs of concurrent
 // ingest batches into one group commit per window.
 //
+// With -finalize-after set, sessions run the tag lifecycle: a tag whose
+// pass is conclusively over (its V-zone center sits -finalize-margin
+// seconds behind the stream frontier and it has been quiet for
+// -finalize-after seconds in every zone that saw it) is emitted to the
+// session's ordered output stream — GET /v1/sessions/{id}/emitted,
+// cursor-paginated — and its profile series, detection state and DTW
+// matrices are evicted. An endless belt then runs in memory proportional
+// to the tags currently under the readers, not the tags ever seen, and
+// checkpoints stay flat in belt length. -max-active-tags bounds the
+// resident set: ingest at the bound fails fast with HTTP 429 instead of
+// growing without limit.
+//
 // Usage:
 //
 //	stppd -addr :8080
@@ -37,6 +49,7 @@
 //	POST   /v1/sessions/{id}/reads  NDJSON read lines
 //	GET    /v1/sessions/{id}/order  latest snapshot (?refresh=1 forces one)
 //	POST   /v1/sessions/{id}/finish drain + final order
+//	GET    /v1/sessions/{id}/emitted finalized-tag stream page (?cursor=N&limit=M)
 //	GET    /v1/sessions/{id}        session counters
 //	DELETE /v1/sessions/{id}        abort session
 //	GET    /v1/stats                server counters
@@ -74,6 +87,9 @@ func main() {
 		segMB   = flag.Int("segment-mb", 64, "WAL segment rotation size, MiB")
 		ckptN   = flag.Int("checkpoint-every", 100000, "journal an engine checkpoint every N consumed reads and truncate covered WAL segments (0 = never)")
 		flushW  = flag.Duration("flush-window", 0, "group-commit window: wait this long for more batches before each fsync (0 = fsync immediately; only meaningful with -fsync always)")
+		finAft  = flag.Float64("finalize-after", 0, "finalize a tag after this many seconds of phase quiet in every zone that saw it (0 = lifecycle off; must exceed the longest mid-pass read gap)")
+		finMrg  = flag.Float64("finalize-margin", 0, "extra seconds the V-zone center must sit behind the frontier before a tag is conclusive")
+		maxTags = flag.Int("max-active-tags", 0, "reject ingest while a session holds this many resident (unfinalized) tags (0 = unbounded)")
 		pp      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the same listener")
 	)
 	flag.Parse()
@@ -95,6 +111,9 @@ func main() {
 		SegmentBytes:    int64(*segMB) << 20,
 		CheckpointEvery: *ckptN,
 		FlushWindow:     *flushW,
+		FinalizeAfter:   *finAft,
+		FinalizeMargin:  *finMrg,
+		MaxActiveTags:   *maxTags,
 	})
 	if err != nil {
 		fatal(err)

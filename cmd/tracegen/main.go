@@ -9,6 +9,7 @@
 //	tracegen -scenario library -seed 7 -o shelf.jsonl
 //	tracegen -scenario airport-peak -bags 40 -o peak.jsonl
 //	tracegen -scenario population -n 20 -gob -o pop.gob
+//	tracegen -scenario conveyor-churn -n 24 -gap 0.55 -o belt.jsonl
 //	tracegen -scenario aisle -n 16 -o aisle.jsonl
 //	tracegen -scenario airport-portals -n 12 -portals 3 -o portals.jsonl
 package main
@@ -24,9 +25,10 @@ import (
 
 func main() {
 	var (
-		name    = flag.String("scenario", "population", "scenario: population | conveyor | library | airport-peak | airport-offpeak | pair-x | pair-y | aisle | airport-portals")
-		n       = flag.Int("n", 10, "tag/bag count (population, conveyor, airport, aisle, airport-portals)")
+		name    = flag.String("scenario", "population", "scenario: population | conveyor | conveyor-churn | library | airport-peak | airport-offpeak | pair-x | pair-y | aisle | airport-portals")
+		n       = flag.Int("n", 10, "tag/bag count (population, conveyor, conveyor-churn, airport, aisle, airport-portals)")
 		dist    = flag.Float64("dist", 0.08, "pair spacing in meters (pair-x, pair-y)")
+		gap     = flag.Float64("gap", 0.55, "tag spacing along the belt in meters (conveyor-churn)")
 		portals = flag.Int("portals", 2, "portal count (airport-portals)")
 		seed    = flag.Int64("seed", 1, "seed")
 		out     = flag.String("o", "-", "output file ('-' = stdout)")
@@ -55,7 +57,7 @@ func main() {
 		tr.Header.Readers = ms.ReaderMetas()
 		tagCount = ms.Tags()
 	} else {
-		sc, err := buildScene(*name, *n, *dist, *seed)
+		sc, err := buildScene(*name, *n, *dist, *gap, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -115,12 +117,14 @@ func buildMultiScene(name string, n, portals int, seed int64) (*scenario.MultiSc
 	}
 }
 
-func buildScene(name string, n int, dist float64, seed int64) (*scenario.Scene, error) {
+func buildScene(name string, n int, dist, gap float64, seed int64) (*scenario.Scene, error) {
 	switch name {
 	case "population":
 		return scenario.Population(n, true, 0.3, seed)
 	case "conveyor":
 		return scenario.ConveyorPopulation(n, 0.3, seed)
+	case "conveyor-churn":
+		return scenario.ConveyorChurn(n, gap, 0.3, seed)
 	case "library":
 		lib, err := scenario.NewLibrary(scenario.DefaultLibraryOpts(seed))
 		if err != nil {

@@ -4,10 +4,14 @@ import (
 	"fmt"
 
 	"repro/internal/ckpt"
+	"repro/internal/epcgen2"
+	"repro/internal/pipeline"
 )
 
 // shardedCkptVersion versions the ShardedEngine checkpoint encoding.
-const shardedCkptVersion = 1
+// Version 2 added the deployment-level lifecycle state: the router's
+// late-read count, the global emission stream and the finalized-tag set.
+const shardedCkptVersion = 2
 
 // Checkpoint serializes every shard engine in zone order (byte-stable:
 // the shard slice has a fixed deterministic order), appending to dst.
@@ -20,6 +24,15 @@ func (se *ShardedEngine) Checkpoint(dst []byte) []byte {
 	for _, sh := range se.shards {
 		dst = ckpt.AppendU64(dst, uint64(int64(sh.spec.ID)))
 		dst = sh.eng.Checkpoint(dst)
+	}
+	dst = ckpt.AppendU64(dst, uint64(se.late))
+	dst = ckpt.AppendU32(dst, uint32(len(se.emitted)))
+	for _, em := range se.emitted {
+		dst = em.AppendCheckpoint(dst)
+	}
+	dst = ckpt.AppendU32(dst, uint32(len(se.finalOrder)))
+	for _, epc := range se.finalOrder {
+		dst = append(dst, epc[:]...)
 	}
 	return dst
 }
@@ -52,8 +65,39 @@ func (se *ShardedEngine) Restore(data []byte) error {
 		sh.dirty = true
 		sh.cached = nil
 	}
+	late := int64(r.U64())
+	var emitted []pipeline.EmittedTag
+	if n := int(r.U32()); r.Err() == nil {
+		for i := 0; i < n && r.Err() == nil; i++ {
+			emitted = append(emitted, pipeline.ReadEmittedTagCkpt(r))
+		}
+	}
+	var finalOrder []epcgen2.EPC
+	var final map[epcgen2.EPC]bool
+	if n := int(r.U32()); r.Err() == nil {
+		if n > 0 || se.policy.Enabled() {
+			final = make(map[epcgen2.EPC]bool, n)
+		}
+		for i := 0; i < n && r.Err() == nil; i++ {
+			var epc epcgen2.EPC
+			for j := range epc {
+				epc[j] = r.U8()
+			}
+			if final[epc] {
+				r.Failf("duplicate finalized tag %v", epc)
+				break
+			}
+			final[epc] = true
+			finalOrder = append(finalOrder, epc)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("deploy: restore: %w", err)
+	}
 	if r.Len() != 0 {
 		return fmt.Errorf("deploy: restore: %d trailing bytes", r.Len())
 	}
+	se.late, se.emitted = late, emitted
+	se.final, se.finalOrder = final, finalOrder
 	return nil
 }

@@ -19,6 +19,7 @@
 package deploy
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"runtime"
@@ -156,6 +157,14 @@ type Options struct {
 	// Group tags the deployment's scheduler work for fairness accounting.
 	// Nil uses the scheduler's default group.
 	Group *sched.Group
+	// Finalize enables the tag lifecycle across the deployment. Shard
+	// engines run with emission held — they propose conclusive tags but
+	// never emit or evict on their own; the sharded engine finalizes a
+	// tag only when every zone holding it agrees its pass concluded and
+	// the deployment-wide frontier has moved past it, then emits it to
+	// the global emission stream and evicts it from every shard. The
+	// zero policy disables the lifecycle.
+	Finalize stpp.FinalizePolicy
 }
 
 // shard is one reader's slice of the engine.
@@ -179,6 +188,19 @@ type ShardedEngine struct {
 	byID    map[int]*shard
 	workers int
 	group   *sched.Group
+
+	// Lifecycle state (nil/zero when the policy is disabled). final and
+	// finalOrder track globally-finalized tags (set + deterministic
+	// marking order for checkpoints); emitted is the global emission
+	// stream, X keys on the deployment clock; late counts reads dropped
+	// at the router because their tag was already globally final.
+	policy     stpp.FinalizePolicy
+	final      map[epcgen2.EPC]bool
+	finalOrder []epcgen2.EPC
+	emitted    []pipeline.EmittedTag
+	late       int64
+	discarded  int64            // lapsed-but-unorderable tags evicted without emission
+	routeBuf   []reader.TagRead // scratch for the late-read filter
 }
 
 // NewSharded builds a ShardedEngine for the deployment.
@@ -190,9 +212,20 @@ func NewSharded(d Deployment, opts Options) (*ShardedEngine, error) {
 	if total <= 0 {
 		total = runtime.GOMAXPROCS(0)
 	}
-	se := &ShardedEngine{workers: total, group: opts.Group, byID: make(map[int]*shard, len(d.Readers))}
+	if err := opts.Finalize.Validate(); err != nil {
+		return nil, err
+	}
+	se := &ShardedEngine{workers: total, group: opts.Group, byID: make(map[int]*shard, len(d.Readers)), policy: opts.Finalize}
+	if se.policy.Enabled() {
+		se.final = make(map[epcgen2.EPC]bool)
+	}
 	for _, spec := range d.Readers {
-		eng, err := pipeline.New(spec.Config, pipeline.Options{Workers: total, Group: opts.Group})
+		eng, err := pipeline.New(spec.Config, pipeline.Options{
+			Workers:      total,
+			Group:        opts.Group,
+			Finalize:     opts.Finalize,
+			HoldEmission: true,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("deploy: reader %d: %w", spec.ID, err)
 		}
@@ -236,7 +269,37 @@ func (se *ShardedEngine) Reads() int64 {
 // pipeline.Engine.Consume it is cheap; localization is deferred to the
 // next Snapshot. A read carrying an unknown reader ID is an error (the
 // batch is consumed up to the offending read).
+//
+// With the lifecycle enabled, reads for globally-finalized tags are
+// dropped at the router (and counted late) before they reach any shard: a
+// finalized tag's emitted position is immutable, so a straggler read must
+// not resurrect the tag in a zone that evicted it — or introduce it to a
+// zone that never held it.
 func (se *ShardedEngine) Consume(batch []reader.TagRead) error {
+	if len(se.final) > 0 {
+		late := false
+		for _, r := range batch {
+			if se.final[r.EPC] {
+				late = true
+				break
+			}
+		}
+		if late {
+			// Uncommon path: rebuild the batch without the late reads.
+			// The common batch (no stragglers) routes straight from the
+			// caller's slice with no copy.
+			kept := se.routeBuf[:0]
+			for _, r := range batch {
+				if se.final[r.EPC] {
+					se.late++
+					continue
+				}
+				kept = append(kept, r)
+			}
+			se.routeBuf = kept
+			batch = kept
+		}
+	}
 	for i := 0; i < len(batch); {
 		id := batch[i].Reader
 		j := i + 1
@@ -253,6 +316,247 @@ func (se *ShardedEngine) Consume(batch []reader.TagRead) error {
 	}
 	return nil
 }
+
+// sweep coordinates finalization across shards. A tag may emit only when
+// (a) every shard holding it independently judges its pass conclusive at
+// that shard's local frontier, (b) its last read and V-zone center,
+// re-based to the deployment clock, sit the policy's gap and margin behind
+// the *deployment* frontier — the minimum re-based frontier across shards
+// that have seen reads — and (c) the stitched global order cannot change
+// in front of it anymore. For (c) the sweep walks the exact order the
+// stitcher produces today and emits the leading run of candidates,
+// stopping at the first tag that is not one: emission is strictly a
+// prefix of the current stitch, in stitch order, so an emitted position
+// can never be contradicted by a later merge. A candidate inside that run
+// is additionally held back while any active tag's re-based first read
+// precedes the candidate's bottom time (that tag's valley, wherever it
+// lands, could still sort in front) or any active detected tag's current
+// bottom already does.
+//
+// Shards that have never seen a read are excluded from the deployment
+// frontier: under the policy's gap precondition (After exceeds the
+// inter-zone transit time, and every zone that will ever read comes live
+// within After of the stream start) a tag headed for such a zone arrives
+// there — making the zone a holder with an opinion — before gate (b) can
+// pass.
+func (se *ShardedEngine) sweep() {
+	if !se.policy.Enabled() {
+		return
+	}
+	gmin := math.Inf(1)
+	for _, sh := range se.shards {
+		if sh.eng.Reads() > 0 || sh.eng.LateReads() > 0 {
+			if f := sh.eng.Frontier() + sh.spec.ClockOffset; f < gmin {
+				gmin = f
+			}
+		}
+	}
+	if math.IsInf(gmin, 1) {
+		return
+	}
+	// Aggregate every resident tag across its holding shards, working
+	// from the freshly-refreshed shard caches (X keys already re-based to
+	// the deployment clock; profile times still on each shard's local
+	// clock, which is what the local conclusive check wants).
+	type info struct {
+		holders, valid, conclusive int
+		bottom                     float64 // min re-based bottom across conclusive holders
+		bestX                      stpp.XKey
+		last                       float64 // max re-based last read across ALL holders
+		center                     float64 // max re-based V-zone center across conclusive holders
+		firstRead                  float64 // min re-based first read across holders
+		cand                       bool
+	}
+	byEPC := make(map[epcgen2.EPC]*info)
+	for _, sh := range se.shards {
+		if sh.cached == nil {
+			continue
+		}
+		off := sh.spec.ClockOffset
+		lf := sh.eng.Frontier()
+		for i := range sh.cached.Tags {
+			tr := &sh.cached.Tags[i]
+			if se.final[tr.EPC] {
+				continue // evicted after this cache was built; stale entry
+			}
+			in := byEPC[tr.EPC]
+			if in == nil {
+				in = &info{bottom: math.Inf(1), last: math.Inf(-1), center: math.Inf(-1), firstRead: math.Inf(1)}
+				byEPC[tr.EPC] = in
+			}
+			in.holders++
+			if tr.Err == nil {
+				in.valid++
+			}
+			if p := tr.Profile; p != nil && p.Len() > 0 {
+				if fr := p.Times[0] + off; fr < in.firstRead {
+					in.firstRead = fr
+				}
+				if last := p.Times[p.Len()-1] + off; last > in.last {
+					in.last = last
+				}
+			}
+			if !se.policy.Conclusive(*tr, lf) {
+				continue
+			}
+			in.conclusive++
+			// Conclusive implies Err == nil, a non-empty sorted profile
+			// and an in-range V-zone center.
+			p := tr.Profile
+			mid := (tr.VZone.Start + tr.VZone.End) / 2
+			if ct := p.Times[mid] + off; ct > in.center {
+				in.center = ct
+			}
+			if tr.X.BottomTime < in.bottom {
+				in.bottom = tr.X.BottomTime
+				in.bestX = tr.X
+			}
+		}
+	}
+	// Discard pass: a tag every holding zone judges undetectable (Err in
+	// each) with every profile quiet past the gap is permanently
+	// unorderable — the profiles are frozen, so each zone's detection error
+	// is final, exactly as a batch replay over any longer prefix would see
+	// it (erred tags sort to the unordered NaN tail of the assembled
+	// orders, behind every orderable tag, so dropping one changes only
+	// that tail). Left resident it would pin the minFirst horizon below at
+	// its first read and wedge emission — and memory — for the rest of the
+	// stream. Evict it from every shard without emission.
+	var drop []epcgen2.EPC
+	for epc, in := range byEPC {
+		if in.valid == 0 && !math.IsInf(in.last, -1) && in.last+se.policy.After <= gmin {
+			drop = append(drop, epc)
+		}
+	}
+	// Map iteration order is random; finalOrder is checkpointed, so give
+	// same-sweep discards a deterministic order.
+	sort.Slice(drop, func(i, j int) bool { return bytes.Compare(drop[i][:], drop[j][:]) < 0 })
+	for _, epc := range drop {
+		se.discarded++
+		se.final[epc] = true
+		se.finalOrder = append(se.finalOrder, epc)
+		delete(byEPC, epc)
+		se.evictEverywhere(epc)
+	}
+	var xOrders [][]epcgen2.EPC
+	for _, sh := range se.shards {
+		if sh.cached == nil {
+			continue
+		}
+		xOrders = append(xOrders, se.filterFinal(sh.cached.XOrderEPCs()))
+	}
+	pending := 0
+	for _, in := range byEPC {
+		if in.valid > 0 && in.conclusive == in.valid &&
+			in.last+se.policy.After <= gmin && in.center+se.policy.Margin <= gmin {
+			in.cand = true
+			pending++
+		}
+	}
+	if pending == 0 {
+		return
+	}
+	// The active-tag horizon for the hold-back rule: the earliest re-based
+	// first read and detected bottom over every non-candidate resident.
+	minFirst, minBottom := math.Inf(1), math.Inf(1)
+	for _, in := range byEPC {
+		if in.cand {
+			continue
+		}
+		if in.firstRead < minFirst {
+			minFirst = in.firstRead
+		}
+	}
+	for _, sh := range se.shards {
+		if sh.cached == nil {
+			continue
+		}
+		for i := range sh.cached.Tags {
+			tr := &sh.cached.Tags[i]
+			in := byEPC[tr.EPC]
+			if in == nil || in.cand || tr.Err != nil {
+				continue
+			}
+			if tr.X.BottomTime < minBottom {
+				minBottom = tr.X.BottomTime
+			}
+		}
+	}
+	var emit []epcgen2.EPC
+	for _, epc := range MergeOrders(xOrders) {
+		in := byEPC[epc]
+		if in == nil || !in.cand || in.bottom >= minFirst || in.bottom >= minBottom {
+			break
+		}
+		emit = append(emit, epc)
+	}
+	for _, epc := range emit {
+		in := byEPC[epc]
+		se.emitted = append(se.emitted, pipeline.EmittedTag{EPC: epc, X: in.bestX})
+		se.final[epc] = true
+		se.finalOrder = append(se.finalOrder, epc)
+		se.evictEverywhere(epc)
+	}
+}
+
+// evictEverywhere evicts one finalized (emitted or discarded) tag from
+// every shard that holds it.
+func (se *ShardedEngine) evictEverywhere(epc epcgen2.EPC) {
+	for _, sh := range se.shards {
+		if !sh.eng.Evict(epc) {
+			continue // not a holder: marked final, nothing to refresh
+		}
+		sh.dirty = true
+		if sh.eng.Tags() == 0 {
+			// Nothing resident: the stale cache (which still lists the
+			// evicted tag) must not be stitched or published again, and
+			// the refresh loop skips empty shards.
+			sh.cached = nil
+		}
+	}
+}
+
+// filterFinal drops globally-finalized tags from a shard order — between
+// a sweep's eviction and the shard's next refresh, the cached result still
+// lists emitted tags, which live in the emitted prefix now.
+func (se *ShardedEngine) filterFinal(order []epcgen2.EPC) []epcgen2.EPC {
+	if len(se.final) == 0 {
+		return order
+	}
+	kept := order[:0:0]
+	for _, epc := range order {
+		if !se.final[epc] {
+			kept = append(kept, epc)
+		}
+	}
+	return kept
+}
+
+// Emitted returns the deployment's ordered emission stream so far, X keys
+// on the deployment clock. The backing array is append-only: entries never
+// change once emitted.
+func (se *ShardedEngine) Emitted() []pipeline.EmittedTag { return se.emitted }
+
+// LateReads counts reads dropped deployment-wide because their tag was
+// already final when they arrived — at the router plus inside each shard.
+func (se *ShardedEngine) LateReads() int64 {
+	n := se.late
+	for _, sh := range se.shards {
+		n += sh.eng.LateReads()
+	}
+	return n
+}
+
+// Finalized returns how many tags have been finalized and emitted.
+func (se *ShardedEngine) Finalized() int { return len(se.emitted) }
+
+// Discarded counts tags evicted deployment-wide without emission: every
+// zone that held them judged detection permanently failed (profile lapsed
+// quiet with Err set everywhere), so they could never be ordered. Like
+// pipeline.Engine.Discarded the tally is process-local diagnostics — the
+// final marking a discard leaves behind is checkpointed, the counter is
+// not.
+func (se *ShardedEngine) Discarded() int64 { return se.discarded }
 
 // ShardResult is one zone's localization outcome.
 type ShardResult struct {
@@ -279,8 +583,16 @@ type GlobalResult struct {
 	// YOrder is the stitched global Y order (nearest to each reader's
 	// trajectory first). Y keys are only comparable within a zone, so the
 	// stitch relies on overlap anchors; with disjoint zones it degrades
-	// to zone concatenation.
+	// to zone concatenation. Finalized tags leave the Y order when they
+	// are emitted: Y keys are pivot-relative within the *current* active
+	// set, so YOrder is an active-set view while XOrder spans the whole
+	// belt (emitted prefix ++ active suffix).
 	YOrder []epcgen2.EPC
+	// Emitted is the deployment's ordered emission stream: every
+	// finalized tag in its frozen, immutable global position. XOrder's
+	// leading entries are exactly these tags. Nil when the lifecycle is
+	// disabled.
+	Emitted []pipeline.EmittedTag
 }
 
 // Snapshot localizes the stream consumed so far: shards that gained reads
@@ -340,8 +652,9 @@ func (se *ShardedEngine) Snapshot() (*GlobalResult, error) {
 		sh.cached = results[i]
 		sh.dirty = false
 	}
+	se.sweep()
 
-	gr := &GlobalResult{}
+	gr := &GlobalResult{Emitted: se.emitted}
 	var xOrders, yOrders [][]epcgen2.EPC
 	for _, sh := range se.shards {
 		gr.Shards = append(gr.Shards, ShardResult{
@@ -350,14 +663,19 @@ func (se *ShardedEngine) Snapshot() (*GlobalResult, error) {
 			Result:   sh.cached,
 		})
 		if sh.cached != nil {
-			xOrders = append(xOrders, sh.cached.XOrderEPCs())
-			yOrders = append(yOrders, sh.cached.YOrderEPCs())
+			xOrders = append(xOrders, se.filterFinal(sh.cached.XOrderEPCs()))
+			yOrders = append(yOrders, se.filterFinal(sh.cached.YOrderEPCs()))
 		}
 	}
-	if len(xOrders) == 0 {
+	if len(xOrders) == 0 && len(se.emitted) == 0 {
 		return nil, fmt.Errorf("deploy: no tag profiles in any shard")
 	}
-	gr.XOrder = MergeOrders(xOrders)
+	active := MergeOrders(xOrders)
+	gr.XOrder = make([]epcgen2.EPC, 0, len(se.emitted)+len(active))
+	for _, em := range se.emitted {
+		gr.XOrder = append(gr.XOrder, em.EPC)
+	}
+	gr.XOrder = append(gr.XOrder, active...)
 	gr.YOrder = MergeOrders(yOrders)
 	return gr, nil
 }
@@ -369,6 +687,26 @@ func (se *ShardedEngine) Snapshot() (*GlobalResult, error) {
 func (se *ShardedEngine) Release() {
 	for _, sh := range se.shards {
 		sh.eng.Release()
+	}
+}
+
+// Close is Release plus dropping every per-shard reference — profiles,
+// cached results, detection states and the deployment's lifecycle state —
+// returning the engine to its freshly-constructed state. A dropped or
+// evicted ingest session calls it so the engine stops pinning its largest
+// allocations the moment the session goes away.
+func (se *ShardedEngine) Close() {
+	for _, sh := range se.shards {
+		sh.eng.Close()
+		sh.cached = nil
+		sh.dirty = false
+	}
+	se.late, se.discarded = 0, 0
+	se.emitted, se.finalOrder, se.routeBuf = nil, nil, nil
+	if se.policy.Enabled() {
+		se.final = make(map[epcgen2.EPC]bool)
+	} else {
+		se.final = nil
 	}
 }
 

@@ -53,6 +53,24 @@ func goldenCases() []goldenCase {
 				Reads: reads,
 			}, nil
 		}},
+		{name: "conveyor-churn", gen: func() (*trace.Trace, error) {
+			sc, err := scenario.ConveyorChurn(8, 0.55, 0.3, 7)
+			if err != nil {
+				return nil, err
+			}
+			reads, err := sc.Run()
+			if err != nil {
+				return nil, err
+			}
+			return &trace.Trace{
+				Header: trace.Header{
+					Scenario: "conveyor-churn", Seed: 7,
+					TruthX: trace.EncodeEPCs(sc.TruthX), TruthY: trace.EncodeEPCs(sc.TruthY),
+					PerpDist: sc.PerpDist, Speed: sc.Speed,
+				},
+				Reads: reads,
+			}, nil
+		}},
 		{name: "aisle", gen: func() (*trace.Trace, error) {
 			o := scenario.DefaultAisleOpts(12)
 			o.Tags = 4

@@ -9,8 +9,13 @@ import (
 	"repro/internal/stpp"
 )
 
-// engineCkptVersion versions the Engine checkpoint encoding.
-const engineCkptVersion = 1
+// engineCkptVersion versions the Engine checkpoint encoding. Version 2
+// added the tag lifecycle: frontier, late-read count, the emission stream
+// (EPC + frozen X key per entry, ~60 bytes) and the finalized-tag set.
+// Evicted tags appear ONLY there — their profiles and detection states
+// are gone — so on an endless belt the blob is sized by the active set
+// plus a compact emitted summary, flat in belt length.
+const engineCkptVersion = 2
 
 // Checkpoint serializes the engine's full state — the profile builder,
 // every tag's cached per-tag result, and every tag's resumable detection
@@ -34,6 +39,11 @@ const engineCkptVersion = 1
 // advance amortizes the same way snapshots do.
 func (e *Engine) Checkpoint(dst []byte) []byte {
 	e.recompute(e.builder.TakeDirty())
+	// A checkpoint is a sweep point like a snapshot: conclusive residents
+	// emit and evict first, so the blob never re-serializes state the
+	// lifecycle is about to discard. Emission order is cadence-invariant,
+	// so sweeping here cannot diverge from a run that only snapshots.
+	e.sweep()
 	dst = ckpt.AppendU8(dst, engineCkptVersion)
 	dst = ckpt.AppendU64(dst, uint64(e.reads))
 	dst = e.builder.AppendCheckpoint(dst)
@@ -70,7 +80,55 @@ func (e *Engine) Checkpoint(dst []byte) []byte {
 			dst = ts.det.AppendCheckpoint(dst)
 		}
 	}
+	dst = ckpt.AppendF64(dst, e.frontier)
+	dst = ckpt.AppendU64(dst, uint64(e.late))
+	dst = ckpt.AppendU32(dst, uint32(len(e.emitted)))
+	for _, em := range e.emitted {
+		dst = em.AppendCheckpoint(dst)
+	}
+	dst = ckpt.AppendU32(dst, uint32(len(e.finalOrder)))
+	for _, epc := range e.finalOrder {
+		dst = append(dst, epc[:]...)
+	}
 	return dst
+}
+
+// AppendCheckpoint serializes one emission-stream entry (raw EPC bytes
+// plus the six XKey floats, ~60 bytes) — the compact per-tag footprint
+// that keeps checkpoint blobs flat in belt length. deploy.ShardedEngine
+// reuses the codec for its global emission stream.
+func (em EmittedTag) AppendCheckpoint(dst []byte) []byte {
+	dst = append(dst, em.EPC[:]...)
+	return appendXKey(dst, em.X)
+}
+
+// ReadEmittedTagCkpt decodes one AppendCheckpoint entry.
+func ReadEmittedTagCkpt(r *ckpt.Reader) (em EmittedTag) {
+	for j := range em.EPC {
+		em.EPC[j] = r.U8()
+	}
+	em.X = readXKey(r)
+	return em
+}
+
+func appendXKey(dst []byte, k stpp.XKey) []byte {
+	dst = ckpt.AppendF64(dst, k.BottomTime)
+	dst = ckpt.AppendF64(dst, k.BottomPhase)
+	dst = ckpt.AppendF64(dst, k.Fit.A)
+	dst = ckpt.AppendF64(dst, k.Fit.B)
+	dst = ckpt.AppendF64(dst, k.Fit.C)
+	dst = ckpt.AppendF64(dst, k.R2)
+	return dst
+}
+
+func readXKey(r *ckpt.Reader) (k stpp.XKey) {
+	k.BottomTime = r.F64()
+	k.BottomPhase = r.F64()
+	k.Fit.A = r.F64()
+	k.Fit.B = r.F64()
+	k.Fit.C = r.F64()
+	k.R2 = r.F64()
+	return k
 }
 
 // RestoreCheckpoint rebuilds the engine from Checkpoint output read
@@ -121,11 +179,40 @@ func (e *Engine) RestoreCheckpoint(r *ckpt.Reader) error {
 			states[epc] = ts
 		}
 	}
+	frontier := r.F64()
+	late := int64(r.U64())
+	var emitted []EmittedTag
+	if n := int(r.U32()); r.Err() == nil {
+		for i := 0; i < n && r.Err() == nil; i++ {
+			emitted = append(emitted, ReadEmittedTagCkpt(r))
+		}
+	}
+	var finalOrder []epcgen2.EPC
+	var final map[epcgen2.EPC]bool
+	if n := int(r.U32()); r.Err() == nil {
+		if n > 0 || e.policy.Enabled() {
+			final = make(map[epcgen2.EPC]bool, n)
+		}
+		for i := 0; i < n && r.Err() == nil; i++ {
+			var epc epcgen2.EPC
+			for j := range epc {
+				epc[j] = r.U8()
+			}
+			if final[epc] {
+				r.Failf("duplicate finalized tag %v", epc)
+				break
+			}
+			final[epc] = true
+			finalOrder = append(finalOrder, epc)
+		}
+	}
 	if err := r.Err(); err != nil {
 		reset()
 		return fmt.Errorf("pipeline: restore: %w", err)
 	}
 	e.cached, e.states, e.reads = cached, states, reads
+	e.frontier, e.late = frontier, late
+	e.emitted, e.final, e.finalOrder = emitted, final, finalOrder
 	return nil
 }
 
@@ -139,6 +226,12 @@ func (e *Engine) resetEmpty() {
 	e.cached = make(map[epcgen2.EPC]stpp.TagResult)
 	e.states = make(map[epcgen2.EPC]*tagState)
 	e.reads = 0
+	e.frontier, e.late, e.discarded = 0, 0, 0
+	e.emitted, e.finalOrder = nil, nil
+	e.final = nil
+	if e.policy.Enabled() {
+		e.final = make(map[epcgen2.EPC]bool)
+	}
 }
 
 // Restore is RestoreCheckpoint over a standalone blob, requiring the blob

@@ -1,0 +1,270 @@
+package pipeline
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/epcgen2"
+	"repro/internal/reader"
+	"repro/internal/scenario"
+	"repro/internal/stpp"
+)
+
+// Lifecycle thresholds for the churn workload: the belt feeds a tag every
+// ~1.8s (0.55m gap at 0.3 m/s) and a tag's own pass never goes quiet for
+// 2s mid-read, so After=2s marks a tag final only once its pass is truly
+// over; Margin=1s absorbs timestamp jitter around the V-zone center.
+const lifecycleAfter, lifecycleMargin = 2.0, 1.0
+
+func lifecyclePolicy() stpp.FinalizePolicy {
+	return stpp.FinalizePolicy{After: lifecycleAfter, Margin: lifecycleMargin}
+}
+
+// churnReads returns the endless-belt churn workload: tags entering,
+// passing and leaving the read zone one after another — the scene the
+// finalize-and-evict lifecycle exists for.
+func churnReads(t *testing.T) (*scenario.Scene, []reader.TagRead) {
+	t.Helper()
+	s, err := scenario.ConveyorChurn(12, 0.55, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, reads
+}
+
+// runLifecycle replays reads through a lifecycle engine under a random
+// schedule of batch sizes, snapshot points and checkpoint points; with
+// crash set, every checkpoint also simulates a crash — the blob restores
+// into a brand-new engine which carries on. At every observation point it
+// asserts the emitted stream only ever grew (prefix immutability within
+// the run). It returns the final emitted stream, final active snapshot and
+// late-read count.
+func runLifecycle(t *testing.T, loc *stpp.Localizer, reads []reader.TagRead, rng *rand.Rand, crash bool) ([]EmittedTag, *stpp.Result, int64) {
+	t.Helper()
+	opts := Options{Workers: 1 + rng.Intn(4), Finalize: lifecyclePolicy()}
+	eng := NewFromLocalizer(loc, opts)
+	var prefix []EmittedTag
+	checkPrefix := func() {
+		t.Helper()
+		em := eng.Emitted()
+		if len(em) < len(prefix) {
+			t.Fatalf("emitted stream shrank: %d -> %d entries", len(prefix), len(em))
+		}
+		for i := range prefix {
+			if prefix[i] != em[i] {
+				t.Fatalf("emitted entry %d changed: %+v -> %+v", i, prefix[i], em[i])
+			}
+		}
+		prefix = append(prefix[:0], em...)
+	}
+	pos := 0
+	for pos < len(reads) {
+		n := 1 + rng.Intn(97)
+		if pos+n > len(reads) {
+			n = len(reads) - pos
+		}
+		eng.Consume(reads[pos : pos+n])
+		pos += n
+		if rng.Float64() < 0.25 {
+			if _, err := eng.Snapshot(); err != nil {
+				t.Fatalf("pos %d: %v", pos, err)
+			}
+			checkPrefix()
+		}
+		if rng.Float64() < 0.15 {
+			blob := eng.Checkpoint(nil)
+			checkPrefix()
+			if crash {
+				fresh := NewFromLocalizer(loc, opts)
+				if err := fresh.Restore(blob); err != nil {
+					t.Fatalf("pos %d: restore: %v", pos, err)
+				}
+				eng = fresh
+				checkPrefix()
+			}
+		}
+	}
+	res, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPrefix()
+	return append([]EmittedTag(nil), eng.Emitted()...), res, eng.LateReads()
+}
+
+// TestLifecycleEmittedPrefixProperty is the lifecycle's correctness pin:
+// over randomized churn replays, a finalized tag's emitted position (and
+// frozen X key) is identical across (a) a never-finalizing batch replay,
+// (b) finalize+evict runs under any batch sizes and snapshot/checkpoint
+// cadences, and (c) runs crash-restored from checkpoints at arbitrary
+// points. The emitted stream must be a strict prefix of the batch X order
+// with byte-identical keys — evicting pays nothing in accuracy — and the
+// emitted prefix plus the active suffix must reproduce the batch order
+// exactly.
+func TestLifecycleEmittedPrefixProperty(t *testing.T) {
+	s, reads := churnReads(t)
+	loc, err := stpp.NewLocalizer(s.STPPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := loc.LocalizeReads(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchX := batch.XOrderEPCs()
+	batchKey := make(map[epcgen2.EPC]stpp.XKey, len(batch.Tags))
+	for _, tr := range batch.Tags {
+		batchKey[tr.EPC] = tr.X
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	var ref []EmittedTag
+	for trial := 0; trial < 8; trial++ {
+		crash := trial%2 == 1
+		em, res, late := runLifecycle(t, loc, reads, rng, crash)
+		if late != 0 {
+			t.Fatalf("trial %d: %d late reads on a workload that honors the gap precondition", trial, late)
+		}
+		if trial == 0 {
+			if len(em) == 0 {
+				t.Fatal("churn scene finalized nothing — the lifecycle went unexercised")
+			}
+			if len(em) == len(batchX) {
+				t.Fatal("every tag finalized — the active-suffix path went unexercised")
+			}
+			ref = em
+		} else if !reflect.DeepEqual(em, ref) {
+			t.Fatalf("trial %d (crash=%v): emitted stream diverged across schedules:\n  ref %v\n  got %v",
+				trial, crash, ref, em)
+		}
+		for i, e := range em {
+			if e.EPC != batchX[i] {
+				t.Fatalf("trial %d: emitted[%d] = %s, batch order has %s", trial, i, e.EPC, batchX[i])
+			}
+			if e.X != batchKey[e.EPC] {
+				t.Fatalf("trial %d: emitted[%d] X key %+v, batch computed %+v — eviction changed a frozen key",
+					trial, i, e.X, batchKey[e.EPC])
+			}
+		}
+		full := make([]epcgen2.EPC, 0, len(batchX))
+		for _, e := range em {
+			full = append(full, e.EPC)
+		}
+		full = append(full, res.XOrderEPCs()...)
+		if !reflect.DeepEqual(full, batchX) {
+			t.Fatalf("trial %d: emitted prefix ++ active suffix diverged from batch X order:\n  batch %v\n  got   %v",
+				trial, batchX, full)
+		}
+	}
+}
+
+// TestLifecycleDiscardUnorderable: a tag the detector can never order — a
+// handful of reads far sparser than MinVZoneSamples — must not block the
+// emission barrier forever. Its first read precedes every later tag's
+// bottom, so without the discard path it would hold emission (and the
+// memory behind it) for the rest of the stream. Once its profile lapses
+// quiet the engine discards it: evicted without emission, counted, and
+// invisible to every orderable tag — batch assembly sorts erred tags to
+// the unordered NaN tail of the X order, so emitted prefix ++ active
+// suffix still reproduces the orderable prefix of a batch replay over the
+// exact same reads.
+func TestLifecycleDiscardUnorderable(t *testing.T) {
+	s, reads := churnReads(t)
+	ghost := epcgen2.NewEPC(0xBEEF)
+	for i, dt := range []float64{0, 0.2, 0.4} {
+		reads = append(reads, reader.TagRead{
+			EPC: ghost, Time: 5.0 + dt, Phase: 1.0 + 0.1*float64(i), RSSI: -60,
+		})
+	}
+	sort.SliceStable(reads, func(i, j int) bool { return reads[i].Time < reads[j].Time })
+
+	loc, err := stpp.NewLocalizer(s.STPPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := loc.LocalizeReads(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	erred := make(map[epcgen2.EPC]bool)
+	for _, tr := range batch.Tags {
+		if tr.Err != nil {
+			erred[tr.EPC] = true
+		}
+	}
+	if !erred[ghost] {
+		t.Fatal("ghost tag detected cleanly — the scenario no longer exercises the discard path")
+	}
+	// The orderable prefix: erred tags carry NaN X keys and sort last, so
+	// filtering them strips exactly the unordered tail.
+	var batchX []epcgen2.EPC
+	for _, epc := range batch.XOrderEPCs() {
+		if !erred[epc] {
+			batchX = append(batchX, epc)
+		}
+	}
+
+	eng := NewFromLocalizer(loc, Options{Finalize: lifecyclePolicy()})
+	for pos := 0; pos < len(reads); pos += 200 {
+		n := min(200, len(reads)-pos)
+		eng.Consume(reads[pos : pos+n])
+		if _, err := eng.Snapshot(); err != nil {
+			t.Fatalf("pos %d: %v", pos, err)
+		}
+	}
+	if got := eng.Discarded(); got != 1 {
+		t.Fatalf("discarded %d tags, want exactly the ghost", got)
+	}
+	em := eng.Emitted()
+	if len(em) == 0 {
+		t.Fatal("nothing emitted — the ghost wedged the barrier despite the discard path")
+	}
+	res, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([]epcgen2.EPC, 0, len(batchX))
+	for _, e := range em {
+		full = append(full, e.EPC)
+	}
+	full = append(full, res.XOrderEPCs()...)
+	if !reflect.DeepEqual(full, batchX) {
+		t.Fatalf("emitted prefix ++ active suffix diverged from batch X order:\n  batch %v\n  got   %v", batchX, full)
+	}
+	if eng.LateReads() != 0 {
+		t.Fatalf("%d late reads; the ghost's reads all precede its discard", eng.LateReads())
+	}
+}
+
+// TestLifecycleDisabledIsInert: the zero policy must leave the engine
+// byte-identical to the pre-lifecycle engine — no frontier tracking, no
+// emission, Consume stays the cheap bulk append.
+func TestLifecycleDisabledIsInert(t *testing.T) {
+	s, reads := churnReads(t)
+	loc, err := stpp.NewLocalizer(s.STPPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewFromLocalizer(loc, Options{})
+	got, err := eng.Localize(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(eng.Emitted()); n != 0 {
+		t.Fatalf("disabled lifecycle emitted %d tags", n)
+	}
+	if f := eng.Frontier(); f != 0 {
+		t.Fatalf("disabled lifecycle tracked frontier %v", f)
+	}
+	want, err := loc.LocalizeReads(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, got)
+}

@@ -23,8 +23,10 @@
 package pipeline
 
 import (
+	"cmp"
 	"fmt"
 	"runtime"
+	"slices"
 
 	"repro/internal/epcgen2"
 	"repro/internal/par"
@@ -44,6 +46,19 @@ type Options struct {
 	// (one group per ingest session, say). Nil uses the scheduler's
 	// default group.
 	Group *sched.Group
+	// Finalize enables the tag lifecycle (active → finalized → evicted):
+	// when a tag's pass is conclusive under the policy, the engine emits
+	// it to the ordered emission stream and evicts its profile and
+	// detection state, bounding memory on endless streams. The zero
+	// policy disables the lifecycle entirely — the engine behaves exactly
+	// as before.
+	Finalize stpp.FinalizePolicy
+	// HoldEmission keeps the engine from emitting or evicting on its own
+	// sweeps while still tracking the frontier and dropping late reads
+	// for tags evicted via Evict. deploy.ShardedEngine sets it: shards
+	// propose conclusive tags but only the sharded coordinator — which
+	// knows every zone's opinion — may emit and evict.
+	HoldEmission bool
 }
 
 // detectBlock is how many tags one scheduler claim takes: per-tag
@@ -63,6 +78,20 @@ type Engine struct {
 	cached  map[epcgen2.EPC]stpp.TagResult
 	states  map[epcgen2.EPC]*tagState
 	reads   int64
+
+	// Lifecycle state (all zero/nil when the policy is disabled).
+	policy    stpp.FinalizePolicy
+	hold      bool
+	frontier  float64 // running max read time across every consumed read
+	late      int64   // reads dropped because their tag was already final
+	discarded int64   // lapsed-but-unorderable tags evicted without emission
+	// final marks tags whose pass concluded; finalOrder is the same set
+	// in marking order (map iteration is nondeterministic, checkpoints
+	// need a stable order). emitted is the ordered emission stream —
+	// append-only, so any prefix a caller has seen is immutable.
+	final      map[epcgen2.EPC]bool
+	finalOrder []epcgen2.EPC
+	emitted    []EmittedTag
 
 	// Snapshot-path scratch, reused across snapshots (the engine is
 	// single-goroutine by contract): the assembled tag slice plus the
@@ -84,6 +113,15 @@ type tagState struct {
 	gen uint64
 }
 
+// EmittedTag is one entry of the ordered emission stream: a finalized
+// tag's identity and its frozen X key. Seq is implicit — an entry's index
+// in Engine.Emitted (and in the cursor-paginated serve endpoint) is its
+// emission sequence number, and it never changes once assigned.
+type EmittedTag struct {
+	EPC epcgen2.EPC
+	X   stpp.XKey
+}
+
 // New builds an Engine for the given STPP configuration.
 func New(cfg stpp.Config, opts Options) (*Engine, error) {
 	loc, err := stpp.NewLocalizer(cfg)
@@ -99,21 +137,33 @@ func NewFromLocalizer(loc *stpp.Localizer, opts Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		loc:     loc,
 		builder: profile.NewBuilder(),
 		workers: w,
 		group:   opts.Group,
 		cached:  make(map[epcgen2.EPC]stpp.TagResult),
 		states:  make(map[epcgen2.EPC]*tagState),
+		policy:  opts.Finalize,
+		hold:    opts.HoldEmission,
 	}
+	if e.policy.Enabled() {
+		e.final = make(map[epcgen2.EPC]bool)
+	}
+	return e
 }
 
 // Localizer returns the underlying batch localizer.
 func (e *Engine) Localizer() *stpp.Localizer { return e.loc }
 
-// Tags returns the number of distinct tags seen so far.
+// Tags returns the number of resident tags — distinct tags seen and not
+// yet evicted by the lifecycle.
 func (e *Engine) Tags() int { return e.builder.Tags() }
+
+// EPCs returns the resident tags in first-appearance order. The slice is
+// shared with the engine's builder — callers must not mutate or retain it
+// across engine calls.
+func (e *Engine) EPCs() []epcgen2.EPC { return e.builder.EPCs() }
 
 // Reads returns the total number of reads consumed so far. Like every
 // other Engine method it must be called from the consuming goroutine.
@@ -123,9 +173,78 @@ func (e *Engine) Reads() int64 { return e.reads }
 // (amortized O(1) per read); all localization work is deferred to the next
 // Snapshot so bursts of reads between snapshots cost one detection per
 // touched tag, not one per read.
+//
+// With a finalize policy enabled, Consume also runs the lifecycle's
+// admission path per read: reads for finalized tags are counted and
+// dropped (the pass is over — re-admitting them would reopen an emitted
+// position), and a read that arrives after a tag's quiet gap has already
+// elapsed triggers an immediate conclusive-pass check of the pre-read
+// profile. Deciding *here*, against the read-stream frontier rather than
+// at the next sweep, makes the finalized set a pure function of the read
+// prefix — independent of snapshot or checkpoint cadence — which is what
+// the emitted-prefix immutability property rests on.
 func (e *Engine) Consume(batch []reader.TagRead) {
-	e.builder.AddBatch(batch)
-	e.reads += int64(len(batch))
+	if !e.policy.Enabled() {
+		e.builder.AddBatch(batch)
+		e.reads += int64(len(batch))
+		return
+	}
+	for _, r := range batch {
+		nf := e.frontier
+		if r.Time > nf {
+			nf = r.Time
+		}
+		switch {
+		case e.final[r.EPC]:
+			e.late++
+		default:
+			if mt, seen := e.builder.MaxTime(r.EPC); seen && mt+e.policy.After <= nf {
+				// The tag was quiet for the full gap before this read
+				// arrived: judge the pre-read profile now. If it is
+				// conclusive the pass is over and this read is late;
+				// otherwise the pass genuinely resumes (possible only
+				// when the workload violates the policy's gap
+				// precondition) and the read is admitted.
+				if tr := e.detectOne(r.EPC); e.policy.Conclusive(tr, nf) {
+					e.markFinal(r.EPC)
+					e.late++
+					e.frontier = nf
+					continue
+				}
+			}
+			e.builder.Add(r)
+			e.reads++
+		}
+		e.frontier = nf
+	}
+}
+
+// detectOne refreshes one tag's cached result from its current profile,
+// resuming (or gen-rebuilding) its detection state — the single-tag
+// serial twin of recompute. The builder's dirty mark for the tag is left
+// alone: a later recompute re-running the detection is a no-op by the
+// incremental contract (byte-identical result, no extra work).
+func (e *Engine) detectOne(epc epcgen2.EPC) stpp.TagResult {
+	p := e.builder.Profile(epc)
+	gen := e.builder.Generation(epc)
+	ts := e.states[epc]
+	if ts == nil {
+		ts = &tagState{det: e.loc.NewDetectState(), gen: gen}
+		e.states[epc] = ts
+	} else if ts.gen != gen {
+		ts.det.Reset()
+		ts.gen = gen
+	}
+	tr := e.loc.LocalizeTagIncremental(ts.det, p)
+	e.cached[epc] = tr
+	return tr
+}
+
+func (e *Engine) markFinal(epc epcgen2.EPC) {
+	if !e.final[epc] {
+		e.final[epc] = true
+		e.finalOrder = append(e.finalOrder, epc)
+	}
 }
 
 // Snapshot localizes the stream consumed so far. Tags with new reads since
@@ -141,11 +260,17 @@ func (e *Engine) Consume(batch []reader.TagRead) {
 // them to concurrent queriers) must copy Tags first. XOrder/YOrder are
 // freshly allocated and safe to keep.
 func (e *Engine) Snapshot() (*stpp.Result, error) {
-	epcs := e.builder.EPCs()
-	if len(epcs) == 0 {
+	if e.builder.Tags() == 0 && len(e.emitted) == 0 {
 		return nil, fmt.Errorf("pipeline: no tag profiles in stream")
 	}
 	e.recompute(e.builder.TakeDirty())
+	e.sweep()
+	epcs := e.builder.EPCs()
+	if len(epcs) == 0 {
+		// Every resident was emitted and evicted: the snapshot's active
+		// part is empty (the full order is Emitted() alone).
+		return &stpp.Result{}, nil
+	}
 	e.tags, e.yst = e.tags[:0], e.yst[:0]
 	for _, epc := range epcs {
 		e.tags = append(e.tags, e.cached[epc])
@@ -200,6 +325,134 @@ func (e *Engine) recompute(dirty []epcgen2.EPC) {
 	}
 }
 
+// sweep emits conclusive residents — in their final order — and evicts
+// them. It must run after recompute (every resident's cached result is
+// current) and is a no-op when the lifecycle is disabled or emission is
+// held for a sharded coordinator.
+//
+// Emission order is ascending frozen bottom time, ties by first-appearance
+// position — the same comparator the batch X order uses — and a candidate
+// only emits while no still-active tag could possibly sort at or before
+// it in the final order: an active detected tag whose current (bottom,
+// position) already sorts ≤ the candidate's blocks it, and so does any
+// active tag whose first read precedes the candidate's bottom (its valley,
+// wherever it lands, can still fit before). The first blocked candidate
+// stops the sweep — emission is strictly a prefix, so an emitted position
+// can never be contradicted later.
+func (e *Engine) sweep() {
+	if !e.policy.Enabled() || e.hold {
+		return
+	}
+	// Discard pass: a resident whose profile lapsed but whose detection
+	// still errs can never be ordered — its profile is frozen, so the
+	// error is permanent, exactly as a batch replay over any longer prefix
+	// would see it. Left alone it would sit in the barrier below as an
+	// eternal blocker (its first read precedes every later tag's bottom)
+	// and wedge emission — and memory — for the rest of the stream.
+	var drop []epcgen2.EPC
+	for _, epc := range e.builder.EPCs() {
+		if tr := e.cached[epc]; tr.Err != nil && e.policy.Lapsed(tr, e.frontier) {
+			drop = append(drop, epc)
+		}
+	}
+	for _, epc := range drop {
+		e.discarded++
+		e.Evict(epc)
+	}
+	epcs := e.builder.EPCs()
+	type cand struct {
+		epc    epcgen2.EPC
+		bottom float64
+		pos    int
+	}
+	var pending []cand
+	for i, epc := range epcs {
+		if e.final[epc] || e.policy.Conclusive(e.cached[epc], e.frontier) {
+			pending = append(pending, cand{epc, e.cached[epc].X.BottomTime, i})
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	slices.SortFunc(pending, func(a, b cand) int {
+		if a.bottom != b.bottom {
+			return cmp.Compare(a.bottom, b.bottom)
+		}
+		return cmp.Compare(a.pos, b.pos)
+	})
+	conclusive := make(map[epcgen2.EPC]bool, len(pending))
+	for _, c := range pending {
+		conclusive[c.epc] = true
+	}
+	emit := 0
+scan:
+	for _, c := range pending {
+		for i, epc := range epcs {
+			if conclusive[epc] {
+				continue
+			}
+			tr := e.cached[epc]
+			if tr.Err == nil {
+				if tr.X.BottomTime < c.bottom || (tr.X.BottomTime == c.bottom && i < c.pos) {
+					break scan
+				}
+			}
+			if tr.Profile != nil && tr.Profile.Len() > 0 && tr.Profile.Times[0] <= c.bottom {
+				break scan
+			}
+		}
+		emit++
+	}
+	for _, c := range pending[:emit] {
+		e.emitted = append(e.emitted, EmittedTag{EPC: c.epc, X: e.cached[c.epc].X})
+		e.Evict(c.epc)
+	}
+}
+
+// Evict force-evicts one resident tag: its profile leaves the builder, its
+// detection state returns to the free-lists, and the EPC is marked final
+// so later reads for it are dropped as late instead of resurrecting the
+// tag. The engine's own sweep calls it after emitting; deploy.ShardedEngine
+// calls it directly on shards (with HoldEmission set) once every
+// overlapping zone agrees the pass concluded. Evicting a non-resident tag
+// still marks it final; the return reports whether the tag was resident.
+func (e *Engine) Evict(epc epcgen2.EPC) bool {
+	if ts := e.states[epc]; ts != nil {
+		ts.det.Release()
+		delete(e.states, epc)
+	}
+	delete(e.cached, epc)
+	_, resident := e.builder.MaxTime(epc)
+	e.builder.Remove(epc)
+	e.markFinal(epc)
+	return resident
+}
+
+// Emitted returns the ordered emission stream so far. The backing array is
+// append-only and engine-owned: entries never change once emitted, so any
+// prefix handed out remains valid (and immutable) across further engine
+// calls.
+func (e *Engine) Emitted() []EmittedTag { return e.emitted }
+
+// LateReads counts reads dropped because their tag had already been
+// finalized when they arrived.
+func (e *Engine) LateReads() int64 { return e.late }
+
+// Discarded counts tags evicted without emission: their profile lapsed
+// (quiet past the policy gap, so frozen) while detection still erred, making
+// them permanently unorderable. The counter is process-local diagnostics —
+// the final/finalOrder marking a discard leaves behind IS checkpointed, the
+// tally is not, so it restarts at zero after a restore.
+func (e *Engine) Discarded() int64 { return e.discarded }
+
+// Frontier returns the maximum read time consumed so far (on this
+// engine's read clock), including dropped late reads. Zero until the
+// lifecycle is enabled — the disabled engine does not track it.
+func (e *Engine) Frontier() float64 { return e.frontier }
+
+// FinalizePolicy returns the lifecycle policy the engine was built with.
+func (e *Engine) FinalizePolicy() stpp.FinalizePolicy { return e.policy }
+
 // Release returns the engine's pooled holdings — every tag's DTW matrix —
 // to their shared free-lists. Call it when the engine is being discarded
 // (a finished or dropped ingest session): the matrices are the largest
@@ -210,6 +463,17 @@ func (e *Engine) Release() {
 	for _, ts := range e.states {
 		ts.det.Release()
 	}
+}
+
+// Close is Release plus dropping every per-tag reference — profiles,
+// cached results, detection states, the emission stream — returning the
+// engine to its freshly-constructed state. A dropped or evicted ingest
+// session calls it so the engine stops pinning its largest allocations
+// the moment the session goes away, not whenever the engine itself is
+// collected.
+func (e *Engine) Close() {
+	e.Release()
+	e.resetEmpty()
 }
 
 // Localize runs the engine over a complete read log in one call — the

@@ -21,7 +21,8 @@ type builderEntry struct {
 	p      *Profile
 	sorted bool // times have arrived in nondecreasing order so far
 	dirty  bool
-	gen    uint64 // bumped every time the profile is re-sorted
+	gen    uint64  // bumped every time the profile is re-sorted
+	maxT   float64 // running max read time (profiles may be unsorted)
 }
 
 // NewBuilder returns an empty Builder.
@@ -40,6 +41,9 @@ func (b *Builder) Add(r reader.TagRead) {
 	p := e.p
 	if n := len(p.Times); n > 0 && r.Time < p.Times[n-1] {
 		e.sorted = false
+	}
+	if len(p.Times) == 0 || r.Time > e.maxT {
+		e.maxT = r.Time
 	}
 	p.Times = append(p.Times, r.Time)
 	p.Phases = append(p.Phases, r.Phase)
@@ -118,6 +122,44 @@ func (b *Builder) Profiles() []*Profile {
 		out[i] = b.Profile(e)
 	}
 	return out
+}
+
+// MaxTime returns the latest read time a tag's profile holds, valid even
+// while the profile has a pending unsorted tail (it is tracked at Add, not
+// derived from the last element). The second result is false for an unseen
+// tag. The finalize path uses it for the quiet-gap test without forcing
+// the lazy re-sort.
+func (b *Builder) MaxTime(e epcgen2.EPC) (float64, bool) {
+	ent, ok := b.byEPC[e]
+	if !ok {
+		return 0, false
+	}
+	return ent.maxT, true
+}
+
+// Remove evicts a tag's profile entirely: the entry, its slot in the
+// first-appearance order, and any pending dirty mark. Order among the
+// surviving tags is preserved. Removing an unseen tag is a no-op.
+func (b *Builder) Remove(e epcgen2.EPC) {
+	ent, ok := b.byEPC[e]
+	if !ok {
+		return
+	}
+	delete(b.byEPC, e)
+	for i, o := range b.order {
+		if o == e {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	if ent.dirty {
+		for i, o := range b.dirty {
+			if o == e {
+				b.dirty = append(b.dirty[:i], b.dirty[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // TakeDirty returns the tags that gained reads since the previous call, in

@@ -64,7 +64,15 @@ func (b *Builder) RestoreCheckpoint(r *ckpt.Reader) error {
 			r.Failf("duplicate profile %v", e)
 			break
 		}
-		nb.byEPC[e] = &builderEntry{p: p, sorted: sorted != 0, gen: gen}
+		ent := &builderEntry{p: p, sorted: sorted != 0, gen: gen}
+		// maxT is not serialized — recompute it (the scan is O(profile),
+		// but restore already reads every sample anyway).
+		for i, t := range p.Times {
+			if i == 0 || t > ent.maxT {
+				ent.maxT = t
+			}
+		}
+		nb.byEPC[e] = ent
 		nb.order = append(nb.order, e)
 	}
 	dirty := int(r.U32())

@@ -110,6 +110,31 @@ func ConveyorPair(dist float64, axis string, speed float64, seed int64) (*Scene,
 	return conveyorScene(starts, speed, seed)
 }
 
+// ConveyorChurn is the endless-belt churn scene: n tags spaced gap meters
+// apart ride the belt through the antenna's read zone one after another,
+// so at any moment only the few tags near the antenna produce reads —
+// tags continuously enter the field, pass, and go quiet, which is the
+// workload the finalize-and-evict lifecycle exists for. A wide gap
+// (relative to the read-zone span) keeps the concurrent active set small
+// and the per-tag quiet periods long; small lateral scatter keeps the
+// pass realistic without disturbing the X truth.
+func ConveyorChurn(n int, gap, speed float64, seed int64) (*Scene, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("scenario: population %d < 1", n)
+	}
+	if gap <= 0 {
+		return nil, fmt.Errorf("scenario: belt gap %v <= 0", gap)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var starts []geom.Vec2
+	x := -1.0
+	for i := 0; i < n; i++ {
+		starts = append(starts, geom.V2(x, rng.Float64()*0.06))
+		x -= gap * (0.9 + rng.Float64()*0.2)
+	}
+	return conveyorScene(starts, speed, seed)
+}
+
 // ConveyorPopulation is the tag-moving Table-1 scene: n tags spaced
 // U[2cm,10cm] along the belt with small lateral scatter.
 func ConveyorPopulation(n int, speed float64, seed int64) (*Scene, error) {

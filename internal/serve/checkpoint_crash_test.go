@@ -9,7 +9,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/deploy"
+	"repro/internal/epcgen2"
 	"repro/internal/reader"
+	"repro/internal/scenario"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -530,6 +534,213 @@ func waitDrained(t *testing.T, sess *Session) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatalf("session never drained: %d of %d reads consumed", sess.Consumed(), sess.Enqueued())
+}
+
+// lifecycleCrashScene is the portal-belt churn workload the lifecycle
+// tests use: bags pass two portals and go quiet forever, so with the
+// lifecycle thresholds below they finalize and evict mid-stream and
+// checkpoint records interleave with sweep emissions.
+func lifecycleCrashScene(t *testing.T) crashScene {
+	t.Helper()
+	ms, err := scenario.AirportPortals(scenario.PortalsOpts{
+		Portals: 2, Bags: 10, PortalGap: 2.0,
+		MinSpacing: 1.5, MaxSpacing: 1.9, BeltSpeed: 0.3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single unrotated segment: checkpoint truncation (covered
+	// elsewhere) never deletes history, so the full batch/checkpoint
+	// interleaving stays on disk and every sweep boundary is cuttable.
+	return crashScene{
+		name:   "portal-lifecycle",
+		header: trace.Header{Scenario: "airport-portals", Seed: 5, Readers: ms.ReaderMetas()},
+		reads:  reads,
+		cfg:    ms.Readers[0].Scene.STPPConfig(),
+	}
+}
+
+// emittedEPCs flattens a result's emitted stream to comparable strings.
+func emittedEPCs(res *deploy.GlobalResult) []string {
+	epcs := make([]epcgen2.EPC, len(res.Emitted))
+	for i, e := range res.Emitted {
+		epcs[i] = e.EPC
+	}
+	return trace.EncodeEPCs(epcs)
+}
+
+// TestLifecycleCrashAtSweepBoundaries extends the crash sweep to the tag
+// lifecycle: a finalize-enabled session journals checkpoints while bags
+// are being emitted and evicted, and the image is truncated at the END
+// boundary of every surviving record — each checkpoint's boundary is the
+// on-disk state right after a sweep persisted its emissions and
+// evictions, and the preceding batch's boundary is the state right
+// before. For every such image the rebooted session must (a) report an
+// emitted stream that is a positional prefix of the clean run's — a
+// finalized bag's emitted position never moves across a crash — and
+// (b) after re-ingesting the lost tail, land on the clean run's final
+// orders and exact emitted stream with no reads dropped as late.
+func TestLifecycleCrashAtSweepBoundaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lifecycle crash sweep in -short mode")
+	}
+	cs := lifecycleCrashScene(t)
+	opts := Options{
+		Config:          cs.cfg,
+		Fsync:           wal.SyncNever,
+		SegmentBytes:    cs.segBytes,
+		CheckpointEvery: len(cs.reads) / 5,
+		FinalizeAfter:   2.0,
+		FinalizeMargin:  1.0,
+	}
+
+	// The clean reference run: journal with checkpoints, finish, keep the
+	// log. Its sweeps must actually have emitted mid-stream — otherwise
+	// the cuts below would never straddle a finalize/evict boundary.
+	refDir := t.TempDir()
+	opts.DataDir = refDir
+	srv := newTestServer(t, opts)
+	sess, err := srv.CreateSession(cs.header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := chunkReads(cs.reads, 10)
+	for _, b := range batches {
+		if err := sess.Enqueue(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitDrained(t, sess)
+	refSnap, err := sess.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Metrics().CheckpointsWritten.Load() == 0 {
+		t.Fatal("reference run wrote no checkpoints")
+	}
+	if srv.Metrics().TagsFinalized.Load() == 0 {
+		t.Fatal("reference run finalized nothing: the sweep boundaries are empty")
+	}
+	refX, refY := snapOrders(refSnap)
+	refEmitted := emittedEPCs(refSnap.Result)
+	if len(refEmitted) == 0 || len(refEmitted) >= len(refX) {
+		t.Fatalf("reference emitted %d of %d bags; want a non-empty strict prefix", len(refEmitted), len(refX))
+	}
+	if !slices.Equal(refEmitted, refX[:len(refEmitted)]) {
+		t.Fatalf("reference emitted stream is not a prefix of its own final order")
+	}
+
+	segs, err := wal.SegmentFiles(filepath.Join(refDir, sess.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := walRecords(t, segs)
+	cumToBatches := map[int64]int{0: 0}
+	cum := int64(0)
+	for i, b := range batches {
+		cum += int64(len(b))
+		cumToBatches[cum] = i + 1
+	}
+
+	// Clean end-boundary cuts at every record from the header on. k
+	// tracks how many whole batches the journaled prefix covers,
+	// mirroring recovery's basis-plus-surviving-suffix contract.
+	type cut struct {
+		seg int
+		off int64
+		k   int
+	}
+	var cuts []cut
+	base, pend, nCkpts := 0, 0, 0
+	seenBasis := false
+	for _, r := range recs {
+		switch r.info.Type {
+		case 1: // header
+			seenBasis = true
+		case 2: // batch
+			pend++
+		case 3: // finish marker: cutting after it is just the clean image
+			continue
+		case 4: // checkpoint
+			// A cut mid-checkpoint tears the record: recovery must refuse
+			// the checkpoint basis and fall back to replaying the whole
+			// surviving history — with the lifecycle enabled, re-emitting
+			// from scratch to the very same positions.
+			cuts = append(cuts, cut{r.seg, r.info.Offset + (r.info.End-r.info.Offset)/2, base + pend})
+			u, reads, err := wal.InspectCheckpoint(segs[r.seg], r.info)
+			if err != nil {
+				t.Fatal(err)
+			}
+			covered, ok := cumToBatches[reads]
+			if !ok {
+				t.Fatalf("checkpoint covers %d reads, not a batch boundary", reads)
+			}
+			if int64(pend) > u {
+				pend = int(u)
+			}
+			base = covered
+			seenBasis = true
+			nCkpts++
+		}
+		if seenBasis && base+pend > 0 { // k=0 recovers an empty session: nothing to sweep
+			cuts = append(cuts, cut{r.seg, r.info.End, base + pend})
+		}
+	}
+	if len(cuts) < 8 || nCkpts < 1 {
+		t.Fatalf("%d cuts over %d checkpoints; the log never exercised a sweep boundary", len(cuts), nCkpts)
+	}
+
+	for _, c := range cuts {
+		name := fmt.Sprintf("seg%d@%d-k%d", c.seg, c.off, c.k)
+		dataDir := t.TempDir()
+		copyTruncated(t, segs, filepath.Join(dataDir, "s000001"), c.seg, c.off)
+		bopts := opts
+		bopts.DataDir = dataDir
+		srv2, err := New(bopts)
+		if err != nil {
+			t.Fatalf("%s: reboot: %v", name, err)
+		}
+		sess2, ok := srv2.Session("s000001")
+		if !ok {
+			t.Fatalf("%s: session not recovered", name)
+		}
+		snap2, err := sess2.Refresh()
+		if err != nil {
+			t.Fatalf("%s: refresh recovered session: %v", name, err)
+		}
+		got := emittedEPCs(snap2.Result)
+		if len(got) > len(refEmitted) || !slices.Equal(got, refEmitted[:len(got)]) {
+			t.Errorf("%s: recovered emitted stream is not a positional prefix of the clean run's:\n  recovered %v\n  clean     %v",
+				name, got, refEmitted)
+		}
+
+		// The belt keeps moving: re-ingest what the crash cost the
+		// producer and the run must converge on the clean run exactly.
+		for _, b := range batches[c.k:] {
+			if err := sess2.Enqueue(b); err != nil {
+				t.Fatalf("%s: re-ingest after recovery: %v", name, err)
+			}
+		}
+		fin, err := sess2.Finish()
+		if err != nil {
+			t.Fatalf("%s: finish after re-ingest: %v", name, err)
+		}
+		gotX, gotY := snapOrders(fin)
+		if !slices.Equal(gotX, refX) || !slices.Equal(gotY, refY) {
+			t.Errorf("%s: final orders diverged from the clean run:\n  got  %v / %v\n  want %v / %v",
+				name, gotX, gotY, refX, refY)
+		}
+		if fe := emittedEPCs(fin.Result); !slices.Equal(fe, refEmitted) {
+			t.Errorf("%s: final emitted stream diverged:\n  got  %v\n  want %v", name, fe, refEmitted)
+		}
+		if late := srv2.Metrics().LateReadsDropped.Load(); late != 0 {
+			t.Errorf("%s: %d reads dropped as late on a gap-honoring workload", name, late)
+		}
+	}
 }
 
 // TestCheckpointRestartEquivalenceProperty is the serve-level version of

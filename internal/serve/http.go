@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/reader"
 	"repro/internal/trace"
@@ -52,6 +54,34 @@ type SessionStats struct {
 	Stalls    int64  `json:"stalls"`
 	Finished  bool   `json:"finished"`
 	Snapshots bool   `json:"has_snapshot"`
+
+	// Lifecycle counters, all zero unless FinalizeAfter is set.
+	ActiveTags   int64 `json:"active_tags"`
+	Finalized    int64 `json:"finalized"`
+	Discarded    int64 `json:"discarded"`
+	LateReads    int64 `json:"late_reads"`
+	LimitRejects int64 `json:"limit_rejects"`
+}
+
+// EmittedEntry is one finalized tag on the wire: its sequence number in
+// the emission stream (its immutable global position), its EPC, and the
+// bottom time of its frozen X key on the deployment clock.
+type EmittedEntry struct {
+	Seq        int64   `json:"seq"`
+	EPC        string  `json:"epc"`
+	BottomTime float64 `json:"bottom_time"`
+}
+
+// EmittedResponse answers GET /v1/sessions/{id}/emitted: one cursor page
+// of the session's ordered emission stream. Entries never change once
+// emitted, so a consumer paging with next_cursor sees each finalized tag
+// exactly once, in final global order, across any number of polls.
+type EmittedResponse struct {
+	SessionID  string         `json:"session_id"`
+	Entries    []EmittedEntry `json:"entries"`
+	NextCursor int64          `json:"next_cursor"`
+	Total      int64          `json:"total"`
+	Final      bool           `json:"final"`
 }
 
 type errorResponse struct {
@@ -60,18 +90,20 @@ type errorResponse struct {
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST   /v1/sessions             create a session (body: trace.Header JSON)
-//	POST   /v1/sessions/{id}/reads  ingest NDJSON read lines (trace JSONL format)
-//	GET    /v1/sessions/{id}/order  latest published snapshot (?refresh=1 forces one)
-//	POST   /v1/sessions/{id}/finish drain, final snapshot, close ingest
-//	GET    /v1/sessions/{id}        session counters
-//	DELETE /v1/sessions/{id}        abort and drop the session
-//	GET    /v1/stats                server-wide counters
+//	POST   /v1/sessions               create a session (body: trace.Header JSON)
+//	POST   /v1/sessions/{id}/reads    ingest NDJSON read lines (trace JSONL format)
+//	GET    /v1/sessions/{id}/order    latest published snapshot (?refresh=1 forces one)
+//	GET    /v1/sessions/{id}/emitted  finalized-tag stream page (?cursor=N&limit=M)
+//	POST   /v1/sessions/{id}/finish   drain, final snapshot, close ingest
+//	GET    /v1/sessions/{id}          session counters
+//	DELETE /v1/sessions/{id}          abort and drop the session
+//	GET    /v1/stats                  server-wide counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	mux.HandleFunc("POST /v1/sessions/{id}/reads", s.handleReads)
 	mux.HandleFunc("GET /v1/sessions/{id}/order", s.handleOrder)
+	mux.HandleFunc("GET /v1/sessions/{id}/emitted", s.handleEmitted)
 	mux.HandleFunc("POST /v1/sessions/{id}/finish", s.handleFinish)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStats)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDrop)
@@ -159,7 +191,7 @@ func (s *Server) handleReads(w http.ResponseWriter, r *http.Request) {
 		batch = append(batch, rd)
 		if len(batch) >= s.opts.MaxBatch {
 			if err := flush(); err != nil {
-				writeError(w, http.StatusConflict, "%v", err)
+				writeError(w, enqueueStatus(err), "%v", err)
 				return
 			}
 		}
@@ -169,10 +201,20 @@ func (s *Server) handleReads(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := flush(); err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, enqueueStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, IngestResponse{Accepted: accepted})
+}
+
+// enqueueStatus maps an Enqueue failure to its HTTP status: the
+// MaxActiveTags admission valve is 429 (retry after the lifecycle retires
+// tags), everything else — a closed session — is 409.
+func enqueueStatus(err error) int {
+	if errors.Is(err, ErrTooManyTags) {
+		return http.StatusTooManyRequests
+	}
+	return http.StatusConflict
 }
 
 // abortReads rejects an ingest body mid-stream, first flushing the valid
@@ -219,6 +261,67 @@ func (s *Server) handleOrder(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, orderResponse(sess.ID, snap))
 }
 
+// handleEmitted pages through the session's emission stream as of its
+// latest published snapshot (emission happens inside snapshots, so the
+// stream is as fresh as the last publish; GET /order?refresh=1 forces
+// one). Entries are immutable and the cursor is the emission sequence
+// number, so paging is exactly-once even across crashes and restores.
+func (s *Server) handleEmitted(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	cursor, err := queryInt(r, "cursor", 0)
+	if err == nil && cursor < 0 {
+		err = fmt.Errorf("negative cursor %d", cursor)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit, err := queryInt(r, "limit", 512)
+	if err == nil && limit <= 0 {
+		err = fmt.Errorf("non-positive limit %d", limit)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit = min(limit, 4096)
+	resp := EmittedResponse{SessionID: sess.ID, NextCursor: cursor}
+	if snap := sess.Latest(); snap != nil {
+		// The emitted slice's backing array is append-only: entries never
+		// change once emitted, so reading a published snapshot's view is
+		// safe while the engine keeps appending.
+		em := snap.Result.Emitted
+		resp.Total = int64(len(em))
+		resp.Final = snap.Final
+		end := min(cursor+limit, resp.Total)
+		for seq := cursor; seq < end; seq++ {
+			resp.Entries = append(resp.Entries, EmittedEntry{
+				Seq:        seq,
+				EPC:        em[seq].EPC.String(),
+				BottomTime: em[seq].X.BottomTime,
+			})
+			resp.NextCursor = seq + 1
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(r *http.Request, name string, def int64) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s %q: not an integer", name, raw)
+	}
+	return v, nil
+}
+
 func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.session(w, r)
 	if !ok {
@@ -248,6 +351,12 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 		Stalls:    sess.Stalls(),
 		Finished:  sess.finished(),
 		Snapshots: sess.Latest() != nil,
+
+		ActiveTags:   sess.activeTags.Load(),
+		Finalized:    sess.finalized.Load(),
+		Discarded:    sess.discarded.Load(),
+		LateReads:    sess.lateDropped.Load(),
+		LimitRejects: sess.limitRejects.Load(),
 	})
 }
 

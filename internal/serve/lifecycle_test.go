@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// portalTrace builds the two-portal belt trace (the multi-zone churn
+// workload the lifecycle exists for) plus the never-finalizing offline
+// result, and serve Options with the lifecycle enabled. Thresholds as in
+// the deploy lifecycle tests: bags pass both portals in one continuous
+// hot span, then go quiet forever.
+func portalTrace(t *testing.T) (*trace.Trace, *deploy.GlobalResult, Options) {
+	t.Helper()
+	ms, err := scenario.AirportPortals(scenario.PortalsOpts{
+		Portals: 2, Bags: 10, PortalGap: 2.0,
+		MinSpacing: 1.5, MaxSpacing: 1.9, BeltSpeed: 0.3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{
+		Header: trace.Header{Scenario: "portals", Seed: 5, Readers: ms.ReaderMetas()},
+		Reads:  reads,
+	}
+	opts := Options{
+		Config:         ms.Readers[0].Scene.STPPConfig(),
+		FinalizeAfter:  2.0,
+		FinalizeMargin: 1.0,
+	}
+	se, err := deploy.NewSharded(deploy.FromHeader(tr.Header, opts.Config, false, false), deploy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := se.Localize(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, want, opts
+}
+
+// TestSessionLifecycleEmitted drives a lifecycle session through the full
+// HTTP API: bags finalize mid-stream, the emitted endpoint pages through
+// the stream exactly once, the lifecycle counters move, and the final
+// global order still matches the never-finalizing offline replay — the
+// lifecycle changes what the daemon retains, never what it answers.
+func TestSessionLifecycleEmitted(t *testing.T) {
+	tr, want, opts := portalTrace(t)
+	opts.PublishEvery = 2000
+	srv := newTestServer(t, opts)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	hdr, _ := json.Marshal(tr.Header)
+	var created CreateResponse
+	postJSON(t, ts, "/v1/sessions", hdr, http.StatusCreated, &created)
+	var ing IngestResponse
+	postJSON(t, ts, "/v1/sessions/"+created.ID+"/reads", ndjson(t, tr.Reads), http.StatusOK, &ing)
+	if ing.Accepted != len(tr.Reads) {
+		t.Fatalf("accepted %d of %d reads", ing.Accepted, len(tr.Reads))
+	}
+
+	// Mid-stream, after a forced refresh, some bags must already have been
+	// emitted and evicted — that is the bounded-memory claim in action.
+	var mid OrderResponse
+	getJSON(t, ts, "/v1/sessions/"+created.ID+"/order?refresh=1", http.StatusOK, &mid)
+	var page EmittedResponse
+	getJSON(t, ts, "/v1/sessions/"+created.ID+"/emitted", http.StatusOK, &page)
+	if page.Total == 0 {
+		t.Fatal("no bags emitted mid-stream: the lifecycle went unexercised")
+	}
+
+	var final OrderResponse
+	postJSON(t, ts, "/v1/sessions/"+created.ID+"/finish", nil, http.StatusOK, &final)
+	if !reflect.DeepEqual(final.XOrder, trace.EncodeEPCs(want.XOrder)) {
+		t.Errorf("lifecycle wire X order diverged from offline replay:\n  live    %v\n  offline %v",
+			final.XOrder, trace.EncodeEPCs(want.XOrder))
+	}
+
+	// Page through the finished stream two entries at a time; the
+	// concatenation must be the emitted prefix of the final global order.
+	var got []string
+	cursor := int64(0)
+	for {
+		var p EmittedResponse
+		getJSON(t, ts, "/v1/sessions/"+created.ID+"/emitted?cursor="+itoa(cursor)+"&limit=2", http.StatusOK, &p)
+		if !p.Final {
+			t.Fatal("finished session served a non-final emitted page")
+		}
+		if len(p.Entries) == 0 {
+			break
+		}
+		for _, e := range p.Entries {
+			if e.Seq != int64(len(got)) {
+				t.Fatalf("entry seq %d at stream position %d", e.Seq, len(got))
+			}
+			got = append(got, e.EPC)
+		}
+		cursor = p.NextCursor
+	}
+	if len(got) == 0 || len(got) >= len(final.XOrder) {
+		t.Fatalf("emitted %d of %d tags; want a non-empty strict prefix", len(got), len(final.XOrder))
+	}
+	if !reflect.DeepEqual(got, final.XOrder[:len(got)]) {
+		t.Errorf("emitted stream is not the prefix of the final order:\n  emitted %v\n  order   %v",
+			got, final.XOrder[:len(got)])
+	}
+
+	var ss SessionStats
+	getJSON(t, ts, "/v1/sessions/"+created.ID, http.StatusOK, &ss)
+	if ss.Finalized != int64(len(got)) {
+		t.Errorf("session finalized counter %d, emitted stream has %d", ss.Finalized, len(got))
+	}
+	if ss.LateReads != 0 {
+		t.Errorf("%d late reads on a workload that honors the gap precondition", ss.LateReads)
+	}
+	var stats Stats
+	getJSON(t, ts, "/v1/stats", http.StatusOK, &stats)
+	if stats.TagsFinalized != int64(len(got)) {
+		t.Errorf("server TagsFinalized %d, want %d", stats.TagsFinalized, len(got))
+	}
+	if stats.ActiveTags != 0 {
+		t.Errorf("ActiveTags gauge %d after the only session finished", stats.ActiveTags)
+	}
+}
+
+// TestMaxActiveTagsRejects: a session at the resident-tag bound must fail
+// Enqueue fast with ErrTooManyTags (HTTP 429), count the rejection, and
+// keep serving queries — an admission valve, not a wedge.
+func TestMaxActiveTagsRejects(t *testing.T) {
+	tr, _, opts := aisleTrace(t, 3)
+	opts.MaxActiveTags = 2 // the aisle has 8+ concurrent tags: trips fast
+	srv := newTestServer(t, opts)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sess, err := srv.CreateSession(tr.Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Enqueue(tr.Reads[:2000]); err != nil {
+		t.Fatal(err)
+	}
+	// The gauge is maintained by the consumer; wait for the queue to drain.
+	waitDrained(t, sess)
+	if got := sess.activeTags.Load(); got <= int64(opts.MaxActiveTags) {
+		t.Fatalf("gauge %d after 2000 aisle reads; test premise broken", got)
+	}
+	if err := sess.Enqueue(tr.Reads[2000:2100]); !errors.Is(err, ErrTooManyTags) {
+		t.Fatalf("enqueue at the bound: err = %v, want ErrTooManyTags", err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sessions/"+sess.ID+"/reads",
+		"application/x-ndjson", strings.NewReader(string(ndjson(t, tr.Reads[2000:2100]))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("ingest at the bound: status %d, want 429", resp.StatusCode)
+	}
+	var stats Stats
+	getJSON(t, ts, "/v1/stats", http.StatusOK, &stats)
+	if stats.LimitRejects < 2 {
+		t.Errorf("LimitRejects = %d, want >= 2", stats.LimitRejects)
+	}
+	// The session still answers; dropping it cleans up.
+	if _, err := sess.Refresh(); err != nil {
+		t.Errorf("session wedged after rejections: %v", err)
+	}
+	srv.DropSession(sess.ID)
+}
+
+// TestDroppedSessionStripsProfiles: a session dropped mid-stream retires
+// holding only its latest snapshot — which must have been stripped of raw
+// profiles, and its engine closed, so an evicted session stops pinning
+// read data and free-list cells the moment it goes away.
+func TestDroppedSessionStripsProfiles(t *testing.T) {
+	tr, _, opts := aisleTrace(t, 3)
+	opts.PublishEvery = 500
+	srv := newTestServer(t, opts)
+	sess, err := srv.CreateSession(tr.Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Enqueue(tr.Reads[:3000]); err != nil {
+		t.Fatal(err)
+	}
+	waitDrained(t, sess)
+	if _, err := sess.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	snap := sess.Latest()
+	if snap == nil || snap.Final {
+		t.Fatal("expected a non-final published snapshot")
+	}
+	srv.DropSession(sess.ID)
+	<-sess.done
+	snap = sess.Latest()
+	if snap == nil {
+		t.Fatal("dropped session lost its snapshot")
+	}
+	for _, sh := range snap.Result.Shards {
+		if sh.Result == nil {
+			continue
+		}
+		for _, tag := range sh.Result.Tags {
+			if tag.Profile != nil {
+				t.Fatal("dropped session retained a raw profile")
+			}
+		}
+	}
+	if sess.eng != nil {
+		t.Error("dropped session retained its engine")
+	}
+}
+
+func itoa(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

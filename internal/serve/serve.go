@@ -113,6 +113,26 @@ type Options struct {
 	// appends share the sync. 0 syncs immediately (appends arriving during
 	// an in-flight fsync still coalesce into the next one).
 	FlushWindow time.Duration
+	// FinalizeAfter enables the tag lifecycle on every session: a tag
+	// whose pass has been quiet for this many seconds (stream time) behind
+	// the session's frontier is finalized — emitted to the session's
+	// ordered emission stream at its frozen global position and evicted
+	// from the engine, so an endless stream runs in bounded memory. 0 (the
+	// default) disables the lifecycle. Must exceed the longest mid-pass
+	// read gap of the deployment (see stpp.FinalizePolicy).
+	FinalizeAfter float64
+	// FinalizeMargin is the extra quiet margin behind a tag's V-zone
+	// center required before finalizing (stpp.FinalizePolicy.Margin).
+	// Only meaningful with FinalizeAfter > 0.
+	FinalizeMargin float64
+	// MaxActiveTags bounds each session's resident (not yet finalized)
+	// tag profiles: an enqueue that would grow a session already at the
+	// bound fails fast with ErrTooManyTags instead of letting memory grow
+	// unbounded. 0 (the default) means no bound. The check samples the
+	// gauge the consumer maintains, so a burst already in the queue may
+	// overshoot by the queue depth — it is an admission valve, not an
+	// exact cap.
+	MaxActiveTags int
 }
 
 func (o *Options) fill() {
@@ -157,6 +177,12 @@ type Metrics struct {
 	SegmentsTruncated   atomic.Int64 // WAL segments deleted behind checkpoints
 	SuffixReadsReplayed atomic.Int64 // boot-replay reads NOT covered by a checkpoint
 
+	// Lifecycle counters, zero unless FinalizeAfter is set.
+	TagsFinalized    atomic.Int64 // tags emitted and evicted across sessions
+	TagsDiscarded    atomic.Int64 // lapsed-but-undetectable tags evicted without emission
+	LateReadsDropped atomic.Int64 // reads dropped because their tag was final
+	LimitRejects     atomic.Int64 // enqueues rejected by MaxActiveTags
+
 	start time.Time
 }
 
@@ -190,6 +216,15 @@ type Stats struct {
 	CheckpointsWritten  int64 `json:"wal_checkpoints"`
 	SegmentsTruncated   int64 `json:"wal_segments_truncated"`
 	SuffixReadsReplayed int64 `json:"wal_suffix_reads_replayed"`
+
+	// Lifecycle: cumulative finalizations and late-read drops across all
+	// sessions (including finished ones), the current resident-profile
+	// gauge across live sessions, and MaxActiveTags rejections.
+	TagsFinalized    int64 `json:"tags_finalized"`
+	TagsDiscarded    int64 `json:"tags_discarded"`
+	LateReadsDropped int64 `json:"late_reads_dropped"`
+	ActiveTags       int64 `json:"active_tags"`
+	LimitRejects     int64 `json:"limit_rejects"`
 }
 
 // Server multiplexes concurrent ingest sessions. It is safe for
@@ -213,6 +248,13 @@ type Server struct {
 func New(opts Options) (*Server, error) {
 	if err := opts.Config.Validate(); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
+	}
+	pol := stpp.FinalizePolicy{After: opts.FinalizeAfter, Margin: opts.FinalizeMargin}
+	if err := pol.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if opts.MaxActiveTags < 0 {
+		return nil, fmt.Errorf("serve: max active tags %d < 0", opts.MaxActiveTags)
 	}
 	opts.fill()
 	sc := opts.Scheduler
@@ -420,10 +462,11 @@ func (s *Server) DropSession(id string) {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	active := 0
-	var depth int64
+	var depth, resident int64
 	for _, sess := range s.sessions {
 		if !sess.finished() {
 			active++
+			resident += sess.activeTags.Load()
 		}
 		depth += sess.queued.Load()
 	}
@@ -461,6 +504,12 @@ func (s *Server) Stats() Stats {
 		CheckpointsWritten:  s.metrics.CheckpointsWritten.Load(),
 		SegmentsTruncated:   s.metrics.SegmentsTruncated.Load(),
 		SuffixReadsReplayed: s.metrics.SuffixReadsReplayed.Load(),
+
+		TagsFinalized:    s.metrics.TagsFinalized.Load(),
+		TagsDiscarded:    s.metrics.TagsDiscarded.Load(),
+		LateReadsDropped: s.metrics.LateReadsDropped.Load(),
+		ActiveTags:       resident,
+		LimitRejects:     s.metrics.LimitRejects.Load(),
 	}
 	if st.UptimeSeconds > 0 {
 		st.ReadsPerSecond = float64(st.ReadsConsumed) / st.UptimeSeconds

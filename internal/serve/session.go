@@ -30,6 +30,12 @@ const (
 // closed the session's ingest side.
 var ErrSessionClosed = errors.New("serve: session closed to new reads")
 
+// ErrTooManyTags is returned by Enqueue when the session's resident-tag
+// gauge is at Options.MaxActiveTags: the stream is feeding tags faster
+// than the lifecycle retires them, and admitting more would let memory
+// grow unbounded. The HTTP layer maps it to 429.
+var ErrTooManyTags = errors.New("serve: session at max active tags")
+
 // Snapshot is one published localization state of a session: the stitched
 // global result at some point in the consumed stream.
 type Snapshot struct {
@@ -111,6 +117,22 @@ type Session struct {
 	consumed atomic.Int64 // reads consumed by the engine
 	queued   atomic.Int64 // reads currently waiting in the queue
 	stalls   atomic.Int64 // enqueues that found the queue full
+
+	// Lifecycle gauges and counters. activeTags is the resident
+	// (reader, tag) profile count, maintained by the engine owner after
+	// every consume and snapshot and sampled lock-free by the
+	// MaxActiveTags admission check and the stats endpoints. finalized
+	// and lateDropped mirror the engine's cumulative values; the prev*
+	// fields (engine-owner only) track what was already forwarded to the
+	// server-wide metrics.
+	activeTags    atomic.Int64
+	finalized     atomic.Int64
+	discarded     atomic.Int64
+	lateDropped   atomic.Int64
+	limitRejects  atomic.Int64
+	prevFinalized int64
+	prevDiscarded int64
+	prevLate      int64
 }
 
 // newSession builds the session's engine from the trace header via the
@@ -118,7 +140,14 @@ type Session struct {
 func newSession(id string, srv *Server, h trace.Header) (*Session, error) {
 	d := deploy.FromHeader(h, srv.opts.Config, false, false)
 	group := srv.sched.NewGroup(id)
-	eng, err := deploy.NewSharded(d, deploy.Options{Workers: srv.opts.Workers, Group: group})
+	eng, err := deploy.NewSharded(d, deploy.Options{
+		Workers: srv.opts.Workers,
+		Group:   group,
+		Finalize: stpp.FinalizePolicy{
+			After:  srv.opts.FinalizeAfter,
+			Margin: srv.opts.FinalizeMargin,
+		},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: session header: %w", err)
 	}
@@ -153,6 +182,15 @@ func (s *Session) ValidReader(id int) bool { return s.validID[id] }
 func (s *Session) Enqueue(batch []reader.TagRead) error {
 	if len(batch) == 0 {
 		return nil
+	}
+	// The MaxActiveTags admission valve: fail fast instead of blocking
+	// when the stream feeds tags faster than the lifecycle retires them.
+	// The gauge lags by whatever is queued, so this bounds growth rather
+	// than enforcing an exact cap; producers should back off and retry.
+	if limit := s.srv.opts.MaxActiveTags; limit > 0 && s.activeTags.Load() >= int64(limit) {
+		s.limitRejects.Add(1)
+		s.srv.metrics.LimitRejects.Add(1)
+		return ErrTooManyTags
 	}
 	s.qmu.Lock()
 	if full := len(s.q)-s.qhead >= s.srv.opts.QueueBatches; full && !s.closed {
@@ -527,6 +565,7 @@ func (s *Session) drain() {
 		}
 		s.consumed.Add(n)
 		s.srv.metrics.ReadsConsumed.Add(n)
+		s.activeTags.Store(int64(s.eng.Tags()))
 		s.sincePublish += len(batch)
 		if pe := s.srv.opts.PublishEvery; pe > 0 && s.sincePublish >= pe {
 			// Periodic publish; failures here just mean "no tags yet".
@@ -595,14 +634,30 @@ func (s *Session) pending() bool {
 func (s *Session) terminate() {
 	s.state.Store(stateDead)
 	s.shutdownQueue()
+	// A dropped or aborted session retires with a non-final latest
+	// snapshot whose per-shard results still pin every tag's raw profile
+	// — replace it with a stripped copy so the retained snapshot costs
+	// keys and orders, not read data. (The final-snapshot path already
+	// published a stripped result.)
+	if snap := s.latest.Load(); snap != nil && !snap.Final {
+		cp := *snap
+		cp.Result = stripProfiles(snap.Result)
+		s.latest.Store(&cp)
+	}
 	// The engine owner drops the reference on exit: a finished session
 	// keeps just its published snapshot, not the engine's profiles and
-	// caches. Pooled holdings (per-tag DTW matrices) go back to their
-	// free-lists first so the next session ramps up on recycled arrays.
+	// caches. Close (not just Release) returns pooled holdings — the
+	// per-tag DTW matrices, the largest per-session allocation — to their
+	// free-lists AND drops the engine's own references to profiles,
+	// caches and detection states, so an evicted session stops pinning
+	// free-list cells the moment it goes away, not whenever the last
+	// stale snapshot pointer dies.
 	if s.eng != nil {
-		s.eng.Release()
+		s.eng.Close()
 	}
 	s.eng = nil
+	s.ckptBuf = nil
+	s.activeTags.Store(0)
 	s.srv.metrics.SessionsFinished.Add(1)
 	close(s.done)
 }
@@ -651,6 +706,7 @@ func (s *Session) replay(rec *wal.Recovered, log *wal.Log) {
 		}
 		s.consumed.Add(n)
 		s.srv.metrics.ReadsConsumed.Add(n)
+		s.activeTags.Store(int64(s.eng.Tags()))
 		s.sincePublish += len(batch)
 		if pe := s.srv.opts.PublishEvery; pe > 0 && s.sincePublish >= pe {
 			s.takeSnapshot(false)
@@ -705,25 +761,54 @@ func (s *Session) takeSnapshot(final bool) (*Snapshot, error) {
 	if final {
 		// The final snapshot outlives the engine; drop each tag's raw
 		// profile (by far the heaviest state — every read's time/phase/
-		// RSSI) so a finished session retains only keys and orders. The
-		// stripping works on copies of the per-shard Tags slices: a quiet
-		// shard's Result pointer is aliased by earlier published
-		// snapshots, which concurrent queriers may still be reading.
-		for i, sh := range res.Shards {
-			if sh.Result == nil {
-				continue
-			}
-			cp := *sh.Result
-			cp.Tags = make([]stpp.TagResult, len(sh.Result.Tags))
-			copy(cp.Tags, sh.Result.Tags)
-			for j := range cp.Tags {
-				cp.Tags[j].Profile = nil
-			}
-			res.Shards[i].Result = &cp
-		}
+		// RSSI) so a finished session retains only keys and orders.
+		snap.Result = stripProfiles(res)
+	}
+	// A snapshot is where the lifecycle moves (emission and eviction run
+	// in the engine's sweep): refresh the resident gauge and forward the
+	// finalization/late-read deltas to the server-wide counters.
+	s.activeTags.Store(int64(s.eng.Tags()))
+	if fin := int64(s.eng.Finalized()); fin != s.prevFinalized {
+		s.srv.metrics.TagsFinalized.Add(fin - s.prevFinalized)
+		s.prevFinalized = fin
+		s.finalized.Store(fin)
+	}
+	if disc := s.eng.Discarded(); disc != s.prevDiscarded {
+		s.srv.metrics.TagsDiscarded.Add(disc - s.prevDiscarded)
+		s.prevDiscarded = disc
+		s.discarded.Store(disc)
+	}
+	if late := s.eng.LateReads(); late != s.prevLate {
+		s.srv.metrics.LateReadsDropped.Add(late - s.prevLate)
+		s.prevLate = late
+		s.lateDropped.Store(late)
 	}
 	s.latest.Store(snap)
 	s.srv.metrics.Snapshots.Add(1)
 	s.srv.metrics.SnapshotNanos.Add(int64(snap.Latency))
 	return snap, nil
+}
+
+// stripProfiles returns a copy of a global result with every per-tag raw
+// profile dropped (by far the heaviest state — every read's time/phase/
+// RSSI), keeping keys, orders and the emission stream queryable. It copies
+// the shard slice and each shard's Tags slice: a quiet shard's Result
+// pointer is aliased by earlier published snapshots, which concurrent
+// queriers may still be reading.
+func stripProfiles(res *deploy.GlobalResult) *deploy.GlobalResult {
+	cp := *res
+	cp.Shards = append([]deploy.ShardResult(nil), res.Shards...)
+	for i, sh := range cp.Shards {
+		if sh.Result == nil {
+			continue
+		}
+		r := *sh.Result
+		r.Tags = make([]stpp.TagResult, len(sh.Result.Tags))
+		copy(r.Tags, sh.Result.Tags)
+		for j := range r.Tags {
+			r.Tags[j].Profile = nil
+		}
+		cp.Shards[i].Result = &r
+	}
+	return &cp
 }

@@ -177,6 +177,35 @@ func TestSoakConcurrentSessions(t *testing.T) {
 	if dropped.Load()+finished.Load() != total-1 {
 		t.Errorf("accounting hole: %d dropped + %d finished != %d", dropped.Load(), finished.Load(), total-1)
 	}
+	// Eager release: every retired session — finished OR dropped mid-flight
+	// — must have shed its engine and stripped raw profiles from whatever
+	// snapshot it retains. A lingering dropped session that still pins
+	// profile series (or free-list cells through a live engine) is exactly
+	// the leak the terminate path exists to close.
+	srv.mu.Lock()
+	for id, sess := range srv.sessions {
+		if !sess.finished() {
+			continue
+		}
+		if sess.eng != nil {
+			t.Errorf("retired session %s still holds its engine", id)
+		}
+		snap := sess.Latest()
+		if snap == nil || snap.Result == nil {
+			continue
+		}
+		for _, sh := range snap.Result.Shards {
+			if sh.Result == nil {
+				continue
+			}
+			for _, tag := range sh.Result.Tags {
+				if tag.Profile != nil {
+					t.Errorf("retired session %s retains a raw profile for %v", id, tag.EPC)
+				}
+			}
+		}
+	}
+	srv.mu.Unlock()
 
 	// The goroutine-leak check: 18 sessions of churn ran entirely on the
 	// warm scheduler pool, so the goroutine count must settle back to the
