@@ -1,20 +1,21 @@
 # The repository's tier-1 gates (mirrors .github/workflows/ci.yml) plus
 # the recorded benchmark step that tracks the performance trajectory.
 
-PR := 8
+PR := 9
 
 # The key hot-path benchmarks recorded per PR: the snapshot-cadence
 # evidence, streaming vs batch, the daemon ingest path, the segment-DTW
 # kernel (whole alignment and isolated column fill), the WAL
 # append/recovery paths, checkpointed-recovery flatness and group-commit
-# throughput, and the endless-stream lifecycle flatness this PR adds.
-BENCH_PATTERN := BenchmarkSnapshotCadence|BenchmarkStreamingVsBatch|BenchmarkDaemonIngest|BenchmarkShardedAisle|BenchmarkSegmentedAlign|BenchmarkSegmentFill|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkCheckpointedRecovery|BenchmarkWALGroupCommit|BenchmarkEndlessStream
+# throughput, the endless-stream lifecycle flatness, and the adaptive
+# publish cadence this PR adds.
+BENCH_PATTERN := BenchmarkSnapshotCadence|BenchmarkStreamingVsBatch|BenchmarkDaemonIngest|BenchmarkShardedAisle|BenchmarkSegmentedAlign|BenchmarkSegmentFill|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkCheckpointedRecovery|BenchmarkWALGroupCommit|BenchmarkEndlessStream|BenchmarkAdaptiveCadence
 
 # The regression gate: fail the bench step if any of these benchmarks'
 # reads/s drops more than 15% against the committed pre-PR baseline.
-# (EndlessStream is new this PR, so the gate starts covering it next PR —
-# absent-from-baseline benchmarks are skipped, not failed.)
-GATE := BenchmarkDaemonIngest,BenchmarkRecovery,BenchmarkWALAppend,BenchmarkEndlessStream
+# (AdaptiveCadence is new this PR, so the gate starts covering it next
+# PR — absent-from-baseline benchmarks are skipped, not failed.)
+GATE := BenchmarkDaemonIngest,BenchmarkRecovery,BenchmarkWALAppend,BenchmarkEndlessStream,BenchmarkAdaptiveCadence
 
 .PHONY: test build bench fmt vet
 
@@ -42,5 +43,5 @@ bench:
 	go test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count 1 . | tee BENCH_$(PR).txt
 	go run ./cmd/bench2json -pr $(PR) -baseline bench/baseline_$(PR).txt -current BENCH_$(PR).txt \
 		-gate '$(GATE)' -max-regression 0.15 \
-		-note "baseline = pre-PR-$(PR) tree (no tag lifecycle: every tag resident forever); current = finalize-and-evict lifecycle, emitted stream, bounded active set" \
+		-note "baseline = pre-PR-$(PR) tree (fixed publish cadence, no confidence, no /metrics); current = adaptive publish cadence, snapshot confidence, Prometheus exposition" \
 		> BENCH_$(PR).json

@@ -593,6 +593,12 @@ type GlobalResult struct {
 	// leading entries are exactly these tags. Nil when the lifecycle is
 	// disabled.
 	Emitted []pipeline.EmittedTag
+	// XConfidence scores each adjacent pair of XOrder (length
+	// len(XOrder)-1, or nil below two tags): stpp.PairConfidence between
+	// the pair's X keys on the deployment clock — frozen keys for the
+	// emitted prefix, each active tag's earliest-bottom valid shard key
+	// for the suffix. A pair touching a tag with no usable key scores 0.
+	XConfidence []float64
 }
 
 // Snapshot localizes the stream consumed so far: shards that gained reads
@@ -627,9 +633,10 @@ func (se *ShardedEngine) Snapshot() (*GlobalResult, error) {
 		// our own copy — which the clock re-basing below may then mutate
 		// freely. XOrder/YOrder are freshly allocated per snapshot.
 		res = &stpp.Result{
-			Tags:   append([]stpp.TagResult(nil), res.Tags...),
-			XOrder: res.XOrder,
-			YOrder: res.YOrder,
+			Tags:        append([]stpp.TagResult(nil), res.Tags...),
+			XOrder:      res.XOrder,
+			YOrder:      res.YOrder,
+			XConfidence: res.XConfidence,
 		}
 		if off := sh.spec.ClockOffset; off != 0 {
 			for j := range res.Tags {
@@ -677,7 +684,48 @@ func (se *ShardedEngine) Snapshot() (*GlobalResult, error) {
 	}
 	gr.XOrder = append(gr.XOrder, active...)
 	gr.YOrder = MergeOrders(yOrders)
+	gr.XConfidence = se.xConfidence(gr.XOrder)
 	return gr, nil
+}
+
+// xConfidence scores each adjacent pair of the stitched global order:
+// frozen emission-stream keys for finalized tags, and for active tags the
+// earliest-bottom valid key across holding shards — the same key sweep
+// would freeze if the tag emitted now. All keys are already on the
+// deployment clock, and pair confidence is shift-invariant, so scores are
+// comparable across zone boundaries. Pairs touching a tag with no usable
+// key (detection still failing in every zone) score 0.
+func (se *ShardedEngine) xConfidence(order []epcgen2.EPC) []float64 {
+	if len(order) < 2 {
+		return nil
+	}
+	keys := make(map[epcgen2.EPC]stpp.XKey, len(order))
+	for _, em := range se.emitted {
+		keys[em.EPC] = em.X
+	}
+	for _, sh := range se.shards {
+		if sh.cached == nil {
+			continue
+		}
+		for i := range sh.cached.Tags {
+			tr := &sh.cached.Tags[i]
+			if tr.Err != nil || se.final[tr.EPC] {
+				continue
+			}
+			if k, ok := keys[tr.EPC]; !ok || tr.X.BottomTime < k.BottomTime {
+				keys[tr.EPC] = tr.X
+			}
+		}
+	}
+	out := make([]float64, len(order)-1)
+	for i := range out {
+		a, okA := keys[order[i]]
+		b, okB := keys[order[i+1]]
+		if okA && okB {
+			out[i] = stpp.PairConfidence(a, b)
+		}
+	}
+	return out
 }
 
 // Release returns every shard engine's pooled holdings (per-tag DTW

@@ -14,8 +14,11 @@ import (
 // (EPC + frozen X key per entry, ~60 bytes) and the finalized-tag set.
 // Evicted tags appear ONLY there — their profiles and detection states
 // are gone — so on an endless belt the blob is sized by the active set
-// plus a compact emitted summary, flat in belt length.
-const engineCkptVersion = 2
+// plus a compact emitted summary, flat in belt length. Version 3 added
+// the X key's Sigma (bottom-time uncertainty) to every serialized key,
+// so restored engines publish the same per-pair confidences as the
+// engines that wrote them.
+const engineCkptVersion = 3
 
 // Checkpoint serializes the engine's full state — the profile builder,
 // every tag's cached per-tag result, and every tag's resumable detection
@@ -64,6 +67,7 @@ func (e *Engine) Checkpoint(dst []byte) []byte {
 			dst = ckpt.AppendF64(dst, tr.X.Fit.B)
 			dst = ckpt.AppendF64(dst, tr.X.Fit.C)
 			dst = ckpt.AppendF64(dst, tr.X.R2)
+			dst = ckpt.AppendF64(dst, tr.X.Sigma)
 			if tr.Err != nil {
 				dst = ckpt.AppendU8(dst, 1)
 				dst = ckpt.AppendString(dst, tr.Err.Error())
@@ -94,7 +98,7 @@ func (e *Engine) Checkpoint(dst []byte) []byte {
 }
 
 // AppendCheckpoint serializes one emission-stream entry (raw EPC bytes
-// plus the six XKey floats, ~60 bytes) — the compact per-tag footprint
+// plus the seven XKey floats, ~70 bytes) — the compact per-tag footprint
 // that keeps checkpoint blobs flat in belt length. deploy.ShardedEngine
 // reuses the codec for its global emission stream.
 func (em EmittedTag) AppendCheckpoint(dst []byte) []byte {
@@ -118,6 +122,7 @@ func appendXKey(dst []byte, k stpp.XKey) []byte {
 	dst = ckpt.AppendF64(dst, k.Fit.B)
 	dst = ckpt.AppendF64(dst, k.Fit.C)
 	dst = ckpt.AppendF64(dst, k.R2)
+	dst = ckpt.AppendF64(dst, k.Sigma)
 	return dst
 }
 
@@ -128,6 +133,7 @@ func readXKey(r *ckpt.Reader) (k stpp.XKey) {
 	k.Fit.B = r.F64()
 	k.Fit.C = r.F64()
 	k.R2 = r.F64()
+	k.Sigma = r.F64()
 	return k
 }
 
@@ -165,6 +171,7 @@ func (e *Engine) RestoreCheckpoint(r *ckpt.Reader) error {
 			tr.X.Fit.B = r.F64()
 			tr.X.Fit.C = r.F64()
 			tr.X.R2 = r.F64()
+			tr.X.Sigma = r.F64()
 			if r.U8() != 0 {
 				tr.Err = errors.New(r.String())
 			}

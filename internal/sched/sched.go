@@ -137,6 +137,9 @@ type Scheduler struct {
 	workers []*worker
 	idle    int
 	wg      sync.WaitGroup
+	// steals counts items taken from another worker's deque — how often
+	// the pool rebalanced nested fan-out instead of serving it locally.
+	steals atomic.Int64
 
 	defGroup Group
 }
@@ -382,6 +385,7 @@ func (s *Scheduler) take(w *worker) (item, bool) {
 			it := victim.deque[0]
 			victim.deque = victim.deque[1:]
 			if it.live() {
+				s.steals.Add(1)
 				return it, true
 			}
 			continue
@@ -454,9 +458,10 @@ func (it item) live() bool {
 // Stats is a point-in-time sample of the scheduler, for /v1/stats and
 // debugging.
 type Stats struct {
-	Workers int `json:"workers"`
-	Idle    int `json:"idle"`
-	Queued  int `json:"queued"`
+	Workers int   `json:"workers"`
+	Idle    int   `json:"idle"`
+	Queued  int   `json:"queued"`
+	Steals  int64 `json:"steals"` // cumulative cross-worker deque steals
 }
 
 // Stats samples the scheduler.
@@ -470,7 +475,7 @@ func (s *Scheduler) Stats() Stats {
 	for _, w := range s.workers {
 		q += len(w.deque)
 	}
-	return Stats{Workers: s.nworkers, Idle: s.idle, Queued: q}
+	return Stats{Workers: s.nworkers, Idle: s.idle, Queued: q, Steals: s.steals.Load()}
 }
 
 func (s *Scheduler) String() string {

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/pipeline"
 	"repro/internal/reader"
 	"repro/internal/trace"
 )
@@ -35,25 +36,32 @@ type ShardOrder struct {
 // orders as hex EPC strings (trace.EncodeEPCs format), per-zone orders,
 // and snapshot provenance.
 type OrderResponse struct {
-	SessionID  string       `json:"session_id"`
-	Final      bool         `json:"final"`
-	Reads      int64        `json:"reads"`
-	Tags       int          `json:"tags"`
-	XOrder     []string     `json:"x_order"`
-	YOrder     []string     `json:"y_order"`
-	Shards     []ShardOrder `json:"shards,omitempty"`
-	SnapshotMs float64      `json:"snapshot_ms"`
+	SessionID string   `json:"session_id"`
+	Final     bool     `json:"final"`
+	Reads     int64    `json:"reads"`
+	Tags      int      `json:"tags"`
+	XOrder    []string `json:"x_order"`
+	YOrder    []string `json:"y_order"`
+	// XConfidence scores each adjacent pair of XOrder (length
+	// len(x_order)-1): the pair's bottom-time separation weighed against
+	// both tags' fitted bottom-time uncertainties, in [0, 1] — 1 means
+	// the gap dwarfs the noise, 0 means the pair could be in either
+	// order (or a tag has no usable key yet).
+	XConfidence []float64    `json:"x_confidence,omitempty"`
+	Shards      []ShardOrder `json:"shards,omitempty"`
+	SnapshotMs  float64      `json:"snapshot_ms"`
 }
 
 // SessionStats answers GET /v1/sessions/{id}.
 type SessionStats struct {
-	SessionID string `json:"session_id"`
-	Enqueued  int64  `json:"enqueued"`
-	Consumed  int64  `json:"consumed"`
-	Queued    int64  `json:"queued"`
-	Stalls    int64  `json:"stalls"`
-	Finished  bool   `json:"finished"`
-	Snapshots bool   `json:"has_snapshot"`
+	SessionID    string  `json:"session_id"`
+	Enqueued     int64   `json:"enqueued"`
+	Consumed     int64   `json:"consumed"`
+	Queued       int64   `json:"queued"`
+	Stalls       int64   `json:"stalls"`
+	StallSeconds float64 `json:"stall_seconds"`
+	Finished     bool    `json:"finished"`
+	Snapshots    bool    `json:"has_snapshot"`
 
 	// Lifecycle counters, all zero unless FinalizeAfter is set.
 	ActiveTags   int64 `json:"active_tags"`
@@ -98,8 +106,10 @@ type errorResponse struct {
 //	GET    /v1/sessions/{id}          session counters
 //	DELETE /v1/sessions/{id}          abort and drop the session
 //	GET    /v1/stats                  server-wide counters
+//	GET    /metrics                   Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	mux.HandleFunc("POST /v1/sessions/{id}/reads", s.handleReads)
 	mux.HandleFunc("GET /v1/sessions/{id}/order", s.handleOrder)
@@ -288,32 +298,52 @@ func (s *Server) handleEmitted(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	limit = min(limit, 4096)
-	resp := EmittedResponse{SessionID: sess.ID, NextCursor: cursor}
+	resp := EmittedResponse{SessionID: sess.ID}
+	var em []pipeline.EmittedTag
 	if snap := sess.Latest(); snap != nil {
 		// The emitted slice's backing array is append-only: entries never
 		// change once emitted, so reading a published snapshot's view is
 		// safe while the engine keeps appending.
-		em := snap.Result.Emitted
+		em = snap.Result.Emitted
 		resp.Total = int64(len(em))
 		resp.Final = snap.Final
-		end := min(cursor+limit, resp.Total)
-		for seq := cursor; seq < end; seq++ {
-			resp.Entries = append(resp.Entries, EmittedEntry{
-				Seq:        seq,
-				EPC:        em[seq].EPC.String(),
-				BottomTime: em[seq].X.BottomTime,
-			})
-			resp.NextCursor = seq + 1
-		}
+	}
+	// Clamp the window to [0, Total] BEFORE doing cursor arithmetic: a
+	// cursor past the end (a consumer that over-paged, or one polling an
+	// empty stream) yields a well-formed empty page whose next_cursor is
+	// Total — resumable, never a phantom position — and cursor+limit near
+	// MaxInt64 can no longer overflow into a negative bound.
+	start := min(cursor, resp.Total)
+	end := min(start+limit, resp.Total)
+	resp.NextCursor = end
+	for seq := start; seq < end; seq++ {
+		resp.Entries = append(resp.Entries, EmittedEntry{
+			Seq:        seq,
+			EPC:        em[seq].EPC.String(),
+			BottomTime: em[seq].X.BottomTime,
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// queryInt parses an optional integer query parameter.
+// queryInt parses an optional integer query parameter: an optional '-'
+// followed by decimal digits, nothing else. strconv.ParseInt alone would
+// also take a leading '+' — which the "not an integer" error message
+// (and the cursor echo semantics) never admitted — so the sign gate
+// keeps accepted inputs and the stable 400 message consistent.
 func queryInt(r *http.Request, name string, def int64) (int64, error) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
 		return def, nil
+	}
+	body := raw
+	if body[0] == '-' {
+		body = body[1:]
+	}
+	for i := 0; i < len(body); i++ {
+		if body[i] < '0' || body[i] > '9' {
+			return 0, fmt.Errorf("%s %q: not an integer", name, raw)
+		}
 	}
 	v, err := strconv.ParseInt(raw, 10, 64)
 	if err != nil {
@@ -341,21 +371,25 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Consumed samples before Enqueued (effect before cause) so the pair
-	// stays consistent under concurrent ingest — see Server.Stats.
+	// stays consistent under concurrent ingest — see Server.Stats. The
+	// lifecycle counters come from one atomically-published view, so the
+	// finalized/discarded/late trio is always from the same sweep.
 	consumed := sess.Consumed()
+	life := sess.lifecycle()
 	writeJSON(w, http.StatusOK, SessionStats{
-		SessionID: sess.ID,
-		Enqueued:  sess.Enqueued(),
-		Consumed:  consumed,
-		Queued:    sess.Queued(),
-		Stalls:    sess.Stalls(),
-		Finished:  sess.finished(),
-		Snapshots: sess.Latest() != nil,
+		SessionID:    sess.ID,
+		Enqueued:     sess.Enqueued(),
+		Consumed:     consumed,
+		Queued:       sess.Queued(),
+		Stalls:       sess.Stalls(),
+		StallSeconds: sess.StallSeconds(),
+		Finished:     sess.finished(),
+		Snapshots:    sess.Latest() != nil,
 
 		ActiveTags:   sess.activeTags.Load(),
-		Finalized:    sess.finalized.Load(),
-		Discarded:    sess.discarded.Load(),
-		LateReads:    sess.lateDropped.Load(),
+		Finalized:    life.finalized,
+		Discarded:    life.discarded,
+		LateReads:    life.lateReads,
 		LimitRejects: sess.limitRejects.Load(),
 	})
 }
@@ -375,13 +409,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // orderResponse flattens a snapshot for the wire.
 func orderResponse(id string, snap *Snapshot) OrderResponse {
 	resp := OrderResponse{
-		SessionID:  id,
-		Final:      snap.Final,
-		Reads:      snap.Reads,
-		Tags:       len(snap.Result.XOrder),
-		XOrder:     trace.EncodeEPCs(snap.Result.XOrder),
-		YOrder:     trace.EncodeEPCs(snap.Result.YOrder),
-		SnapshotMs: float64(snap.Latency.Nanoseconds()) / 1e6,
+		SessionID:   id,
+		Final:       snap.Final,
+		Reads:       snap.Reads,
+		Tags:        len(snap.Result.XOrder),
+		XOrder:      trace.EncodeEPCs(snap.Result.XOrder),
+		YOrder:      trace.EncodeEPCs(snap.Result.YOrder),
+		XConfidence: snap.Result.XConfidence,
+		SnapshotMs:  float64(snap.Latency.Nanoseconds()) / 1e6,
 	}
 	for _, sh := range snap.Result.Shards {
 		so := ShardOrder{ReaderID: sh.ReaderID}

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"repro/internal/deploy"
+	"repro/internal/epcgen2"
+	prom "repro/internal/metrics"
 	"repro/internal/reader"
 	"repro/internal/sched"
 	"repro/internal/stpp"
@@ -113,26 +115,46 @@ type Session struct {
 	errMu   sync.Mutex
 	failure error
 
-	enqueued atomic.Int64 // reads accepted into the queue
-	consumed atomic.Int64 // reads consumed by the engine
-	queued   atomic.Int64 // reads currently waiting in the queue
-	stalls   atomic.Int64 // enqueues that found the queue full
+	enqueued   atomic.Int64 // reads accepted into the queue
+	consumed   atomic.Int64 // reads consumed by the engine
+	queued     atomic.Int64 // reads currently waiting in the queue
+	stalls     atomic.Int64 // enqueues that found the queue full
+	stallNanos atomic.Int64 // cumulative producer time blocked on the full queue
 
 	// Lifecycle gauges and counters. activeTags is the resident
 	// (reader, tag) profile count, maintained by the engine owner after
 	// every consume and snapshot and sampled lock-free by the
-	// MaxActiveTags admission check and the stats endpoints. finalized
-	// and lateDropped mirror the engine's cumulative values; the prev*
-	// fields (engine-owner only) track what was already forwarded to the
-	// server-wide metrics.
+	// MaxActiveTags admission check and the stats endpoints. life is the
+	// coherent lifecycle sample published wholesale after every snapshot
+	// — the stats endpoint reads one pointer, so it can never pair a
+	// finalized count from one sweep with a discarded count from another
+	// the way loading independent atomics field-by-field could. The
+	// prev* fields (engine-owner only) track what was already forwarded
+	// to the server-wide metrics.
 	activeTags    atomic.Int64
-	finalized     atomic.Int64
-	discarded     atomic.Int64
-	lateDropped   atomic.Int64
+	life          atomic.Pointer[lifecycleView]
 	limitRejects  atomic.Int64
 	prevFinalized int64
 	prevDiscarded int64
 	prevLate      int64
+
+	// Adaptive publish cadence state, engine-owner only. pubInterval is
+	// the effective periodic-publish interval in reads (PublishEvery when
+	// the order is moving, backed off up to 8× while it is not);
+	// lastPubOrder/havePubOrder remember the last published global X
+	// order for the delta; lastPubAt backs the max-staleness floor.
+	pubInterval  int
+	lastPubOrder []epcgen2.EPC
+	havePubOrder bool
+	lastPubAt    time.Time
+}
+
+// lifecycleView is one coherent sample of a session's lifecycle counters,
+// taken by the engine owner right after the sweep that moved them.
+type lifecycleView struct {
+	finalized int64
+	discarded int64
+	lateReads int64
 }
 
 // newSession builds the session's engine from the trace header via the
@@ -196,9 +218,13 @@ func (s *Session) Enqueue(batch []reader.TagRead) error {
 	if full := len(s.q)-s.qhead >= s.srv.opts.QueueBatches; full && !s.closed {
 		s.stalls.Add(1)
 		s.srv.metrics.Stalls.Add(1)
+		t0 := time.Now()
 		for len(s.q)-s.qhead >= s.srv.opts.QueueBatches && !s.closed {
 			s.qcond.Wait()
 		}
+		ns := time.Since(t0).Nanoseconds()
+		s.stallNanos.Add(ns)
+		s.srv.metrics.StallNanos.Add(ns)
 	}
 	if s.closed {
 		s.qmu.Unlock()
@@ -461,6 +487,19 @@ func (s *Session) Queued() int64   { return s.queued.Load() }
 // Stalls reports how many enqueues found the queue full and had to wait.
 func (s *Session) Stalls() int64 { return s.stalls.Load() }
 
+// StallSeconds reports the cumulative time producers spent blocked on
+// this session's full queue.
+func (s *Session) StallSeconds() float64 { return float64(s.stallNanos.Load()) / 1e9 }
+
+// lifecycle returns the last published coherent lifecycle sample (zero
+// before the first snapshot).
+func (s *Session) lifecycle() lifecycleView {
+	if lv := s.life.Load(); lv != nil {
+		return *lv
+	}
+	return lifecycleView{}
+}
+
 type ctrlReq struct {
 	reply chan ctrlResp
 }
@@ -566,12 +605,7 @@ func (s *Session) drain() {
 		s.consumed.Add(n)
 		s.srv.metrics.ReadsConsumed.Add(n)
 		s.activeTags.Store(int64(s.eng.Tags()))
-		s.sincePublish += len(batch)
-		if pe := s.srv.opts.PublishEvery; pe > 0 && s.sincePublish >= pe {
-			// Periodic publish; failures here just mean "no tags yet".
-			s.takeSnapshot(false)
-			s.sincePublish = 0
-		}
+		s.maybePublish(len(batch))
 		if ce := s.srv.opts.CheckpointEvery; ce > 0 {
 			if s.sinceCheckpoint += len(batch); s.sinceCheckpoint >= ce {
 				s.checkpoint()
@@ -707,11 +741,7 @@ func (s *Session) replay(rec *wal.Recovered, log *wal.Log) {
 		s.consumed.Add(n)
 		s.srv.metrics.ReadsConsumed.Add(n)
 		s.activeTags.Store(int64(s.eng.Tags()))
-		s.sincePublish += len(batch)
-		if pe := s.srv.opts.PublishEvery; pe > 0 && s.sincePublish >= pe {
-			s.takeSnapshot(false)
-			s.sincePublish = 0
-		}
+		s.maybePublish(len(batch))
 	}
 	switch {
 	case rec.Finished:
@@ -743,6 +773,62 @@ func (s *Session) replay(rec *wal.Recovered, log *wal.Log) {
 	}
 }
 
+// maybePublish is the periodic-publish hook, run by the engine owner
+// (drain and boot replay) after each consumed batch of n reads. With a
+// fixed cadence (PublishMinDelta unset) it publishes every PublishEvery
+// reads, exactly as before. With the adaptive cadence it compares each
+// periodic snapshot's global X order against the previous publish: while
+// the order moves by at most PublishMinDelta, the effective interval
+// doubles (up to 8× PublishEvery) — a static belt stops paying for
+// assemblies whose answer nobody new gets — and snaps back to
+// PublishEvery the moment the order moves. PublishMaxStaleness bounds
+// how long the backed-off interval may keep the published snapshot
+// stale. Emission runs inside every snapshot and is cadence-invariant,
+// so damping changes when orders are published, never what they are.
+func (s *Session) maybePublish(n int) {
+	pe := s.srv.opts.PublishEvery
+	if pe <= 0 {
+		return
+	}
+	if s.pubInterval < pe {
+		s.pubInterval = pe
+	}
+	s.sincePublish += n
+	forced := false
+	if ms := s.srv.opts.PublishMaxStaleness; ms > 0 && s.pubInterval > pe &&
+		!s.lastPubAt.IsZero() && time.Since(s.lastPubAt) >= ms {
+		forced = true
+	}
+	if s.sincePublish < s.pubInterval && !forced {
+		return
+	}
+	s.sincePublish = 0
+	// Periodic publish; failures here just mean "no tags yet".
+	snap, err := s.takeSnapshot(false)
+	if err != nil {
+		return
+	}
+	s.lastPubAt = snap.At
+	if forced {
+		s.srv.metrics.PublishesForced.Add(1)
+	}
+	md := s.srv.opts.PublishMinDelta
+	if md <= 0 {
+		return
+	}
+	order := snap.Result.XOrder
+	if s.havePubOrder && prom.OrderDelta(order, s.lastPubOrder) <= md {
+		if next := s.pubInterval * 2; next <= 8*pe {
+			s.pubInterval = next
+		}
+		s.srv.metrics.PublishesDamped.Add(1)
+	} else {
+		s.pubInterval = pe
+	}
+	s.lastPubOrder = append(s.lastPubOrder[:0], order...)
+	s.havePubOrder = true
+}
+
 // takeSnapshot runs the engine snapshot on the consumer goroutine and
 // publishes the result.
 func (s *Session) takeSnapshot(final bool) (*Snapshot, error) {
@@ -765,27 +851,34 @@ func (s *Session) takeSnapshot(final bool) (*Snapshot, error) {
 		snap.Result = stripProfiles(res)
 	}
 	// A snapshot is where the lifecycle moves (emission and eviction run
-	// in the engine's sweep): refresh the resident gauge and forward the
-	// finalization/late-read deltas to the server-wide counters.
+	// in the engine's sweep): refresh the resident gauge, forward the
+	// finalization/late-read deltas to the server-wide counters, and
+	// publish the per-session lifecycle sample as one coherent view.
 	s.activeTags.Store(int64(s.eng.Tags()))
-	if fin := int64(s.eng.Finalized()); fin != s.prevFinalized {
-		s.srv.metrics.TagsFinalized.Add(fin - s.prevFinalized)
-		s.prevFinalized = fin
-		s.finalized.Store(fin)
+	lv := &lifecycleView{
+		finalized: int64(s.eng.Finalized()),
+		discarded: s.eng.Discarded(),
+		lateReads: s.eng.LateReads(),
 	}
-	if disc := s.eng.Discarded(); disc != s.prevDiscarded {
-		s.srv.metrics.TagsDiscarded.Add(disc - s.prevDiscarded)
-		s.prevDiscarded = disc
-		s.discarded.Store(disc)
+	if lv.finalized != s.prevFinalized {
+		s.srv.metrics.TagsFinalized.Add(lv.finalized - s.prevFinalized)
+		s.prevFinalized = lv.finalized
 	}
-	if late := s.eng.LateReads(); late != s.prevLate {
-		s.srv.metrics.LateReadsDropped.Add(late - s.prevLate)
-		s.prevLate = late
-		s.lateDropped.Store(late)
+	if lv.discarded != s.prevDiscarded {
+		s.srv.metrics.TagsDiscarded.Add(lv.discarded - s.prevDiscarded)
+		s.prevDiscarded = lv.discarded
 	}
+	if lv.lateReads != s.prevLate {
+		s.srv.metrics.LateReadsDropped.Add(lv.lateReads - s.prevLate)
+		s.prevLate = lv.lateReads
+	}
+	s.life.Store(lv)
 	s.latest.Store(snap)
 	s.srv.metrics.Snapshots.Add(1)
 	s.srv.metrics.SnapshotNanos.Add(int64(snap.Latency))
+	if h := s.srv.metrics.SnapshotLatency; h != nil {
+		h.Observe(snap.Latency.Seconds())
+	}
 	return snap, nil
 }
 

@@ -35,6 +35,11 @@ type Result struct {
 	XOrder []int
 	// YOrder uses the package's sign convention (see package comment).
 	YOrder []int
+	// XConfidence scores each adjacent pair in XOrder: XConfidence[i] is
+	// PairConfidence between the tags at XOrder[i] and XOrder[i+1], so its
+	// length is len(XOrder)-1 (empty for fewer than two tags). Pairs
+	// involving a failed tag score 0.
+	XConfidence []float64
 }
 
 // XOrderEPCs returns the EPCs in X order.
@@ -178,7 +183,27 @@ func (l *Localizer) AssembleStates(tags []TagResult, states []*DetectState) *Res
 	res.XOrder = l.assembleX(sc, tags)
 	res.YOrder = l.assembleYScratch(sc, tags, states)
 	asmPool.Put(sc)
+	res.XConfidence = XConfidences(tags, res.XOrder)
 	return res
+}
+
+// XConfidences scores every adjacent pair of an X order over the given
+// tags: out[i] is PairConfidence between order[i] and order[i+1], 0 when
+// either tag failed. The slice is freshly allocated (it is retained in
+// results), with length len(order)-1, or nil for fewer than two tags.
+func XConfidences(tags []TagResult, order []int) []float64 {
+	if len(order) < 2 {
+		return nil
+	}
+	out := make([]float64, len(order)-1)
+	for i := range out {
+		a, b := &tags[order[i]], &tags[order[i+1]]
+		if a.Err != nil || b.Err != nil {
+			continue
+		}
+		out[i] = PairConfidence(a.X, b.X)
+	}
+	return out
 }
 
 // asmScratch pools the assembly stage's tag-count-sized temporaries: the

@@ -21,6 +21,16 @@ type XKey struct {
 	Fit dsp.Quadratic
 	// R2 is the goodness of the fit.
 	R2 float64
+	// Sigma is the bottom-time uncertainty in seconds, derived from the
+	// fit's residual spread mapped through the parabola's curvature: a
+	// phase residual of s radians moves the apparent minimum by about
+	// sqrt(s/A) seconds. Keys that fell back to the raw minimum (degenerate
+	// or out-of-window fits) carry half the V-zone span — the honest "could
+	// be anywhere in the valley" bound. Sigma depends only on the valley's
+	// shape, so it is invariant under Shifted and comparable across
+	// readers; PairConfidence turns two adjacent keys' Sigmas into a
+	// trust score for their relative order.
+	Sigma float64
 }
 
 // XKeyOf fits a quadratic to the V-zone of a profile and extracts the
@@ -70,22 +80,63 @@ func (c Config) xKeyOf(st *DetectState, p *profile.Profile, vz VZone) (XKey, err
 	}
 	r2 := dsp.RSquared(clean, pred)
 
-	k := XKey{Fit: q, R2: r2}
+	lo, hi := times[0], times[len(times)-1]
+	span := hi - lo
+	k := XKey{Fit: q, R2: r2, Sigma: span / 2}
 	if q.OpensUpward() {
 		k.BottomTime = q.VertexX()
 		k.BottomPhase = q.VertexY()
 		// A vertex far outside the observed window means the fit latched
 		// onto a monotone flank; fall back to the raw minimum.
-		lo, hi := times[0], times[len(times)-1]
-		span := hi - lo
 		if k.BottomTime < lo-span || k.BottomTime > hi+span {
 			k.BottomTime, k.BottomPhase = rawMin(times, clean)
+		} else {
+			// Bottom-time uncertainty from the fit: the residual phase
+			// spread s (radians) around the parabola maps to a time offset
+			// of sqrt(s/A) at the vertex, where A is the curvature. A sharp
+			// valley (large A) pins its bottom tightly even under noise; a
+			// shallow one lets the minimum wander.
+			var ss float64
+			for i := range clean {
+				d := clean[i] - pred[i]
+				ss += d * d
+			}
+			s := math.Sqrt(ss / float64(len(clean)))
+			if sig := math.Sqrt(s / q.A); sig > 0 && !math.IsNaN(sig) && !math.IsInf(sig, 0) {
+				k.Sigma = sig
+			}
 		}
 	} else {
 		// Degenerate or downward fit: fall back to the raw minimum.
 		k.BottomTime, k.BottomPhase = rawMin(times, clean)
 	}
 	return k, nil
+}
+
+// PairConfidence scores how trustworthy the relative X order of two
+// adjacent keys is: the bottom-time separation weighed against both keys'
+// uncertainties, sep/(sep+σa+σb). 1 means the gap dwarfs the noise; 0
+// means the bottoms coincide or a key is unusable (NaN time, or a
+// non-finite/non-positive Sigma pair with zero separation). The score is
+// symmetric and shift-invariant, so it holds after re-basing keys onto a
+// global clock.
+func PairConfidence(a, b XKey) float64 {
+	if math.IsNaN(a.BottomTime) || math.IsNaN(b.BottomTime) {
+		return 0
+	}
+	sep := math.Abs(a.BottomTime - b.BottomTime)
+	sa, sb := a.Sigma, b.Sigma
+	if math.IsNaN(sa) || math.IsInf(sa, 0) || sa < 0 {
+		sa = 0
+	}
+	if math.IsNaN(sb) || math.IsInf(sb, 0) || sb < 0 {
+		sb = 0
+	}
+	den := sep + sa + sb
+	if den <= 0 || math.IsInf(sep, 0) {
+		return 0
+	}
+	return sep / den
 }
 
 // Shifted re-bases the key onto a clock whose origin is dt seconds before

@@ -36,12 +36,38 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/reader"
 	"repro/internal/trace"
 )
+
+// Process-wide journal totals. Per-Log counters (Appends/Bytes) die with
+// their log, which is useless for a long-running daemon whose sessions
+// churn; these accumulate across every log the process ever opens, so a
+// metrics scrape sees the daemon's full journaling activity.
+var (
+	totalBytes  atomic.Int64 // record bytes appended (frames + payloads)
+	totalFsyncs atomic.Int64 // file fsyncs issued (appends, rotations, closes)
+)
+
+// TotalBytes reports the record bytes appended by this process across all
+// logs, live and closed.
+func TotalBytes() int64 { return totalBytes.Load() }
+
+// TotalFsyncs reports the file fsyncs issued by this process across all
+// logs (inline barrier syncs, group-commit leader syncs, segment
+// rotations, Sync and Close).
+func TotalFsyncs() int64 { return totalFsyncs.Load() }
+
+// syncFile fsyncs an open segment file, counting it in the process-wide
+// totals.
+func syncFile(f *os.File) error {
+	totalFsyncs.Add(1)
+	return f.Sync()
+}
 
 // Record types.
 const (
@@ -353,7 +379,7 @@ func (l *Log) leadFlush() {
 		l.recordSyncErr(target, fmt.Errorf("wal: %w", err))
 		return
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := syncFile(l.f); err != nil {
 		l.recordSyncErr(target, fmt.Errorf("wal: %w", err))
 		return
 	}
@@ -538,13 +564,14 @@ func (l *Log) appendLocked(typ byte, payload []byte) error {
 		// Header, finish and checkpoint records are one-time barriers:
 		// always fsynced inline, which also covers every batch flushed
 		// before them.
-		if err := l.f.Sync(); err != nil {
+		if err := syncFile(l.f); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
 		l.advanceSynced(l.gAppended)
 	}
 	l.size += n
 	l.bytes += n
+	totalBytes.Add(n)
 	l.appends++
 	return nil
 }
@@ -554,7 +581,7 @@ func (l *Log) rotate() error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := syncFile(l.f); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := l.f.Close(); err != nil {
@@ -574,7 +601,7 @@ func (l *Log) Sync() error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := syncFile(l.f); err != nil {
 		return err
 	}
 	l.advanceSynced(l.gAppended)
@@ -593,7 +620,7 @@ func (l *Log) Close() error {
 		l.w.Flush()
 	}
 	if l.f != nil {
-		if err := l.f.Sync(); err == nil {
+		if err := syncFile(l.f); err == nil {
 			// Everything appended made it down; release any group-commit
 			// waiters so they don't lead-flush a closed log.
 			l.advanceSynced(l.gAppended)
