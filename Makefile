@@ -1,21 +1,23 @@
 # The repository's tier-1 gates (mirrors .github/workflows/ci.yml) plus
 # the recorded benchmark step that tracks the performance trajectory.
 
-PR := 9
+PR := 10
 
 # The key hot-path benchmarks recorded per PR: the snapshot-cadence
-# evidence, streaming vs batch, the daemon ingest path, the segment-DTW
-# kernel (whole alignment and isolated column fill), the WAL
-# append/recovery paths, checkpointed-recovery flatness and group-commit
-# throughput, the endless-stream lifecycle flatness, and the adaptive
-# publish cadence this PR adds.
-BENCH_PATTERN := BenchmarkSnapshotCadence|BenchmarkStreamingVsBatch|BenchmarkDaemonIngest|BenchmarkShardedAisle|BenchmarkSegmentedAlign|BenchmarkSegmentFill|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkCheckpointedRecovery|BenchmarkWALGroupCommit|BenchmarkEndlessStream|BenchmarkAdaptiveCadence
+# evidence, streaming vs batch, the daemon ingest path, the isolated
+# blocked multi-tag detection pass, the segment-DTW kernel (whole
+# alignment and isolated column fill), the WAL append/recovery paths,
+# checkpointed-recovery flatness and group-commit throughput, the
+# endless-stream lifecycle flatness, and the adaptive publish cadence.
+BENCH_PATTERN := BenchmarkSnapshotCadence|BenchmarkStreamingVsBatch|BenchmarkDaemonIngest|BenchmarkBlockedDetect|BenchmarkShardedAisle|BenchmarkSegmentedAlign|BenchmarkSegmentFill|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkCheckpointedRecovery|BenchmarkWALGroupCommit|BenchmarkEndlessStream|BenchmarkAdaptiveCadence
 
 # The regression gate: fail the bench step if any of these benchmarks'
 # reads/s drops more than 15% against the committed pre-PR baseline.
-# (AdaptiveCadence is new this PR, so the gate starts covering it next
-# PR — absent-from-baseline benchmarks are skipped, not failed.)
-GATE := BenchmarkDaemonIngest,BenchmarkRecovery,BenchmarkWALAppend,BenchmarkEndlessStream,BenchmarkAdaptiveCadence
+# SnapshotCadence/snapshots=32 and BlockedDetect join this PR — the
+# cache-blocked detection and incremental-stitch work is exactly what
+# they measure (BlockedDetect is new, so absent from the baseline and
+# skipped until PR 11's baseline records it).
+GATE := BenchmarkDaemonIngest,BenchmarkSnapshotCadence/snapshots=32,BenchmarkBlockedDetect,BenchmarkRecovery,BenchmarkWALAppend,BenchmarkEndlessStream,BenchmarkAdaptiveCadence
 
 .PHONY: test build bench fmt vet
 
@@ -36,12 +38,18 @@ vet:
 # benchstat-compatible text as BENCH_$(PR).txt, and merges it with the
 # committed pre-change baseline (bench/baseline_$(PR).txt) into
 # BENCH_$(PR).json — the machine-readable before/after record for this
-# PR. The same invocation gates the ingest/recovery hot paths: a >15%
-# reads/s regression vs the baseline fails the target. CI uploads both
-# files as artifacts.
+# PR. The same invocation gates the ingest/detection/recovery hot paths:
+# a >15% reads/s regression vs the baseline fails the target. A second
+# short run captures a CPU profile of the daemon ingest hot path as
+# BENCH_$(PR).cpu.pprof (with the repro.test binary needed to symbolize
+# it), so every recorded number ships with the profile that explains it.
+# -benchtime is pinned so iteration counts don't swing fsync-bound
+# benchmarks run to run. CI uploads all of it as artifacts.
 bench:
-	go test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count 1 . | tee BENCH_$(PR).txt
+	go test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -benchtime 2s -count 1 . | tee BENCH_$(PR).txt
 	go run ./cmd/bench2json -pr $(PR) -baseline bench/baseline_$(PR).txt -current BENCH_$(PR).txt \
 		-gate '$(GATE)' -max-regression 0.15 \
-		-note "baseline = pre-PR-$(PR) tree (fixed publish cadence, no confidence, no /metrics); current = adaptive publish cadence, snapshot confidence, Prometheus exposition" \
+		-note "baseline = pre-PR-$(PR) tree (per-tag serial detection, full re-stitch and re-merge per snapshot, one engine call per queued batch); current = blocked multi-tag detection over shared reference panels + AVX2 cost pass, incremental order stitching, coalesced queue drain" \
 		> BENCH_$(PR).json
+	go test -run xxx -bench 'BenchmarkDaemonIngest$$' -benchtime 2s -count 1 \
+		-cpuprofile BENCH_$(PR).cpu.pprof -o repro.test .

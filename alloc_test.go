@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dtw"
 	"repro/internal/pipeline"
+	"repro/internal/scenario"
 	"repro/internal/stpp"
 	"repro/internal/trace"
 	"repro/internal/wal"
@@ -34,6 +35,48 @@ func TestSegmentedAlignAllocs(t *testing.T) {
 	})
 	if allocs > 1 {
 		t.Fatalf("AlignSegmentsOpenEndOpt allocates %.1f/op, want <= 1", allocs)
+	}
+}
+
+// TestBlockedDetectAllocs pins the blocked multi-tag detection pass —
+// LocalizeTagsIncremental feeding dtw.AlignBatch over a 16-tag run — at
+// one allocation per tag, amortized. In steady state the pass recycles
+// everything through pools (the bench measures 0 allocs/op); the per-tag
+// budget only absorbs pool misses under GC pressure, not a regression
+// that re-introduces per-tag garbage (which costs several allocations
+// per tag and trips this immediately).
+func TestBlockedDetectAllocs(t *testing.T) {
+	s, err := scenario.Population(16, true, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := s.ProfilesOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := stpp.NewLocalizer(s.STPPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts := make([]*stpp.DetectState, len(ps))
+	for i := range sts {
+		sts[i] = loc.NewDetectState()
+	}
+	out := make([]stpp.TagResult, len(ps))
+	for i := 0; i < 4; i++ { // warm pools to steady state
+		for _, st := range sts {
+			st.Release()
+		}
+		loc.LocalizeTagsIncremental(sts, ps, out)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, st := range sts {
+			st.Release()
+		}
+		loc.LocalizeTagsIncremental(sts, ps, out)
+	})
+	if allocs > float64(len(ps)) {
+		t.Fatalf("blocked detection allocates %.1f/op for %d tags, want <= 1/tag amortized", allocs, len(ps))
 	}
 }
 

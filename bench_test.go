@@ -161,6 +161,58 @@ func BenchmarkSegmentFill(b *testing.B) {
 	b.ReportMetric(cells*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 }
 
+// BenchmarkBlockedDetect isolates the blocked multi-tag detection pass —
+// stpp.LocalizeTagsIncremental over one run of 16 tags, which feeds every
+// tag's DP column fill through dtw.AlignBatch against the detector's
+// shared reference panels — from ingest, queueing and profile building.
+// Each iteration releases the per-tag DP matrices first, so every pass
+// refills all columns of all 16 tags: the cells/s metric is the blocked
+// kernel's throughput on a cold snapshot, directly comparable to
+// BenchmarkSegmentFill's single-tag ceiling.
+func BenchmarkBlockedDetect(b *testing.B) {
+	s, err := scenario.Population(16, true, 0.3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := s.ProfilesOf()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := s.STPPConfig()
+	loc, err := stpp.NewLocalizer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sts := make([]*stpp.DetectState, len(ps))
+	for i := range sts {
+		sts[i] = loc.NewDetectState()
+	}
+	out := make([]stpp.TagResult, len(ps))
+	reads, cells := 0, 0.0
+	refSegs := float64(loc.Detector().RefSegments())
+	for _, p := range ps {
+		reads += p.Len()
+		cells += refSegs * float64(len(p.Segmentize(cfg.Window)))
+	}
+	loc.LocalizeTagsIncremental(sts, ps, out) // warm segmentation caches and pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, st := range sts {
+			st.Release()
+		}
+		loc.LocalizeTagsIncremental(sts, ps, out)
+	}
+	b.StopTimer()
+	for _, r := range out {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ReportMetric(cells*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+	b.ReportMetric(float64(reads)*float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+}
+
 // --- streaming engine vs batch localizer ---
 
 // benchReadLog produces a 20-tag population read log plus its STPP config.
@@ -387,6 +439,14 @@ func BenchmarkWALAppend(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer l.Close()
+			// Same warmup rationale as BenchmarkWALGroupCommit: the first
+			// appends pay file growth and page-cache population, which at
+			// fsync=always is a double-digit skew on short runs.
+			for i := 0; i < 64; i++ {
+				if err := l.AppendBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -670,6 +730,16 @@ func BenchmarkWALGroupCommit(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer l.Close()
+			// Warm the log before timing: the first appends pay for file
+			// growth, page-cache population and buffer sizing, which
+			// otherwise skews short runs — this benchmark is fsync-bound
+			// and run-to-run variance was ±25% without a warmup (the
+			// BENCH_9 window=0 "regression" was exactly this noise).
+			for i := 0; i < 64; i++ {
+				if err := l.AppendBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
 			b.ReportAllocs()
 			b.SetParallelism(4) // 4×GOMAXPROCS producer goroutines
 			b.ResetTimer()

@@ -157,6 +157,10 @@ type Options struct {
 	// Group tags the deployment's scheduler work for fairness accounting.
 	// Nil uses the scheduler's default group.
 	Group *sched.Group
+	// DetectBlockBytes is each shard engine's cache budget for the
+	// blocked detection kernel (pipeline.Options.DetectBlockBytes);
+	// 0 uses the pipeline default.
+	DetectBlockBytes int
 	// Finalize enables the tag lifecycle across the deployment. Shard
 	// engines run with emission held — they propose conclusive tags but
 	// never emit or evict on their own; the sharded engine finalizes a
@@ -201,6 +205,12 @@ type ShardedEngine struct {
 	late       int64
 	discarded  int64            // lapsed-but-unorderable tags evicted without emission
 	routeBuf   []reader.TagRead // scratch for the late-read filter
+
+	// Incremental stitching: the X and Y merge folds memoized across
+	// snapshots, shared by Snapshot and sweep (both stitch the same
+	// per-shard orders; quiet shards republish identical ones).
+	xStitch stitchCache
+	yStitch stitchCache
 }
 
 // NewSharded builds a ShardedEngine for the deployment.
@@ -221,10 +231,11 @@ func NewSharded(d Deployment, opts Options) (*ShardedEngine, error) {
 	}
 	for _, spec := range d.Readers {
 		eng, err := pipeline.New(spec.Config, pipeline.Options{
-			Workers:      total,
-			Group:        opts.Group,
-			Finalize:     opts.Finalize,
-			HoldEmission: true,
+			Workers:          total,
+			Group:            opts.Group,
+			Finalize:         opts.Finalize,
+			HoldEmission:     true,
+			DetectBlockBytes: opts.DetectBlockBytes,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("deploy: reader %d: %w", spec.ID, err)
@@ -483,7 +494,7 @@ func (se *ShardedEngine) sweep() {
 		}
 	}
 	var emit []epcgen2.EPC
-	for _, epc := range MergeOrders(xOrders) {
+	for _, epc := range se.xStitch.merge(xOrders) {
 		in := byEPC[epc]
 		if in == nil || !in.cand || in.bottom >= minFirst || in.bottom >= minBottom {
 			break
@@ -677,13 +688,13 @@ func (se *ShardedEngine) Snapshot() (*GlobalResult, error) {
 	if len(xOrders) == 0 && len(se.emitted) == 0 {
 		return nil, fmt.Errorf("deploy: no tag profiles in any shard")
 	}
-	active := MergeOrders(xOrders)
+	active := se.xStitch.merge(xOrders)
 	gr.XOrder = make([]epcgen2.EPC, 0, len(se.emitted)+len(active))
 	for _, em := range se.emitted {
 		gr.XOrder = append(gr.XOrder, em.EPC)
 	}
 	gr.XOrder = append(gr.XOrder, active...)
-	gr.YOrder = MergeOrders(yOrders)
+	gr.YOrder = se.yStitch.merge(yOrders)
 	gr.XConfidence = se.xConfidence(gr.XOrder)
 	return gr, nil
 }
@@ -751,6 +762,8 @@ func (se *ShardedEngine) Close() {
 	}
 	se.late, se.discarded = 0, 0
 	se.emitted, se.finalOrder, se.routeBuf = nil, nil, nil
+	se.xStitch.reset()
+	se.yStitch.reset()
 	if se.policy.Enabled() {
 		se.final = make(map[epcgen2.EPC]bool)
 	} else {

@@ -1,6 +1,8 @@
 package deploy
 
 import (
+	"slices"
+
 	"repro/internal/epcgen2"
 )
 
@@ -25,6 +27,51 @@ func MergeOrders(orders [][]epcgen2.EPC) []epcgen2.EPC {
 	}
 	return merged
 }
+
+// stitchCache memoizes MergeOrders across snapshots. MergeOrders is a
+// left fold of mergeTwo over the shard orders, and between consecutive
+// snapshots most shards republish the exact order they had (quiet zones
+// reuse their cached result; dirty zones often re-derive the same
+// ranking) — so the fold's prefix results are usually reusable. The
+// cache keeps each input order and the fold result after merging it;
+// merge re-runs the LCS stitch only from the first shard whose order
+// changed (equality is the metrics.OrderDelta == 0 contract: same EPCs
+// in the same sequence). A fresh cache — or any miss pattern — produces
+// byte-identical output to MergeOrders: hits short-circuit a pure
+// function on equal inputs, nothing else.
+//
+// Cached slices are never mutated after insertion: the inputs come from
+// Result.XOrderEPCs/YOrderEPCs (freshly allocated per call) or
+// filterFinal (fresh when it filters), and merge hands callers a copy of
+// the final fold value rather than the cached backing array.
+type stitchCache struct {
+	ins  [][]epcgen2.EPC // shard orders as last merged, position-keyed
+	outs [][]epcgen2.EPC // outs[i]: fold result after merging ins[:i+1]
+}
+
+// merge is MergeOrders through the cache.
+func (c *stitchCache) merge(orders [][]epcgen2.EPC) []epcgen2.EPC {
+	var merged []epcgen2.EPC
+	i := 0
+	for ; i < len(orders) && i < len(c.ins) && slices.Equal(orders[i], c.ins[i]); i++ {
+		merged = c.outs[i]
+	}
+	c.ins = c.ins[:i]
+	c.outs = c.outs[:i]
+	for ; i < len(orders); i++ {
+		merged = mergeTwo(merged, dedup(orders[i]))
+		c.ins = append(c.ins, orders[i])
+		c.outs = append(c.outs, merged)
+	}
+	if merged == nil {
+		return nil
+	}
+	// Callers own their result; the cached fold values stay private.
+	return append([]epcgen2.EPC(nil), merged...)
+}
+
+// reset drops the memo (session close).
+func (c *stitchCache) reset() { c.ins, c.outs = nil, nil }
 
 // dedup drops repeated EPCs, keeping first occurrences.
 func dedup(order []epcgen2.EPC) []epcgen2.EPC {

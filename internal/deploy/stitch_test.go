@@ -224,3 +224,75 @@ func FuzzMergeOrders(f *testing.F) {
 		}
 	})
 }
+
+// TestStitchCacheMatchesMergeOrders is the incremental-stitch property:
+// a stitchCache fed an evolving sequence of shard-order sets must return
+// exactly what a fresh MergeOrders fold over the same inputs returns, at
+// every step. Steps mutate a random shard (forcing a re-merge from that
+// fold position), leave everything unchanged (full cache hit), shuffle a
+// prefix shard (invalidating most of the fold), or grow/shrink the shard
+// count — the cache's prefix reuse must never be observable.
+func TestStitchCacheMatchesMergeOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(24)
+		truth := truthOrder(n)
+		k := 2 + rng.Intn(4)
+		ws := windows(rng, n, k, true)
+		orders := make([][]epcgen2.EPC, k)
+		for i, w := range ws {
+			orders[i] = append([]epcgen2.EPC(nil), truth[w[0]:w[1]]...)
+		}
+		var c stitchCache
+		for step := 0; step < 12; step++ {
+			got := c.merge(orders)
+			want := MergeOrders(orders)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d step %d: cached merge diverged:\n  cached %v\n  fresh  %v",
+					trial, step, got, want)
+			}
+			// Mutate for the next step.
+			switch rng.Intn(4) {
+			case 0: // touch one shard: re-slice its window
+				i := rng.Intn(len(orders))
+				w := ws[i%len(ws)]
+				lo, hi := w[0], w[1]
+				if hi-lo > 1 && rng.Intn(2) == 0 {
+					lo++
+				}
+				orders[i] = append([]epcgen2.EPC(nil), truth[lo:hi]...)
+			case 1: // no-op: every fold position must hit the cache
+			case 2: // reverse shard 0: upends the whole fold prefix
+				o := append([]epcgen2.EPC(nil), orders[0]...)
+				for a, b := 0, len(o)-1; a < b; a, b = a+1, b-1 {
+					o[a], o[b] = o[b], o[a]
+				}
+				orders[0] = o
+			case 3: // change the shard count
+				if len(orders) > 1 && rng.Intn(2) == 0 {
+					orders = orders[:len(orders)-1]
+				} else {
+					w := ws[rng.Intn(len(ws))]
+					orders = append(orders, append([]epcgen2.EPC(nil), truth[w[0]:w[1]]...))
+				}
+			}
+		}
+	}
+}
+
+// TestStitchCacheResultIsPrivate: the slice merge returns must not alias
+// the cache's internal fold state — a later merge with different inputs
+// must leave earlier results untouched (snapshots retain their orders
+// while the engine keeps stitching).
+func TestStitchCacheResultIsPrivate(t *testing.T) {
+	truth := truthOrder(6)
+	a := [][]epcgen2.EPC{truth[:4], truth[2:]}
+	var c stitchCache
+	first := c.merge(a)
+	kept := append([]epcgen2.EPC(nil), first...)
+	b := [][]epcgen2.EPC{truth[:4], {truth[5], truth[4]}}
+	c.merge(b)
+	if !reflect.DeepEqual(first, kept) {
+		t.Fatalf("earlier merge result mutated by later merge: %v != %v", first, kept)
+	}
+}

@@ -42,6 +42,49 @@ func MedianFilter(xs []float64, width int) []float64 {
 	return MedianFilterTo(nil, xs, width)
 }
 
+// median5 is the middle order statistic of five values as the insertion
+// sort below computes it: the comparisons are the same `buf[b] > v`
+// tests, unrolled, in the same order — so the result is bit-identical
+// even for NaN operands (unordered compares terminate insertion exactly
+// as they do in the loop) and ±0.0 ties (stable order preserved).
+// Windows of the default width (5) account for nearly all median-filter
+// time, and keeping the five values in registers avoids the copy and
+// the bounds-checked buffer walk.
+func median5(a, b, c, d, e float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c { // insert c into (a, b)
+		if a > c {
+			a, b, c = c, a, b
+		} else {
+			b, c = c, b
+		}
+	}
+	if c > d { // insert d into (a, b, c)
+		if b > d {
+			if a > d {
+				a, b, c, d = d, a, b, c
+			} else {
+				b, c, d = d, b, c
+			}
+		} else {
+			c, d = d, c
+		}
+	}
+	// Insert e: only the middle of the final five is needed.
+	if d > e {
+		if c > e {
+			if b > e {
+				return b // e lands at index 0 or 1; middle is b either way
+			}
+			return e // order a, b, e, c, d
+		}
+		return c // order a, b, c, e, d
+	}
+	return c // order a, b, c, d, e
+}
+
 // MedianFilterTo is MedianFilter writing into dst, which is grown only
 // when its capacity is insufficient — hot callers (V-zone refinement runs
 // once per tag per snapshot) reuse one output buffer across calls. The
@@ -77,6 +120,12 @@ func MedianFilterTo(dst, xs []float64, width int) []float64 {
 			hi = len(xs) - 1
 		}
 		m := hi + 1 - lo
+		if m == 5 {
+			// Full windows at the default width (and width-9 edge
+			// windows that truncate to five) stay in registers.
+			out[i] = median5(xs[lo], xs[lo+1], xs[lo+2], xs[lo+3], xs[lo+4])
+			continue
+		}
 		var buf []float64
 		if m <= len(small) {
 			buf = small[:m]
@@ -145,6 +194,12 @@ func MedianFilterRangeTo(dst, xs []float64, width, from int) []float64 {
 			hi = len(xs) - 1
 		}
 		m := hi + 1 - lo
+		if m == 5 {
+			// Full windows at the default width (and width-9 edge
+			// windows that truncate to five) stay in registers.
+			out[i] = median5(xs[lo], xs[lo+1], xs[lo+2], xs[lo+3], xs[lo+4])
+			continue
+		}
 		var buf []float64
 		if m <= len(small) {
 			buf = small[:m]

@@ -197,6 +197,43 @@ func TestQuickMedianFilterRangeResume(t *testing.T) {
 	}
 }
 
+// TestMedian5MatchesInsertionSort pins the unrolled median-of-5 fast
+// path bit-for-bit against the insertion sort it replaces, over operands
+// that exercise every edge the unrolling must preserve: NaN (unordered
+// compares stop insertion early), ±0.0 ties (stable order decides which
+// zero is the middle), infinities, and duplicates.
+func TestMedian5MatchesInsertionSort(t *testing.T) {
+	ref := func(w [5]float64) float64 {
+		buf := w // insertion sort exactly as the generic window path
+		for a := 1; a < len(buf); a++ {
+			v := buf[a]
+			b := a - 1
+			for b >= 0 && buf[b] > v {
+				buf[b+1] = buf[b]
+				b--
+			}
+			buf[b+1] = v
+		}
+		return buf[2]
+	}
+	vals := []float64{0, math.Copysign(0, -1), 1, -1, 2, math.NaN(), math.Inf(1), math.Inf(-1)}
+	n := len(vals)
+	var w [5]float64
+	for code := 0; code < n*n*n*n*n; code++ {
+		c := code
+		for i := range w {
+			w[i] = vals[c%n]
+			c /= n
+		}
+		want := ref(w)
+		got := median5(w[0], w[1], w[2], w[3], w[4])
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("median5(%v) = %x (%v), want %x (%v)",
+				w, math.Float64bits(got), got, math.Float64bits(want), want)
+		}
+	}
+}
+
 // Property: Interp1 at knots returns the knot values.
 func TestQuickInterpAtKnots(t *testing.T) {
 	xs := []float64{0, 1, 2, 5, 9}

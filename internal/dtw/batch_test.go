@@ -1,0 +1,180 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAlignBatchMatchesAlign drives a shared-reference population through
+// randomized incremental growth — appends, tail rewrites, occasional brand
+// -new lanes — twice: once through per-tag Align calls, once through
+// AlignBatch. Every distance, start/end and path step must be
+// bit-identical; the batch kernel is a mechanical interleaving of the
+// same per-lane operations.
+func TestAlignBatchMatchesAlign(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		m := 3 + rng.Intn(40)
+		nTags := 1 + rng.Intn(9)
+		opts := SegmentAlignOpts{Stiffness: rng.Float64() * 0.5}
+		p := randSegs(rng, m)
+		ref := NewReference(p, opts)
+
+		serial := make([]*SegmentAligner, nTags)
+		batch := make([]*SegmentAligner, nTags)
+		queries := make([][]Segment, nTags)
+		for i := range serial {
+			serial[i] = NewSharedAligner(ref)
+			batch[i] = NewSharedAligner(ref)
+			queries[i] = randSegs(rng, 1+rng.Intn(5))
+		}
+		out := make([]BatchAlign, nTags)
+		for round := 0; round < 6; round++ {
+			for i := range queries {
+				switch rng.Intn(4) {
+				case 0: // tail rewrite
+					if n := len(queries[i]); n > 1 {
+						queries[i] = queries[i][:n-1-rng.Intn(n-1)]
+					}
+				}
+				queries[i] = append(queries[i], randSegs(rng, 1+rng.Intn(7))...)
+			}
+			AlignBatch(batch, queries, out)
+			for i := range queries {
+				res, s, e := serial[i].Align(queries[i])
+				if res.Distance != out[i].Res.Distance || s != out[i].Start || e != out[i].End {
+					t.Fatalf("trial %d round %d tag %d: batch (%v,%d,%d) != serial (%v,%d,%d)",
+						trial, round, i, out[i].Res.Distance, out[i].Start, out[i].End, res.Distance, s, e)
+				}
+				if len(res.Path) != len(out[i].Res.Path) {
+					t.Fatalf("trial %d tag %d: path lengths differ", trial, i)
+				}
+				for k := range res.Path {
+					if res.Path[k] != out[i].Res.Path[k] {
+						t.Fatalf("trial %d tag %d: path step %d differs", trial, i, k)
+					}
+				}
+				// Cells must match too — checkpoints serialize them.
+				if len(serial[i].cm.cells) != len(batch[i].cm.cells) {
+					t.Fatalf("trial %d tag %d: cell counts differ", trial, i)
+				}
+				for k := range serial[i].cm.cells {
+					if sv, bv := serial[i].cm.cells[k], batch[i].cm.cells[k]; sv != bv && !(math.IsNaN(sv) && math.IsNaN(bv)) {
+						t.Fatalf("trial %d tag %d: cell %d differs: %v != %v", trial, i, k, sv, bv)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAlignBatchMixedReferences pins the defensive path: lanes over
+// different references fill in smaller same-reference groups but still
+// answer identically.
+func TestAlignBatchMixedReferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	refA := NewReference(randSegs(rng, 12), SegmentAlignOpts{Stiffness: 0.2})
+	refB := NewReference(randSegs(rng, 7), SegmentAlignOpts{})
+	refs := []*Reference{refA, refB, refA, refB, refA, refA, refB}
+	as := make([]*SegmentAligner, len(refs))
+	ser := make([]*SegmentAligner, len(refs))
+	qs := make([][]Segment, len(refs))
+	for i, r := range refs {
+		as[i] = NewSharedAligner(r)
+		ser[i] = NewSharedAligner(r)
+		qs[i] = randSegs(rng, 3+rng.Intn(10))
+	}
+	out := make([]BatchAlign, len(refs))
+	AlignBatch(as, qs, out)
+	for i := range refs {
+		res, s, e := ser[i].Align(qs[i])
+		if res.Distance != out[i].Res.Distance || s != out[i].Start || e != out[i].End {
+			t.Fatalf("lane %d: batch (%v,%d,%d) != serial (%v,%d,%d)",
+				i, out[i].Res.Distance, out[i].Start, out[i].End, res.Distance, s, e)
+		}
+	}
+}
+
+// TestAlignBatchEmptyLanes pins empty-query and empty-reference lanes to
+// the zero BatchAlign, exactly like Align.
+func TestAlignBatchEmptyLanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ref := NewReference(randSegs(rng, 6), SegmentAlignOpts{})
+	empty := NewReference(nil, SegmentAlignOpts{})
+	as := []*SegmentAligner{NewSharedAligner(ref), NewSharedAligner(empty), NewSharedAligner(ref)}
+	qs := [][]Segment{randSegs(rng, 4), randSegs(rng, 3), nil}
+	out := make([]BatchAlign, 3)
+	AlignBatch(as, qs, out)
+	for _, k := range []int{1, 2} {
+		if out[k].Res.Path != nil || out[k].Res.Distance != 0 || out[k].Start != 0 || out[k].End != 0 {
+			t.Fatalf("empty lane %d not zero: %+v", k, out[k])
+		}
+	}
+	if len(out[0].Res.Path) == 0 {
+		t.Fatalf("live lane produced no path")
+	}
+}
+
+// smoothSegs mimics real phase-profile segments: a slow ramp with small
+// jitter, so the DP min-of-three branches are as predictable as they are
+// on scene data. randSegs would make those branches coin flips and the
+// benchmark would measure the mispredict penalty, not the fill.
+func smoothSegs(rng *rand.Rand, n int, phase float64) []Segment {
+	out := make([]Segment, n)
+	start := 0
+	for i := range out {
+		c := 3 + 2.5*math.Sin(phase+float64(i)*0.04) + rng.Float64()*0.05
+		out[i] = Segment{
+			Lo: c - 0.1, Hi: c + 0.1,
+			Start: start, End: start + 4,
+			// Near-constant, like Segmentize output (the reader period):
+			// a jittered interval would turn fillCost's min(pInt, qInt)
+			// into a random branch and benchmark mispredicts instead.
+			Interval: 0.2 + phase*0.001,
+		}
+		start += 4
+	}
+	return out
+}
+
+// BenchmarkAlignBatchFill measures the interleaved fill against the same
+// work done serially: 8 fresh lanes over one reference, full matrices.
+// The metric of interest is cells/s versus BenchmarkSegmentFill's
+// single-lane kernel.
+func BenchmarkAlignBatchFill(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const m, n, tags = 256, 192, 8
+	ref := NewReference(smoothSegs(rng, m, 0), SegmentAlignOpts{Stiffness: 0.3})
+	as := make([]*SegmentAligner, tags)
+	qs := make([][]Segment, tags)
+	for i := range as {
+		as[i] = NewSharedAligner(ref)
+		qs[i] = smoothSegs(rng, n, float64(i)*0.3)
+	}
+	out := make([]BatchAlign, tags)
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, a := range as {
+				a.q = a.q[:0] // force a full refill, keep buffers
+				a.cm.cells = a.cm.cells[:0]
+				a.cm.off = 0
+			}
+			AlignBatch(as, qs, out)
+		}
+		b.ReportMetric(float64(b.N)*m*n*tags/b.Elapsed().Seconds(), "cells/s")
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for k, a := range as {
+				a.q = a.q[:0]
+				a.cm.cells = a.cm.cells[:0]
+				a.cm.off = 0
+				a.Align(qs[k])
+			}
+		}
+		b.ReportMetric(float64(b.N)*m*n*tags/b.Elapsed().Seconds(), "cells/s")
+	})
+}

@@ -1,0 +1,30 @@
+//go:build amd64
+
+package dtw
+
+// useFillAsm gates the vectorized cost pass: AVX2 present and the OS
+// saving YMM state. Detected once at init via CPUID/XGETBV (no cgo, no
+// external deps).
+var useFillAsm = x86HasAVX2()
+
+// fillCostAVX2 is fillCost's inner loop, 4 lanes per step:
+//
+//	d := max(0, pLo[i]-qHi, qLo-pHi[i])
+//	cost[i] = min(qInt, pInt[i]) * d
+//
+// Bit-identical to the scalar loop: VMAXPD/VMINPD with the freshly
+// computed value as src1 and the running value as src2 return src2 on
+// ties and unordered compares — exactly the scalar `if v > d { d = v }`
+// / `if qInt < t { t = qInt }` branches, including NaN operands and the
+// -0.0/+0.0 tie (the scalar keeps d = +0.0; so does MAXPD, because the
+// operands compare equal and src2 is the accumulator). The multiply is
+// the same single IEEE operation. n must be >= 4; the final partial
+// vector is handled by re-running the last full lane-width at n-4,
+// which rewrites identical values.
+//
+//go:noescape
+func fillCostAVX2(qLo, qHi, qInt float64, pLo, pHi, pInt, cost *float64, n int)
+
+// x86HasAVX2 reports CPUID AVX2 with OS-enabled YMM state (OSXSAVE +
+// XCR0 SSE|AVX bits).
+func x86HasAVX2() bool

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package dtw
+
+// Non-amd64 builds always take fillCost's scalar loop.
+const useFillAsm = false
+
+func fillCostAVX2(qLo, qHi, qInt float64, pLo, pHi, pInt, cost *float64, n int) {
+	panic("dtw: fillCostAVX2 without amd64")
+}

@@ -1,0 +1,74 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scalarFillCost is the reference loop fillCost falls back to — kept
+// verbatim here so the vector pass is pinned against the exact scalar
+// semantics (branch skips on NaN, +0.0 kept on -0.0 ties).
+func scalarFillCost(qLo, qHi, qInt float64, pLo, pHi, pInt, cost []float64) {
+	for i := range cost {
+		d := 0.0
+		if v := pLo[i] - qHi; v > d {
+			d = v
+		}
+		if v := qLo - pHi[i]; v > d {
+			d = v
+		}
+		t := pInt[i]
+		if qInt < t {
+			t = qInt
+		}
+		cost[i] = t * d
+	}
+}
+
+// TestFillCostVectorMatchesScalar pins the AVX2 cost pass bit-for-bit
+// against the scalar loop, across lengths that exercise the overlapping
+// tail and operands that exercise the tie/unordered edges: exact-overlap
+// segments (v == -0.0 vs d == +0.0), equal intervals, NaN and Inf.
+func TestFillCostVectorMatchesScalar(t *testing.T) {
+	if !useFillAsm {
+		t.Skip("no vector fillCost on this CPU")
+	}
+	rng := rand.New(rand.NewSource(42))
+	specials := []float64{0, math.Copysign(0, -1), 1, -1, math.NaN(), math.Inf(1), math.Inf(-1), 1e-300, 1e300}
+	for _, m := range []int{4, 5, 7, 8, 15, 64, 335} {
+		pLo := make([]float64, m)
+		pHi := make([]float64, m)
+		pInt := make([]float64, m)
+		want := make([]float64, m)
+		got := make([]float64, m)
+		for trial := 0; trial < 50; trial++ {
+			qLo := rng.NormFloat64()
+			qHi := qLo + rng.Float64()
+			qInt := rng.Float64()
+			for i := range pLo {
+				switch rng.Intn(4) {
+				case 0:
+					// Exact overlap: differences hit ±0.0 ties.
+					pLo[i], pHi[i], pInt[i] = qLo, qHi, qInt
+				case 1:
+					pLo[i] = specials[rng.Intn(len(specials))]
+					pHi[i] = specials[rng.Intn(len(specials))]
+					pInt[i] = specials[rng.Intn(len(specials))]
+				default:
+					pLo[i] = rng.NormFloat64()
+					pHi[i] = pLo[i] + rng.Float64()
+					pInt[i] = rng.Float64()
+				}
+			}
+			scalarFillCost(qLo, qHi, qInt, pLo, pHi, pInt, want)
+			fillCostAVX2(qLo, qHi, qInt, &pLo[0], &pHi[0], &pInt[0], &got[0], m)
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("m=%d trial=%d i=%d: vector %x (%v) != scalar %x (%v)",
+						m, trial, i, math.Float64bits(got[i]), got[i], math.Float64bits(want[i]), want[i])
+				}
+			}
+		}
+	}
+}

@@ -236,9 +236,58 @@ func AlignSegmentsOpenEndOpt(p, q []Segment, opts SegmentAlignOpts) (Result, int
 	// Align's Path aliases the aligner's scratch; detach it before the
 	// aligner goes back to the pool so the caller owns the result.
 	res.Path = append(Path(nil), res.Path...)
-	a.p = nil
+	a.ref.p = nil
 	alignerPool.Put(a)
 	return res, s, e
+}
+
+// Reference is the operand set of one segment-DTW reference, shared by
+// every aligner built over it: the segments, the options, and the flat
+// per-row panels the column fill reads (range bounds, intervals, and the
+// precomputed vertical-step penalty Stiffness×interval). A detector over a
+// wide tag population builds ONE Reference and hands every tag's aligner a
+// pointer to it, so a blocked detection run streams one copy of the panels
+// through the cache instead of one per tag — and the panels never need
+// re-deriving per aligner. A Reference is immutable after construction and
+// safe for concurrent readers.
+type Reference struct {
+	p                     []Segment
+	opts                  SegmentAlignOpts
+	pLo, pHi, pInt, pVert []float64
+}
+
+// NewReference derives the shared panels for a reference once.
+func NewReference(p []Segment, opts SegmentAlignOpts) *Reference {
+	r := &Reference{}
+	r.rebuild(p, opts)
+	return r
+}
+
+// Segments returns the reference segments the panels were derived from.
+func (r *Reference) Segments() []Segment { return r.p }
+
+// Len returns the number of reference segments — the DP row count every
+// aligner over this reference fills per query column.
+func (r *Reference) Len() int { return len(r.p) }
+
+// rebuild re-derives the panels in place, reusing their backing arrays —
+// the pooled batch entry point rebinds its private Reference per call.
+func (r *Reference) rebuild(p []Segment, opts SegmentAlignOpts) {
+	r.p, r.opts = p, opts
+	m := len(p)
+	if cap(r.pLo) < m {
+		r.pLo = make([]float64, m)
+		r.pHi = make([]float64, m)
+		r.pInt = make([]float64, m)
+		r.pVert = make([]float64, m)
+	}
+	r.pLo, r.pHi, r.pInt, r.pVert = r.pLo[:m], r.pHi[:m], r.pInt[:m], r.pVert[:m]
+	for i := range p {
+		r.pLo[i] = p[i].Lo
+		r.pHi[i] = p[i].Hi
+		r.pInt[i] = p[i].Interval
+		r.pVert[i] = opts.Stiffness * p[i].Interval
+	}
 }
 
 // SegmentAligner is the resumable form of AlignSegmentsOpenEndOpt: the
@@ -255,16 +304,15 @@ func AlignSegmentsOpenEndOpt(p, q []Segment, opts SegmentAlignOpts) (Result, int
 // query: O(m·n) cells, the same footprint one batch alignment allocates
 // transiently. A SegmentAligner is not safe for concurrent use.
 type SegmentAligner struct {
-	p    []Segment // reference, fixed
-	opts SegmentAlignOpts
-	q    []Segment // query segments the DP currently covers
-	cm   segMatrix
+	// ref holds the reference segments, options and the flat per-row fill
+	// operands. Aligners built by NewSharedAligner point at one Reference
+	// shared across the whole tag population — the aligner itself is a
+	// facade over the shared panels plus this tag's private DP state;
+	// NewSegmentAligner and the pooled batch entry own a private one.
+	ref *Reference
+	q   []Segment // query segments the DP currently covers
+	cm  segMatrix
 
-	// Flat per-row operands derived from p, so the column fill — the single
-	// hottest loop in detection — reads three parallel float streams
-	// instead of gathering 40-byte Segment structs: the reference range
-	// bounds and the precomputed vertical-step penalty Stiffness×interval.
-	pLo, pHi, pInt, pVert []float64
 	// cost is the per-column scratch of the fill's first pass: the
 	// pointwise matching costs, computed branch-light over the flat
 	// operand arrays before the sequential DP pass consumes them.
@@ -284,36 +332,40 @@ type SegmentAligner struct {
 	// that case rebuilds the full matrix (see Align), keeping results and
 	// future checkpoints byte-identical.
 	lastStart int
+	// Traceback memo: when the free-end scan picks the same end column as
+	// the previous alignment and no recomputed column reaches it (fillLo >
+	// endJ), every cell the traceback would visit is unchanged, so the
+	// held path IS the answer. A tag whose pass is over keeps its best end
+	// fixed while the stream appends columns behind it — exactly the
+	// steady state of a high-cadence snapshot loop, where the per-align
+	// retrace otherwise costs O(m+n) each time.
+	fillLo   int
+	lastEndJ int
+	endValid bool
 }
 
-// NewSegmentAligner builds an aligner for a fixed reference.
+// NewSegmentAligner builds an aligner over its own private Reference.
+// Prefer NewSharedAligner when many aligners run the same reference.
 func NewSegmentAligner(p []Segment, opts SegmentAlignOpts) *SegmentAligner {
-	a := &SegmentAligner{}
-	a.setReference(p, opts)
-	return a
+	return NewSharedAligner(NewReference(p, opts))
 }
 
-// setReference (re)binds the aligner to a reference, deriving the flat
-// per-row operand arrays. The pooled batch entry point calls it per
-// alignment — O(m) against the O(m·n) fill.
+// NewSharedAligner builds an aligner over an existing (shared) Reference:
+// the aligner carries only its own DP state and scratch, so a thousand
+// tags over one reference hold one copy of the panels.
+func NewSharedAligner(ref *Reference) *SegmentAligner {
+	return &SegmentAligner{ref: ref}
+}
+
+// setReference (re)binds the aligner to a reference, re-deriving the flat
+// operand panels into its private Reference. The pooled batch entry point
+// calls it per alignment — O(m) against the O(m·n) fill.
 func (a *SegmentAligner) setReference(p []Segment, opts SegmentAlignOpts) {
-	a.p, a.opts = p, opts
-	m := len(p)
-	if cap(a.pLo) < m {
-		a.pLo = make([]float64, m)
-		a.pHi = make([]float64, m)
-		a.pInt = make([]float64, m)
-		a.pVert = make([]float64, m)
-		a.cost = make([]float64, m)
+	if a.ref == nil {
+		a.ref = &Reference{}
 	}
-	a.pLo, a.pHi, a.pInt, a.pVert = a.pLo[:m], a.pHi[:m], a.pInt[:m], a.pVert[:m]
-	a.cost = a.cost[:m]
-	for i := range p {
-		a.pLo[i] = p[i].Lo
-		a.pHi[i] = p[i].Hi
-		a.pInt[i] = p[i].Interval
-		a.pVert[i] = opts.Stiffness * p[i].Interval
-	}
+	a.ref.rebuild(p, opts)
+	a.endValid = false
 }
 
 // Cols reports how many query columns of DP state are held — the next
@@ -332,6 +384,7 @@ func (a *SegmentAligner) Release() {
 	a.cm.off = 0
 	a.q = a.q[:0]
 	a.lastStart = 0
+	a.endValid = false
 }
 
 // Align answers the open-end subsequence query over q, byte-identical to
@@ -344,11 +397,30 @@ func (a *SegmentAligner) Release() {
 // next Align on this aligner: callers that retain it across calls must
 // copy it first.
 func (a *SegmentAligner) Align(q []Segment) (Result, int, int) {
-	m := len(a.p)
-	if m == 0 || len(q) == 0 {
+	lo, hi, ok := a.alignStart(q)
+	if !ok {
 		return Result{}, 0, 0
 	}
+	for j := lo; j < hi; j++ {
+		a.extendColumn(j)
+	}
+	return a.alignFinish()
+}
+
+// alignStart is Align's serial front half: prefix-compare the held
+// columns, absorb the new query, and reserve every column this alignment
+// needs. It returns the column range [lo, hi) the caller must fill (via
+// extendColumn, or interleaved with other aligners by AlignBatch) before
+// alignFinish answers the query. ok is false when the alignment is empty.
+func (a *SegmentAligner) alignStart(q []Segment) (lo, hi int, ok bool) {
+	m := len(a.ref.p)
+	if m == 0 || len(q) == 0 {
+		return 0, 0, false
+	}
 	a.cm.m = m
+	if cap(a.cost) < m {
+		a.cost = make([]float64, m)
+	}
 	// Keep the longest prefix of held columns whose segments are unchanged.
 	cp := 0
 	for cp < len(a.q) && cp < len(q) && a.q[cp] == q[cp] {
@@ -386,14 +458,19 @@ func (a *SegmentAligner) Align(q []Segment) (Result, int, int) {
 	} else {
 		a.lastRow = a.lastRow[:len(q)]
 	}
-	for j := cp; j < len(q); j++ {
-		a.extendColumn(j)
-	}
+	a.fillLo = cp
+	return cp, len(q), true
+}
+
+// alignFinish is Align's serial back half, run after every column from
+// alignStart's range has been filled: the free-end scan and traceback.
+func (a *SegmentAligner) alignFinish() (Result, int, int) {
+	m := len(a.ref.p)
 	// Free end: pick the cheapest cell in the last reference row — read
 	// from the contiguous mirror, not the strided matrix. Ties prefer the
 	// latest end so zero-cost plateaus match the whole pattern region
 	// rather than a truncated prefix (see AlignOpenEnd).
-	n := len(q)
+	n := len(a.q)
 	endJ := 0
 	last := a.lastRow[:n]
 	best := last[0]
@@ -402,17 +479,25 @@ func (a *SegmentAligner) Align(q []Segment) (Result, int, int) {
 			best, endJ = c, j
 		}
 	}
-	path := tracebackStiff(&a.cm, a.p, a.q, a.opts, m-1, endJ, true, a.path)
+	if a.endValid && endJ == a.lastEndJ && a.fillLo > endJ && len(a.path) > 0 {
+		// Same best end as last time and every column the traceback visits
+		// (≤ endJ) predates this call's recompute range: the held path and
+		// its start are the answer, cell for cell.
+		return Result{Distance: best, Path: a.path}, a.path[0].J, endJ
+	}
+	path := tracebackStiff(&a.cm, a.ref.p, a.q, a.ref.opts, m-1, endJ, true, a.path)
 	if path == nil {
 		// The optimal path walked into the truncated region (possible
 		// only after a tail-state restore, when the best open end moved
 		// behind the dropped columns). Rebuild the full matrix — identical
 		// values, deterministically — and retrace.
 		a.rebuildAll()
-		path = tracebackStiff(&a.cm, a.p, a.q, a.opts, m-1, endJ, true, a.path)
+		path = tracebackStiff(&a.cm, a.ref.p, a.q, a.ref.opts, m-1, endJ, true, a.path)
 	}
 	a.path = path
 	a.lastStart = path[0].J
+	a.lastEndJ = endJ
+	a.endValid = true
 	return Result{Distance: best, Path: path}, path[0].J, endJ
 }
 
@@ -421,7 +506,7 @@ func (a *SegmentAligner) Align(q []Segment) (Result, int, int) {
 // for a traceback. Cell values are a pure function of (reference, query),
 // so the rebuilt matrix is identical to one grown live.
 func (a *SegmentAligner) rebuildAll() {
-	m := len(a.p)
+	m := len(a.ref.p)
 	a.cm.off = 0
 	if need := m * len(a.q); cap(a.cm.cells) < need {
 		putCells(a.cm.cells)
@@ -451,31 +536,9 @@ func (a *SegmentAligner) rebuildAll() {
 // dependency and stays scalar; splitting the cost out of it roughly
 // halves the work on that critical path.
 func (a *SegmentAligner) extendColumn(j int) {
-	m := len(a.p)
-	base := (j - a.cm.off) * m
-	a.cm.cells = a.cm.cells[:base+m] // capacity reserved by Align
-	col := a.cm.cells[base : base+m : base+m]
-	qj := a.q[j]
-	qLo, qHi, qInt := qj.Lo, qj.Hi, qj.Interval
-
-	cost := a.cost[:m]
-	pLo := a.pLo[:m]
-	pHi := a.pHi[:m]
-	pInt := a.pInt[:m]
-	for i := range cost {
-		d := 0.0
-		if v := pLo[i] - qHi; v > d {
-			d = v
-		}
-		if v := qLo - pHi[i]; v > d {
-			d = v
-		}
-		t := pInt[i]
-		if qInt < t {
-			t = qInt
-		}
-		cost[i] = t * d
-	}
+	m := len(a.ref.p)
+	col, prev := a.columnSlices(j, m)
+	cost := a.fillCost(j, m)
 
 	// Row 0 is a free start: the first reference segment may match any
 	// query column at just its pointwise cost. acc carries col[i−1] in a
@@ -483,7 +546,7 @@ func (a *SegmentAligner) extendColumn(j int) {
 	// reloading it from memory each iteration lengthens the critical path.
 	acc := cost[0]
 	col[0] = acc
-	pVert := a.pVert[:m]
+	pVert := a.ref.pVert[:m]
 	if j == 0 {
 		for i := 1; i < m; i++ {
 			// Same association as the one-shot recurrence
@@ -495,8 +558,7 @@ func (a *SegmentAligner) extendColumn(j int) {
 		a.lastRow[0] = acc
 		return
 	}
-	prev := a.cm.cells[base-m : base : base]
-	horiz := a.opts.Stiffness * qInt
+	horiz := a.ref.opts.Stiffness * a.q[j].Interval
 	diag := prev[0]
 	for i := 1; i < m; i++ {
 		best := acc + pVert[i]
@@ -511,6 +573,297 @@ func (a *SegmentAligner) extendColumn(j int) {
 		col[i] = acc
 	}
 	a.lastRow[j] = acc
+}
+
+// columnSlices grows the matrix by column j and returns it plus column
+// j−1 (nil when j is the first held column). Capacity was reserved by
+// alignStart, so the growth is a reslice.
+func (a *SegmentAligner) columnSlices(j, m int) (col, prev []float64) {
+	base := (j - a.cm.off) * m
+	a.cm.cells = a.cm.cells[:base+m]
+	col = a.cm.cells[base : base+m : base+m]
+	if j > a.cm.off {
+		prev = a.cm.cells[base-m : base : base]
+	}
+	return col, prev
+}
+
+// fillCost is the fill's first pass for column j: the pointwise matching
+// costs — segCost/SegDist with the reference operands read from the flat
+// panels. It is written as independent straight-line iterations over
+// contiguous float streams with no cross-iteration dependency: the shape
+// the compiler can keep in registers and unroll. The max(0, lo−hi, lo−hi)
+// form equals the original comparison chain exactly — segment ranges are
+// proper intervals, so at most one of the two gaps is positive — and the
+// interval branch equals math.Min bit-for-bit on these finite
+// non-negative operands.
+func (a *SegmentAligner) fillCost(j, m int) []float64 {
+	qj := a.q[j]
+	qLo, qHi, qInt := qj.Lo, qj.Hi, qj.Interval
+	cost := a.cost[:m]
+	pLo := a.ref.pLo[:m]
+	pHi := a.ref.pHi[:m]
+	pInt := a.ref.pInt[:m]
+	if useFillAsm && m >= 4 {
+		// 4-wide vector pass; bit-identical to the scalar loop below
+		// (see fillcost_amd64.go for the tie/NaN argument).
+		fillCostAVX2(qLo, qHi, qInt, &pLo[0], &pHi[0], &pInt[0], &cost[0], m)
+		return cost
+	}
+	for i := range cost {
+		d := 0.0
+		if v := pLo[i] - qHi; v > d {
+			d = v
+		}
+		if v := qLo - pHi[i]; v > d {
+			d = v
+		}
+		t := pInt[i]
+		if qInt < t {
+			t = qInt
+		}
+		cost[i] = t * d
+	}
+	return cost
+}
+
+// BatchAlign is one aligner's answer from AlignBatch — exactly the three
+// values Align returns: the open-end result plus the matched start and
+// end columns. Res.Path aliases the owning aligner's scratch, like Align.
+type BatchAlign struct {
+	Res        Result
+	Start, End int
+}
+
+// blockLane is one aligner's pending column range during AlignBatch.
+type blockLane struct {
+	a     *SegmentAligner
+	j, hi int
+}
+
+// laneScratch pools AlignBatch's bookkeeping so a blocked detection run
+// allocates nothing beyond what the per-aligner Aligns themselves would.
+type laneScratch struct {
+	lanes []blockLane
+	ok    []bool
+}
+
+var lanePool = sync.Pool{New: func() any { return new(laneScratch) }}
+
+// AlignBatch answers the open-end query for a run of aligners at once:
+// out[k] is byte-identical to as[k].Align(qs[k]), including every DP cell
+// value, path and tie-break. The difference is purely mechanical — the
+// column fills of aligners sharing a Reference are interleaved four at a
+// time, so one pass over the shared panels feeds four independent DP
+// recurrences. That matters because the fill's sequential pass carries a
+// loop dependency (col[i] needs col[i−1]) whose floating-point latency a
+// single tag cannot hide; four independent accumulator chains keep the FP
+// units busy, and the shared panel streams are read once per group
+// instead of once per tag. Aligners must be distinct; lanes over
+// different References simply fill in smaller groups.
+//
+// as, qs and out must have equal length. Like Align, each out entry's
+// Path aliases its aligner's scratch, overwritten by that aligner's next
+// alignment.
+func AlignBatch(as []*SegmentAligner, qs [][]Segment, out []BatchAlign) {
+	sc, _ := lanePool.Get().(*laneScratch)
+	if sc == nil {
+		sc = new(laneScratch)
+	}
+	lanes := sc.lanes[:0]
+	oks := sc.ok[:0]
+	for k, a := range as {
+		lo, hi, ok := a.alignStart(qs[k])
+		oks = append(oks, ok)
+		if !ok {
+			out[k] = BatchAlign{}
+			continue
+		}
+		// Seed pass: a lane's first-ever column has no predecessor — the
+		// fused kernel assumes one — so fill it serially; only brand-new
+		// tags (or full rebuilds) hit this, once.
+		if lo == 0 {
+			a.extendColumn(0)
+			lo = 1
+		}
+		if lo < hi {
+			lanes = append(lanes, blockLane{a: a, j: lo, hi: hi})
+		}
+	}
+	for len(lanes) > 0 {
+		// Group up to four lanes over the first lane's Reference and fill
+		// in lockstep until the shortest of them drains; singletons and
+		// odd tails fall back to the serial column loop.
+		ref := lanes[0].a.ref
+		var pick [4]*blockLane
+		np := 0
+		for i := 0; i < len(lanes) && np < 4; i++ {
+			if lanes[i].a.ref == ref {
+				pick[np] = &lanes[i]
+				np++
+			}
+		}
+		switch np {
+		case 4:
+			l0, l1, l2, l3 := pick[0], pick[1], pick[2], pick[3]
+			n := min(min(l0.hi-l0.j, l1.hi-l1.j), min(l2.hi-l2.j, l3.hi-l3.j))
+			for s := 0; s < n; s++ {
+				extendCols4(ref, l0.a, l0.j, l1.a, l1.j, l2.a, l2.j, l3.a, l3.j)
+				l0.j++
+				l1.j++
+				l2.j++
+				l3.j++
+			}
+		case 2, 3:
+			l0, l1 := pick[0], pick[1]
+			n := min(l0.hi-l0.j, l1.hi-l1.j)
+			for s := 0; s < n; s++ {
+				extendCols2(ref, l0.a, l0.j, l1.a, l1.j)
+				l0.j++
+				l1.j++
+			}
+		default:
+			l0 := pick[0]
+			for ; l0.j < l0.hi; l0.j++ {
+				l0.a.extendColumn(l0.j)
+			}
+		}
+		w := 0
+		for _, ln := range lanes {
+			if ln.j < ln.hi {
+				lanes[w] = ln
+				w++
+			}
+		}
+		lanes = lanes[:w]
+	}
+	for k, a := range as {
+		if oks[k] {
+			out[k].Res, out[k].Start, out[k].End = a.alignFinish()
+		}
+	}
+	sc.lanes = lanes[:0]
+	sc.ok = oks[:0]
+	lanePool.Put(sc)
+}
+
+// extendCols4 fills one DP column for each of four aligners over the same
+// Reference: pass 1 (the pointwise costs) runs per lane — it is already
+// dependency-free — and pass 2 runs the four sequential min-of-three
+// recurrences interleaved, four independent loop-carried accumulator
+// chains overlapping where a single chain's FP latency stalls. Each lane
+// executes exactly the operations extendColumn would run for it, in the
+// same order, so the cells are bit-identical. Every lane's column index
+// must be past its first held column (callers seed column 0 serially).
+func extendCols4(ref *Reference, a0 *SegmentAligner, j0 int, a1 *SegmentAligner, j1 int, a2 *SegmentAligner, j2 int, a3 *SegmentAligner, j3 int) {
+	m := len(ref.p)
+	col0, prev0 := a0.columnSlices(j0, m)
+	col1, prev1 := a1.columnSlices(j1, m)
+	col2, prev2 := a2.columnSlices(j2, m)
+	col3, prev3 := a3.columnSlices(j3, m)
+	c0 := a0.fillCost(j0, m)
+	c1 := a1.fillCost(j1, m)
+	c2 := a2.fillCost(j2, m)
+	c3 := a3.fillCost(j3, m)
+	st := ref.opts.Stiffness
+	h0 := st * a0.q[j0].Interval
+	h1 := st * a1.q[j1].Interval
+	h2 := st * a2.q[j2].Interval
+	h3 := st * a3.q[j3].Interval
+	acc0, acc1, acc2, acc3 := c0[0], c1[0], c2[0], c3[0]
+	col0[0], col1[0], col2[0], col3[0] = acc0, acc1, acc2, acc3
+	pVert := ref.pVert[:m]
+	// The diagonal operand is re-loaded as prev[i−1] instead of carried in
+	// a register like extendColumn does: four lanes' acc/diag/horiz
+	// registers plus temporaries exceed the sixteen XMM registers, and the
+	// resulting spills land on the very accumulator chains the interleave
+	// exists to overlap. prev[i−1] was loaded last iteration, so the
+	// re-load hits L1 and sits off the critical path. Same value, same
+	// bits.
+	for i := 1; i < m; i++ {
+		v := pVert[i]
+		b0 := acc0 + v
+		if l := prev0[i] + h0; l < b0 {
+			b0 = l
+		}
+		if d := prev0[i-1]; d < b0 {
+			b0 = d
+		}
+		acc0 = c0[i] + b0
+		col0[i] = acc0
+		b1 := acc1 + v
+		if l := prev1[i] + h1; l < b1 {
+			b1 = l
+		}
+		if d := prev1[i-1]; d < b1 {
+			b1 = d
+		}
+		acc1 = c1[i] + b1
+		col1[i] = acc1
+		b2 := acc2 + v
+		if l := prev2[i] + h2; l < b2 {
+			b2 = l
+		}
+		if d := prev2[i-1]; d < b2 {
+			b2 = d
+		}
+		acc2 = c2[i] + b2
+		col2[i] = acc2
+		b3 := acc3 + v
+		if l := prev3[i] + h3; l < b3 {
+			b3 = l
+		}
+		if d := prev3[i-1]; d < b3 {
+			b3 = d
+		}
+		acc3 = c3[i] + b3
+		col3[i] = acc3
+	}
+	a0.lastRow[j0] = acc0
+	a1.lastRow[j1] = acc1
+	a2.lastRow[j2] = acc2
+	a3.lastRow[j3] = acc3
+}
+
+// extendCols2 is extendCols4 for a pair — the odd-tail form.
+func extendCols2(ref *Reference, a0 *SegmentAligner, j0 int, a1 *SegmentAligner, j1 int) {
+	m := len(ref.p)
+	col0, prev0 := a0.columnSlices(j0, m)
+	col1, prev1 := a1.columnSlices(j1, m)
+	c0 := a0.fillCost(j0, m)
+	c1 := a1.fillCost(j1, m)
+	st := ref.opts.Stiffness
+	h0 := st * a0.q[j0].Interval
+	h1 := st * a1.q[j1].Interval
+	acc0, acc1 := c0[0], c1[0]
+	col0[0], col1[0] = acc0, acc1
+	d0, d1 := prev0[0], prev1[0]
+	pVert := ref.pVert[:m]
+	for i := 1; i < m; i++ {
+		v := pVert[i]
+		b0 := acc0 + v
+		if l := prev0[i] + h0; l < b0 {
+			b0 = l
+		}
+		if d0 < b0 {
+			b0 = d0
+		}
+		d0 = prev0[i]
+		acc0 = c0[i] + b0
+		col0[i] = acc0
+		b1 := acc1 + v
+		if l := prev1[i] + h1; l < b1 {
+			b1 = l
+		}
+		if d1 < b1 {
+			b1 = d1
+		}
+		d1 = prev1[i]
+		acc1 = c1[i] + b1
+		col1[i] = acc1
+	}
+	a0.lastRow[j0] = acc0
+	a1.lastRow[j1] = acc1
 }
 
 // tracebackStiff reconstructs the optimal path of a stiffness-weighted

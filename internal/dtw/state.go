@@ -59,7 +59,7 @@ func ReadSegmentsCkpt(r *ckpt.Reader, dst []Segment) []Segment {
 // and rebuilds the full matrix from the query — the same values, so
 // results and subsequent checkpoints stay byte-identical.
 func (a *SegmentAligner) AppendState(dst []byte) []byte {
-	m := len(a.p)
+	m := len(a.ref.p)
 	n := len(a.q)
 	base := a.cm.off
 	if s := a.lastStart - 1; s > base {
@@ -77,6 +77,9 @@ func (a *SegmentAligner) AppendState(dst []byte) []byte {
 // free-list array so restore costs the same recycled memory as live
 // growth.
 func (a *SegmentAligner) RestoreState(r *ckpt.Reader) error {
+	// The restored columns are not the ones the held path was traced over;
+	// the next alignFinish must retrace.
+	a.endValid = false
 	reset := func() {
 		a.q, a.cm.cells, a.cm.off, a.lastStart = a.q[:0], a.cm.cells[:0], 0, 0
 	}
@@ -89,7 +92,7 @@ func (a *SegmentAligner) RestoreState(r *ckpt.Reader) error {
 		reset()
 		return err
 	}
-	m := len(a.p)
+	m := len(a.ref.p)
 	need := m * (len(a.q) - base)
 	if cap(a.cm.cells) < need {
 		putCells(a.cm.cells)

@@ -43,3 +43,27 @@ func ForBlocked(workers, n, block int, fn func(i int)) {
 	}
 	sched.Default().ForBlocked(nil, workers, n, block, fn)
 }
+
+// ForRuns is ForBlocked with each claimed block handed to fn whole as a
+// [lo, hi) range, so a batched kernel gets the entire run in one call.
+// The serial degrade still chunks by block — fn sees the same run shapes
+// regardless of parallelism.
+func ForRuns(workers, n, block int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if block <= 0 {
+		block = 1
+	}
+	if workers <= 1 || n <= block {
+		for lo := 0; lo < n; lo += block {
+			hi := lo + block
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+	sched.Default().ForRuns(nil, workers, n, block, fn)
+}

@@ -59,13 +59,48 @@ type Options struct {
 	// propose conclusive tags but only the sharded coordinator — which
 	// knows every zone's opinion — may emit and evict.
 	HoldEmission bool
+	// DetectBlockBytes budgets the cache footprint of one detection run:
+	// the number of dirty tags per scheduler claim is sized so the run's
+	// per-tag DP working set plus the shared reference panels fit the
+	// budget (an L2 slice, roughly). 0 means 256 KiB; the resulting tag
+	// count is clamped to [minDetectBlock, maxDetectBlock].
+	DetectBlockBytes int
 }
 
-// detectBlock is how many tags one scheduler claim takes: per-tag
-// detection resumes segmentation state that lives close together in the
-// builder, so contiguous runs keep the caches warm and cut the atomic
-// claim traffic on wide populations.
-const detectBlock = 8
+// Detection block sizing: one scheduler claim takes a contiguous run of
+// dirty tags, and the blocked kernel (stpp.LocalizeTagsIncremental)
+// interleaves their DP fills over the shared reference panels. The run
+// should be big enough to amortize claim traffic and panel loads, small
+// enough that the run's columns-in-flight stay cache-resident.
+const (
+	defaultDetectBudget = 256 << 10
+	minDetectBlock      = 4
+	maxDetectBlock      = 64
+)
+
+// blockForBudget sizes a detection run: m is the reference segment count
+// (the DP row count every column pays), and each tag in flight holds a
+// cost buffer plus its current and previous DP column — roughly 4 m-sized
+// float64 arrays with the shared panels amortized across the run. Always
+// at least minDetectBlock, so a degenerate budget or a huge reference
+// still makes progress in non-empty runs.
+func blockForBudget(budget, m int) int {
+	if budget <= 0 {
+		budget = defaultDetectBudget
+	}
+	if m <= 0 {
+		m = 1
+	}
+	per := 32 * m
+	b := budget / per
+	if b < minDetectBlock {
+		b = minDetectBlock
+	}
+	if b > maxDetectBlock {
+		b = maxDetectBlock
+	}
+	return b
+}
 
 // Engine is the streaming localization engine. It is not safe for
 // concurrent use — Consume and Snapshot must come from one goroutine; the
@@ -74,6 +109,7 @@ type Engine struct {
 	loc     *stpp.Localizer
 	builder *profile.Builder
 	workers int
+	block   int
 	group   *sched.Group
 	cached  map[epcgen2.EPC]stpp.TagResult
 	states  map[epcgen2.EPC]*tagState
@@ -101,16 +137,21 @@ type Engine struct {
 	yst     []*stpp.DetectState
 	ps      []*profile.Profile
 	sts     []*stpp.DetectState
+	depcs   []epcgen2.EPC
 	results []stpp.TagResult
 }
 
 // tagState is one tag's resumable detection state plus the profile
 // generation it was built against — a generation bump means the builder
 // re-sorted the profile after an out-of-order read, so the state must
-// rebuild rather than resume.
+// rebuild rather than resume — and the profile length the cached result
+// was detected at. Same generation and same length mean the profile is
+// unchanged (growth is append-only within a generation), so the cached
+// result is already exact and recompute can skip the tag.
 type tagState struct {
-	det *stpp.DetectState
-	gen uint64
+	det    *stpp.DetectState
+	gen    uint64
+	detLen int
 }
 
 // EmittedTag is one entry of the ordered emission stream: a finalized
@@ -141,6 +182,7 @@ func NewFromLocalizer(loc *stpp.Localizer, opts Options) *Engine {
 		loc:     loc,
 		builder: profile.NewBuilder(),
 		workers: w,
+		block:   blockForBudget(opts.DetectBlockBytes, loc.Detector().RefSegments()),
 		group:   opts.Group,
 		cached:  make(map[epcgen2.EPC]stpp.TagResult),
 		states:  make(map[epcgen2.EPC]*tagState),
@@ -234,7 +276,10 @@ func (e *Engine) detectOne(epc epcgen2.EPC) stpp.TagResult {
 	} else if ts.gen != gen {
 		ts.det.Reset()
 		ts.gen = gen
+	} else if ts.detLen == p.Len() {
+		return e.cached[epc]
 	}
+	ts.detLen = p.Len()
 	tr := e.loc.LocalizeTagIncremental(ts.det, p)
 	e.cached[epc] = tr
 	return tr
@@ -287,15 +332,21 @@ func (e *Engine) Snapshot() (*stpp.Result, error) {
 }
 
 // recompute refreshes the cached per-tag results for the given tags,
-// fanning out across the worker pool.
+// fanning cache-budgeted runs of the blocked detection kernel out across
+// the worker pool. Tags whose profile is provably unchanged since their
+// cached result — same builder generation, same length — are skipped
+// outright: the dirty mark alone does not imply new work (detectOne
+// leaves it set, and a read dropped by lifecycle admission dirties
+// nothing), and by the incremental contract a re-detection of an
+// unchanged profile returns the cached result bit for bit.
 func (e *Engine) recompute(dirty []epcgen2.EPC) {
 	// The builder is read from worker goroutines: force any lazy re-sort to
 	// happen here, serially, so workers see quiescent profiles — and pick
 	// up each tag's resumable state, rebuilding it when the sort changed
 	// history (generation bump).
-	e.ps, e.sts = e.ps[:0], e.sts[:0]
+	e.ps, e.sts, e.depcs = e.ps[:0], e.sts[:0], e.depcs[:0]
 	for _, epc := range dirty {
-		e.ps = append(e.ps, e.builder.Profile(epc))
+		p := e.builder.Profile(epc)
 		gen := e.builder.Generation(epc)
 		ts := e.states[epc]
 		if ts == nil {
@@ -304,23 +355,29 @@ func (e *Engine) recompute(dirty []epcgen2.EPC) {
 		} else if ts.gen != gen {
 			ts.det.Reset()
 			ts.gen = gen
+		} else if ts.detLen == p.Len() {
+			continue
 		}
+		ts.detLen = p.Len()
+		e.ps = append(e.ps, p)
 		e.sts = append(e.sts, ts.det)
+		e.depcs = append(e.depcs, epc)
 	}
-	if cap(e.results) < len(dirty) {
-		e.results = make([]stpp.TagResult, len(dirty))
+	n := len(e.depcs)
+	if cap(e.results) < n {
+		e.results = make([]stpp.TagResult, n)
 	}
-	e.results = e.results[:len(dirty)]
+	e.results = e.results[:n]
 	results := e.results
-	fill := func(i int) {
-		results[i] = e.loc.LocalizeTagIncremental(e.sts[i], e.ps[i])
+	fillRun := func(lo, hi int) {
+		e.loc.LocalizeTagsIncremental(e.sts[lo:hi], e.ps[lo:hi], results[lo:hi])
 	}
 	if e.group != nil {
-		e.group.ForBlocked(e.workers, len(dirty), detectBlock, fill)
+		e.group.ForRuns(e.workers, n, e.block, fillRun)
 	} else {
-		par.ForBlocked(e.workers, len(dirty), detectBlock, fill)
+		par.ForRuns(e.workers, n, e.block, fillRun)
 	}
-	for i, epc := range dirty {
+	for i, epc := range e.depcs {
 		e.cached[epc] = results[i]
 	}
 }

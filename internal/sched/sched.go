@@ -91,6 +91,12 @@ func (g *Group) ForBlocked(maxPar, n, block int, fn func(int)) {
 	g.s.ForBlocked(g, maxPar, n, block, fn)
 }
 
+// ForRuns hands each claimed block to fn as a [lo, hi) range. See
+// (*Scheduler).ForRuns.
+func (g *Group) ForRuns(maxPar, n, block int, fn func(lo, hi int)) {
+	g.s.ForRuns(g, maxPar, n, block, fn)
+}
+
 // item is one deque/queue entry: either a spawned task (fn != nil) or a
 // join ticket for a parallel-for job (job != nil).
 type item struct {
@@ -103,8 +109,11 @@ type item struct {
 // blocks of indices from next; done counts finished indices and the last
 // finisher closes fin.
 type forJob struct {
-	g      *Group
+	g *Group
+	// Exactly one of fn / fnRun is set: fn receives single indices, fnRun
+	// whole claimed [lo, hi) ranges (ForRuns).
 	fn     func(int)
+	fnRun  func(lo, hi int)
 	n      int64
 	block  int64
 	maxPar int32
@@ -273,6 +282,52 @@ func (s *Scheduler) ForBlocked(g *Group, maxPar, n, block int, fn func(int)) {
 		maxPar: int32(maxPar),
 		fin:    make(chan struct{}),
 	}
+	s.runJob(g, j)
+}
+
+// ForRuns is ForBlocked with the block handed to fn whole: each claimed
+// range [lo, hi) — block wide except possibly the last — is one fn call,
+// so a batched kernel can process the run in one pass instead of being
+// re-entered per index. The serial degrade (maxPar <= 1, or a single
+// block's worth of work) still chunks by block, so fn sees the same run
+// shapes regardless of parallelism.
+func (s *Scheduler) ForRuns(g *Group, maxPar, n, block int, fn func(lo, hi int)) {
+	if maxPar <= 0 {
+		maxPar = s.nworkers + 1
+	}
+	if block <= 0 {
+		block = 1
+	}
+	if n <= 0 {
+		return
+	}
+	if maxPar == 1 || n <= block {
+		for lo := 0; lo < n; lo += block {
+			hi := lo + block
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+	if g == nil {
+		g = &s.defGroup
+	}
+	j := &forJob{
+		g:      g,
+		fnRun:  fn,
+		n:      int64(n),
+		block:  int64(block),
+		maxPar: int32(maxPar),
+		fin:    make(chan struct{}),
+	}
+	s.runJob(g, j)
+}
+
+// runJob announces a for-job so idle workers can join, works it on the
+// calling goroutine, and waits out stragglers.
+func (s *Scheduler) runJob(g *Group, j *forJob) {
 	// Announce the job so idle workers can join, then work it ourselves.
 	s.mu.Lock()
 	if !s.stopped {
@@ -322,8 +377,12 @@ func (j *forJob) work(s *Scheduler, w *worker) {
 		if hi > j.n {
 			hi = j.n
 		}
-		for k := i; k < hi; k++ {
-			j.fn(int(k))
+		if j.fnRun != nil {
+			j.fnRun(int(i), int(hi))
+		} else {
+			for k := i; k < hi; k++ {
+				j.fn(int(k))
+			}
 		}
 		if j.done.Add(hi-i) == j.n {
 			close(j.fin)

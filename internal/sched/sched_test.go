@@ -238,3 +238,62 @@ func TestConcurrentSubmitters(t *testing.T) {
 		t.Fatalf("verified %d slots, want %d", total.Load(), want)
 	}
 }
+
+// TestForRunsCoverage checks the [lo, hi) run contract across the edge
+// shapes blocked detection produces: n not a multiple of block, block
+// larger than n, and n of zero and one. Every index must be covered
+// exactly once by non-empty runs no longer than block.
+func TestForRunsCoverage(t *testing.T) {
+	s := New(3)
+	defer s.Stop()
+	g := s.NewGroup("runs")
+	for _, n := range []int{0, 1, 5, 64, 257} {
+		for _, block := range []int{1, 2, 7, 64, 1000} {
+			hits := make([]atomic.Int32, n)
+			g.ForRuns(0, n, block, func(lo, hi int) {
+				if lo >= hi {
+					t.Errorf("n=%d block=%d: empty run [%d,%d)", n, block, lo, hi)
+					return
+				}
+				if hi-lo > block {
+					t.Errorf("n=%d block=%d: run [%d,%d) longer than block", n, block, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("n=%d block=%d: index %d covered %d times", n, block, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestForBlockedEdges pins ForBlocked on the same degenerate shapes —
+// remainder tails (len%block != 0), a block wider than the index space,
+// and a single-worker scheduler where the whole job degrades to the
+// serial loop — all through a named group.
+func TestForBlockedEdges(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		s := New(workers)
+		g := s.NewGroup("edges")
+		for _, tc := range []struct{ n, block int }{
+			{10, 3},  // remainder tail
+			{5, 100}, // block > len
+			{1, 4},   // single index
+			{0, 4},   // empty
+		} {
+			hits := make([]atomic.Int32, tc.n)
+			g.ForBlocked(0, tc.n, tc.block, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d block=%d: index %d ran %d times",
+						workers, tc.n, tc.block, i, got)
+				}
+			}
+		}
+		s.Stop()
+	}
+}

@@ -608,12 +608,26 @@ func TestLifecycleCrashAtSweepBoundaries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Journal the whole stream before the consumer runs: park the drain by
+	// claiming its Active slot, enqueue every batch (Enqueue journals and
+	// queues but won't schedule a second drain), then release. All batch
+	// records land in segment 0 ahead of the first checkpoint rotation, so
+	// the final checkpoint's prefix sweep can never cover segment 0 and
+	// the full batch/checkpoint interleaving below stays cuttable. Without
+	// this the cut count depends on the producer goroutine outrunning the
+	// consumer, which it reliably does not under -race on small boxes.
 	batches := chunkReads(cs.reads, 10)
+	if len(batches) > srv.opts.QueueBatches {
+		t.Fatalf("scene needs %d queue slots for the parked prefeed, have %d", len(batches), srv.opts.QueueBatches)
+	}
+	sess.state.Store(stateActive)
 	for _, b := range batches {
 		if err := sess.Enqueue(b); err != nil {
 			t.Fatal(err)
 		}
 	}
+	sess.state.Store(stateIdle)
+	sess.schedule()
 	waitDrained(t, sess)
 	refSnap, err := sess.Finish()
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -485,6 +486,51 @@ func getJSON(t *testing.T, ts *httptest.Server, path string, wantStatus int, out
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {
 			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+}
+
+// TestCoalescingEquivalenceProperty is the queue-coalescing property:
+// random batch sizes pushed through queues of varying depth — from a
+// depth-1 queue that never coalesces to a deep backlog the drain absorbs
+// in one engine call — under different publish cadences must all land on
+// the byte-identical final orders of the offline sharded replay. The
+// coalesced consume schedule is allowed to differ; the results are not.
+func TestCoalescingEquivalenceProperty(t *testing.T) {
+	tr, want, opts := aisleTrace(t, 9)
+	rng := rand.New(rand.NewSource(41))
+	queues := []int{1, 2, 8, 32}
+	cadence := []int{0, 90, 700, 150}
+	for trial := range queues {
+		o := opts
+		o.QueueBatches = queues[trial]
+		o.PublishEvery = cadence[trial]
+		srv := newTestServer(t, o)
+		sess, err := srv.CreateSession(tr.Header)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pos := 0; pos < len(tr.Reads); {
+			n := 1 + rng.Intn(120)
+			if pos+n > len(tr.Reads) {
+				n = len(tr.Reads) - pos
+			}
+			if err := sess.Enqueue(tr.Reads[pos : pos+n]); err != nil {
+				t.Fatalf("trial %d: enqueue at %d: %v", trial, pos, err)
+			}
+			pos += n
+		}
+		snap, err := sess.Finish()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(snap.Result.XOrder, want.XOrder) {
+			t.Errorf("trial %d (queue=%d publish=%d): X order diverged:\n  live    %v\n  offline %v",
+				trial, queues[trial], cadence[trial], snap.Result.XOrder, want.XOrder)
+		}
+		if !reflect.DeepEqual(snap.Result.YOrder, want.YOrder) {
+			t.Errorf("trial %d (queue=%d publish=%d): Y order diverged:\n  live    %v\n  offline %v",
+				trial, queues[trial], cadence[trial], snap.Result.YOrder, want.YOrder)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -83,6 +84,12 @@ type Session struct {
 	// touched only by the engine owner.
 	sincePublish    int
 	sinceCheckpoint int
+	// coalesce is the drain's reused multi-batch buffer: when the queue
+	// holds more than one batch, popBatches concatenates the whole backlog
+	// here so the engine pays one Consume (and at most one periodic
+	// publish) per drain pass instead of one per producer batch. Engine
+	// owner only; bounded by QueueBatches × MaxBatch reads.
+	coalesce []reader.TagRead
 	// ckptBuf is the reused engine-checkpoint serialization buffer, owned
 	// by the engine owner.
 	ckptBuf []byte
@@ -93,7 +100,7 @@ type Session struct {
 	// QueueBatches × MaxBatch bound the way a pre-counted channel send
 	// could — the depth a Stats query reports is exact, not transient.
 	// Producers that find the queue full wait on qcond; drain tasks never
-	// wait (popBatch is non-blocking), so scheduler workers cannot be
+	// wait (popBatches is non-blocking), so scheduler workers cannot be
 	// stranded on ingest backpressure.
 	qmu      sync.Mutex
 	qcond    *sync.Cond
@@ -163,8 +170,9 @@ func newSession(id string, srv *Server, h trace.Header) (*Session, error) {
 	d := deploy.FromHeader(h, srv.opts.Config, false, false)
 	group := srv.sched.NewGroup(id)
 	eng, err := deploy.NewSharded(d, deploy.Options{
-		Workers: srv.opts.Workers,
-		Group:   group,
+		Workers:          srv.opts.Workers,
+		Group:            group,
+		DetectBlockBytes: srv.opts.DetectBlockBytes,
 		Finalize: stpp.FinalizePolicy{
 			After:  srv.opts.FinalizeAfter,
 			Margin: srv.opts.FinalizeMargin,
@@ -567,8 +575,8 @@ func (s *Session) drain() {
 			continue
 		default:
 		}
-		batch, ok, closed := s.popBatch()
-		if !ok {
+		batch, popped, closed := s.popBatches(s.cadenceLimit())
+		if popped == 0 {
 			if closed {
 				// Ingest side closed and the queue is drained: publish the
 				// final snapshot and retire.
@@ -612,7 +620,7 @@ func (s *Session) drain() {
 				s.sinceCheckpoint = 0
 			}
 		}
-		if batches++; batches >= drainYield {
+		if batches += popped; batches >= drainYield {
 			// Yield the worker: requeue ourselves (state stays Active,
 			// so producers won't double-schedule) and let the fairness
 			// pick decide who runs next.
@@ -622,26 +630,87 @@ func (s *Session) drain() {
 	}
 }
 
-// popBatch takes the oldest queued batch, moving the depth gauge under
-// the same lock — space opens and the gauge drops atomically, so a
-// producer admitted into the freed slot can never observe (or cause) a
-// depth above the bound. ok=false means the queue is empty; closed then
-// tells the drain whether that is terminal.
-func (s *Session) popBatch() (batch []reader.TagRead, ok, closed bool) {
+// cadenceLimit is how many more reads the drain may absorb in one
+// coalesced pop without sliding past a cadence boundary: the next
+// periodic publish (at the adaptive effective interval) or the next WAL
+// checkpoint, whichever comes first. MaxInt when neither cadence is
+// active — the drain may then swallow the whole backlog.
+func (s *Session) cadenceLimit() int {
+	limit := math.MaxInt
+	if pe := s.srv.opts.PublishEvery; pe > 0 {
+		iv := s.pubInterval
+		if iv < pe {
+			iv = pe
+		}
+		if r := iv - s.sincePublish; r < limit {
+			limit = r
+		}
+	}
+	if ce := s.srv.opts.CheckpointEvery; ce > 0 {
+		if r := ce - s.sinceCheckpoint; r < limit {
+			limit = r
+		}
+	}
+	return limit
+}
+
+// popBatches takes queued batches up to the next cadence boundary in one
+// pop, moving the depth gauge under the same lock — space opens and the
+// gauge drops atomically, so a producer admitted into the freed slots
+// can never observe (or cause) a depth above the bound. A single batch
+// is returned as-is (zero copy, the common unloaded case); a backlog is
+// concatenated into the session's reused coalesce buffer, so a
+// backlogged session pays one engine Consume — and one periodic-publish
+// check — per drain pass instead of one per producer batch. popped
+// reports how many producer batches the return covers (0 = queue empty;
+// closed then tells the drain whether that is terminal).
+//
+// Coalescing preserves batch order, so the consumed stream is the exact
+// concatenation the per-batch pops would have fed the engine. The first
+// batch is taken unconditionally; further batches are absorbed while the
+// running total is short of limit, and the batch that reaches it is
+// included — exactly the batch the per-batch drain would have published
+// or checkpointed after. Publish and checkpoint points therefore land on
+// the same consumed prefixes as the un-coalesced schedule, and every
+// published snapshot is byte-identical to it.
+func (s *Session) popBatches(limit int) (batch []reader.TagRead, popped int, closed bool) {
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
-	if s.qhead >= len(s.q) {
-		return nil, false, s.closed
+	avail := len(s.q) - s.qhead
+	if avail == 0 {
+		return nil, 0, s.closed
 	}
-	batch = s.q[s.qhead]
-	s.q[s.qhead] = nil
-	s.qhead++
+	take, total := 1, len(s.q[s.qhead])
+	for take < avail && total < limit {
+		total += len(s.q[s.qhead+take])
+		take++
+	}
+	if take == 1 {
+		batch = s.q[s.qhead]
+		s.q[s.qhead] = nil
+		s.qhead++
+		if s.qhead == len(s.q) {
+			s.q, s.qhead = s.q[:0], 0
+		}
+		s.queued.Add(-int64(len(batch)))
+		s.qcond.Signal()
+		return batch, 1, false
+	}
+	out := s.coalesce[:0]
+	for i := 0; i < take; i++ {
+		b := s.q[s.qhead]
+		s.q[s.qhead] = nil
+		s.qhead++
+		out = append(out, b...)
+	}
 	if s.qhead == len(s.q) {
 		s.q, s.qhead = s.q[:0], 0
 	}
-	s.queued.Add(-int64(len(batch)))
-	s.qcond.Signal()
-	return batch, true, false
+	s.coalesce = out
+	s.queued.Add(-int64(total))
+	// Several queue slots opened at once; wake every waiting producer.
+	s.qcond.Broadcast()
+	return out, take, false
 }
 
 // pending reports whether the session has anything a drain task should
@@ -691,6 +760,7 @@ func (s *Session) terminate() {
 	}
 	s.eng = nil
 	s.ckptBuf = nil
+	s.coalesce = nil
 	s.activeTags.Store(0)
 	s.srv.metrics.SessionsFinished.Add(1)
 	close(s.done)

@@ -3,6 +3,7 @@ package stpp
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/dsp"
@@ -27,6 +28,11 @@ type Detector struct {
 	ref          *profile.Profile
 	refVS, refVE int
 	refSegs      []dtw.Segment
+	// refAl is the shared flat-panel form of refSegs: every DetectState's
+	// aligner references it instead of owning a private copy, which is what
+	// lets a blocked detection pass interleave several tags' DP fills over
+	// one panel load (dtw.AlignBatch).
+	refAl *dtw.Reference
 	// segment indices of the reference V-zone within refSegs
 	refSegVS, refSegVE int
 }
@@ -43,6 +49,7 @@ func NewDetector(cfg Config) (*Detector, error) {
 	}
 	d := &Detector{cfg: cfg, ref: ref, refVS: vs, refVE: ve}
 	d.refSegs = ref.Segmentize(cfg.Window)
+	d.refAl = dtw.NewReference(d.refSegs, dtw.SegmentAlignOpts{Stiffness: cfg.DTWStiffness})
 	// Locate the segments covered by the reference V-zone.
 	d.refSegVS, d.refSegVE = -1, -1
 	for i, s := range d.refSegs {
@@ -105,16 +112,31 @@ type DetectState struct {
 	// the snapshot-cadence allocation count linearly with cadence.
 	vw                    []float64
 	xkUn, xkClean, xkPred []float64
+	// X-key memo: the quadratic fit depends only on the profile samples
+	// inside the V-zone, and within a state's validity window the profile
+	// grows append-only — so when detection lands on the same [Start, End)
+	// again, the previous key (or its deterministic error) is exact. The
+	// fit is the snapshot path's single heaviest per-tag stage after the
+	// DTW fill, and on a stabilized tag the V-zone stops moving while
+	// reads keep appending behind it.
+	xkVZ    VZone
+	xkKey   XKey
+	xkErr   error
+	xkValid bool
 }
 
 // NewDetectState allocates the incremental detection state for one tag.
 func (d *Detector) NewDetectState() *DetectState {
 	return &DetectState{
 		segs: profile.NewSegmentCache(d.cfg.Window),
-		al: dtw.NewSegmentAligner(d.refSegs,
-			dtw.SegmentAlignOpts{Stiffness: d.cfg.DTWStiffness}),
+		al:   dtw.NewSharedAligner(d.refAl),
 	}
 }
+
+// RefSegments reports the reference segment count — the DP row count every
+// detection pays per column, which is what a bytes-based detection block
+// budget needs to size cache-resident runs.
+func (d *Detector) RefSegments() int { return len(d.refSegs) }
 
 // Reset invalidates the state after the tag's profile changed other than
 // by appending (an out-of-order read forced a re-sort): the segment cache
@@ -124,6 +146,7 @@ func (d *Detector) NewDetectState() *DetectState {
 func (s *DetectState) Reset() {
 	s.segs.Invalidate()
 	s.uLen = 0
+	s.xkValid = false
 }
 
 // Release returns the state's pooled holdings (the DTW matrix) to their
@@ -132,6 +155,7 @@ func (s *DetectState) Reset() {
 func (s *DetectState) Release() {
 	s.al.Release()
 	s.uLen = 0
+	s.xkValid = false
 }
 
 // unwrapMedian returns the median-filtered circular unwrap of the profile,
@@ -219,23 +243,18 @@ func (d *Detector) vzoneFromAlignment(st *DetectState, p *profile.Profile, segs 
 	}
 
 	// Map reference V-zone segments [refSegVS, refSegVE) to measured
-	// segments via the path.
-	first, last := -1, -1
-	for _, st := range res.Path {
-		if st.I >= d.refSegVS && st.I < d.refSegVE {
-			if first < 0 || st.J < first {
-				first = st.J
-			}
-			if st.J > last {
-				last = st.J
-			}
-		}
-	}
-	if first < 0 {
+	// segments via the path. A warping path is nondecreasing in both
+	// coordinates, so the steps with I in [refSegVS, refSegVE) are one
+	// contiguous span and their J extremes sit at its ends — two binary
+	// searches instead of a full-path walk on every detection.
+	path := res.Path
+	p1 := sort.Search(len(path), func(k int) bool { return path[k].I >= d.refSegVS })
+	p2 := sort.Search(len(path), func(k int) bool { return path[k].I >= d.refSegVE })
+	if p1 >= p2 {
 		return VZone{}, fmt.Errorf("stpp: warping path missed the V-zone")
 	}
-	start := segs[first].Start
-	end := segs[last].End
+	start := segs[path[p1].J].Start
+	end := segs[path[p2-1].J].End
 
 	// Refine: the coarse match localizes the V-zone but its boundaries
 	// inherit the reference's geometry (perpendicular distance), which

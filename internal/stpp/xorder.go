@@ -46,6 +46,22 @@ func (c Config) XKeyOf(p *profile.Profile, vz VZone) (XKey, error) {
 // per-tag stage re-keys every dirty tag on every snapshot, and these three
 // buffers were a per-snapshot-linear allocation term.
 func (c Config) xKeyOf(st *DetectState, p *profile.Profile, vz VZone) (XKey, error) {
+	// Memo: the key is a pure function of the samples inside [Start, End),
+	// which cannot have changed since the last call — the profile grows
+	// append-only while the state is valid (Reset clears the memo on
+	// re-sorts). vz.Cost is irrelevant to the fit, so only the bounds gate.
+	if st != nil && st.xkValid && st.xkVZ.Start == vz.Start && st.xkVZ.End == vz.End {
+		return st.xkKey, st.xkErr
+	}
+	k, err := c.xKeyFit(st, p, vz)
+	if st != nil {
+		st.xkVZ, st.xkKey, st.xkErr, st.xkValid = vz, k, err, true
+	}
+	return k, err
+}
+
+// xKeyFit is the uncached fit behind xKeyOf.
+func (c Config) xKeyFit(st *DetectState, p *profile.Profile, vz VZone) (XKey, error) {
 	n := vz.End - vz.Start
 	if n < 3 {
 		return XKey{}, fmt.Errorf("stpp: V-zone has %d samples, need >= 3", n)
